@@ -1,0 +1,167 @@
+// Command experiments regenerates the paper's figures and headline
+// numbers from this repository's theory and simulator.
+//
+// Usage:
+//
+//	experiments -fig all                 # every experiment, full settings
+//	experiments -fig fig6,fig7           # selected experiments
+//	experiments -fig fig4b -n 10000      # shorter traces
+//	experiments -fig all -csv out/       # also dump CSV data files
+//	experiments -list                    # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// writeSummaries sweeps the catalog and saves JSON digests for reuse.
+func writeSummaries(path string, opt experiments.Options) error {
+	cfg := core.StudyConfig{
+		Instructions: opt.Instructions,
+		Warmup:       opt.Warmup,
+		Depths:       opt.Depths,
+		Parallelism:  opt.Parallelism,
+	}
+	sweeps, err := core.RunCatalog(cfg, workload.All())
+	if err != nil {
+		return err
+	}
+	sums, err := core.SummarizeCatalog(sweeps)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := core.WriteSummaries(f, sums); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d workload summaries to %s\n", len(sums), path)
+	return nil
+}
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
+		n       = flag.Int("n", 0, "instructions per simulation run (default 30000)")
+		warm    = flag.Int("warmup", 0, "warm-up instructions (default 30000, -1 for none)")
+		nwl     = flag.Int("workloads", 0, "cap the workload catalog size (0 = all 55)")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV data files")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		plot    = flag.Bool("plot", false, "render ASCII charts under each figure")
+		summary = flag.String("summary", "", "write JSON sweep summaries of the full catalog to this file and exit")
+		md      = flag.String("md", "", "run every experiment and write a Markdown report to this file")
+		par     = flag.Int("parallel", 0, "concurrent workload sweeps (default NumCPU)")
+		timings = flag.Bool("time", false, "print per-experiment wall time")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{
+		Instructions: *n,
+		Warmup:       *warm,
+		Workloads:    *nwl,
+		Parallelism:  *par,
+	}
+
+	if *summary != "" {
+		if err := writeSummaries(*summary, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "summary:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *md != "" {
+		results := experiments.RunAll(opt)
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "md:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteMarkdown(f, results); err != nil {
+			fmt.Fprintln(os.Stderr, "md:", err)
+			os.Exit(1)
+		}
+		bad := 0
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.Experiment.ID, r.Err)
+				bad++
+			}
+		}
+		fmt.Printf("wrote %d experiment reports to %s (%d failed)\n",
+			len(results), *md, bad)
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*fig, ",")
+	}
+
+	exit := 0
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			exit = 2
+			continue
+		}
+		start := time.Now()
+		rep, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		render := rep.Render
+		if *plot {
+			render = rep.RenderWithChart
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: render: %v\n", id, err)
+			exit = 1
+		}
+		if *timings {
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+				exit = 1
+				continue
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: write csv: %v\n", id, err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

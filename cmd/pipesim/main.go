@@ -1,0 +1,164 @@
+// Command pipesim runs one workload on the cycle-accurate simulator at
+// one pipeline depth and prints detailed statistics: timing, hazard
+// accounting, extracted theory parameters, and the power breakdown.
+//
+// Usage:
+//
+//	pipesim -workload si95-gcc -depth 10
+//	pipesim -workload oltp-bank -depth 20 -n 50000 -predictor gshare
+//	pipesim -trace trace.bin -depth 12      # binary trace tape input
+//	pipesim -workloads                      # list catalog workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/branch"
+	"repro/internal/fit"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "si95-gcc", "catalog workload name")
+		tracePath = flag.String("trace", "", "binary trace file (overrides -workload)")
+		profile   = flag.String("profile", "", "JSON workload profile file (overrides -workload)")
+		depth     = flag.Int("depth", 10, "pipeline depth (decode..execute stages)")
+		n         = flag.Int("n", 30000, "instructions to simulate")
+		warm      = flag.Int("warmup", 30000, "cache/predictor warm-up instructions (generator input only)")
+		pred      = flag.String("predictor", "tournament", "branch predictor: static|bimodal|gshare|tournament")
+		ooo       = flag.Bool("ooo", false, "out-of-order execution with register renaming")
+		machine   = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+		sample    = flag.Uint64("power-trace", 0, "sample interval in cycles for a power-over-time trace (0 = off)")
+		units     = flag.Bool("units", false, "print the per-unit utilization table")
+		list      = flag.Bool("workloads", false, "list catalog workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.All() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+
+	cfg, err := pipeline.PresetConfig(pipeline.Preset(*machine), *depth)
+	if err != nil {
+		fatal(err)
+	}
+	// A non-default -predictor overrides the preset's choice (the
+	// default "tournament" leaves preset-specific predictors intact).
+	if *pred != "tournament" {
+		p, err := branch.New(branch.Kind(*pred), 12)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Predictor = p
+	}
+	if *ooo {
+		cfg.OutOfOrder = true
+	}
+	cfg.SampleInterval = *sample
+
+	var src trace.Stream
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = trace.NewLimitStream(trace.NewReader(f), *n)
+	default:
+		var prof workload.Profile
+		if *profile != "" {
+			f, err := os.Open(*profile)
+			if err != nil {
+				fatal(err)
+			}
+			prof, err = workload.ReadProfile(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			var ok bool
+			prof, ok = workload.ByName(*name)
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q (use -workloads)", *name))
+			}
+		}
+		gen, err := workload.NewGenerator(prof)
+		if err != nil {
+			fatal(err)
+		}
+		// Warm the hierarchy, predictor and BTB with the leading
+		// instructions, then measure the steady-state portion.
+		for i := 0; i < *warm; i++ {
+			in, _ := gen.Next()
+			if in.HasMemory() && cfg.Hierarchy != nil {
+				cfg.Hierarchy.Access(in.Addr)
+			}
+			if in.Class == isa.Branch {
+				if cfg.Predictor != nil {
+					cfg.Predictor.Predict(in.PC)
+					cfg.Predictor.Update(in.PC, in.Taken)
+				}
+				if cfg.BTB != nil && in.Taken {
+					cfg.BTB.Lookup(in.PC)
+					cfg.BTB.Update(in.PC, in.Target)
+				}
+			}
+		}
+		cfg.KeepState = true
+		src = trace.NewLimitStream(gen, *n)
+	}
+
+	res, err := pipeline.Run(cfg, src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res)
+	if *units {
+		fmt.Print(res.UtilizationReport())
+	}
+
+	if ex, err := fit.Extract(res); err == nil {
+		fmt.Printf("extracted: %s\n", ex)
+	}
+
+	pm := power.DefaultModel()
+	if *sample > 0 {
+		fmt.Printf("\npower trace (gated), interval %d cycles:\n", *sample)
+		fmt.Printf("%10s %10s %10s %8s\n", "cycle", "total", "dynamic", "IPC")
+		for i, b := range pm.PowerTrace(res, true) {
+			sm := res.Samples[i]
+			fmt.Printf("%10d %10.4g %10.4g %8.2f\n",
+				sm.Cycle, b.Total(), b.Dynamic, float64(sm.Retired)/float64(*sample))
+		}
+		fmt.Println()
+	}
+	for _, gated := range []bool{true, false} {
+		b := pm.Evaluate(res, gated)
+		mode := "non-gated"
+		if gated {
+			mode = "clock-gated"
+		}
+		fmt.Printf("power %-11s total=%.4g dynamic=%.4g leakage=%.4g (%.1f%%) latches=%.0f\n",
+			mode, b.Total(), b.Dynamic, b.Leakage, 100*b.LeakageFraction(), b.Latches)
+		bips := res.BIPS()
+		fmt.Printf("  BIPS=%.5f BIPS/W=%.4g BIPS^2/W=%.4g BIPS^3/W=%.4g\n",
+			bips, bips/b.Total(), bips*bips/b.Total(), bips*bips*bips/b.Total())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command sweep simulates one workload across a range of pipeline
+// depths and prints the full design-space table: performance, power
+// under both gating disciplines, every BIPS^m/W metric, and the
+// cubic-fit optima — one workload's worth of the paper's evaluation.
+//
+// Usage:
+//
+//	sweep -workload si95-gcc
+//	sweep -workload sf-swim -min 2 -max 30 -n 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "si95-gcc", "catalog workload name")
+		min  = flag.Int("min", 2, "minimum depth")
+		max  = flag.Int("max", 25, "maximum depth")
+		n    = flag.Int("n", 30000, "instructions per run")
+		warm = flag.Int("warmup", 30000, "warm-up instructions (-1 for none)")
+		ooo  = flag.Bool("ooo", false, "out-of-order execution with register renaming")
+		mach = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+	)
+	flag.Parse()
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	var depths []int
+	for d := *min; d <= *max; d++ {
+		depths = append(depths, d)
+	}
+	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm}
+	cfg.Machine = func(d int) (pipeline.Config, error) {
+		mc, err := pipeline.PresetConfig(pipeline.Preset(*mach), d)
+		if err != nil {
+			return mc, err
+		}
+		if *ooo {
+			mc.OutOfOrder = true
+		}
+		return mc, nil
+	}
+	s, err := core.RunSweep(cfg, prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s (%s), %d instructions/run\n\n", prof.Name, prof.Class, *n)
+	fmt.Printf("%5s %6s %7s %9s %10s %10s %12s %12s\n",
+		"depth", "FO4", "IPC", "BIPS", "W(gated)", "W(plain)", "BIPS^3/W g", "BIPS^3/W n")
+	for _, p := range s.Points {
+		bips := p.Result.BIPS()
+		fmt.Printf("%5d %6.2f %7.3f %9.5f %10.4g %10.4g %12.4g %12.4g\n",
+			p.Depth, p.FO4, p.Result.IPC(), bips,
+			p.GatedPower.Total(), p.PlainPower.Total(),
+			metrics.BIPS3PerWatt.Value(bips, p.GatedPower.Total()),
+			metrics.BIPS3PerWatt.Value(bips, p.PlainPower.Total()))
+	}
+
+	fmt.Println()
+	for _, k := range metrics.Kinds {
+		for _, gated := range []bool{true, false} {
+			o, err := s.FindOptimum(k, gated)
+			if err != nil {
+				continue
+			}
+			mode := "non-gated"
+			if gated {
+				mode = "gated"
+			}
+			pos := "interior"
+			if !o.Interior {
+				pos = "edge"
+			}
+			fmt.Printf("optimum %-9s %-9s: %5.1f stages (%5.1f FO4, %s)\n",
+				k, mode, o.Depth, o.FO4, pos)
+		}
+	}
+
+	if ex, err := s.CurveExtraction(core.DefaultRefDepth); err == nil {
+		fmt.Printf("\ncurve-fitted parameters: %s\n", ex)
+	}
+	if tp, err := s.FittedTheoryParams(core.DefaultRefDepth, 3, true); err == nil {
+		o := tp.OptimumExact()
+		fmt.Printf("analytic BIPS^3/W optimum (clock gated): %.1f stages (%.1f FO4)\n", o.Depth, o.FO4)
+	}
+}

@@ -1,0 +1,102 @@
+// Command tracegen materializes a catalog workload into a binary
+// trace tape that pipesim (and any external tool) can replay.
+//
+// Usage:
+//
+//	tracegen -workload si95-gcc -n 100000 -o gcc.trace
+//	tracegen -workload oltp-bank -n 50000 -o - | wc -c
+//	tracegen -stats gcc.trace               # print a trace summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "si95-gcc", "catalog workload name")
+		n     = flag.Int("n", 100000, "instructions to generate")
+		out   = flag.String("o", "", "output file ('-' for stdout)")
+		stats = flag.String("stats", "", "print statistics for an existing trace file and exit")
+		zip   = flag.Bool("z", false, "gzip-compress the output tape")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		f, err := os.Open(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ins, err := trace.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(trace.Gather(ins))
+		return
+	}
+
+	prof, ok := workload.ByName(*name)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *name))
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer
+	switch *out {
+	case "", "-":
+		w = os.Stdout
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	if *zip {
+		tw := trace.NewCompressedWriter(w, *n)
+		for i := 0; i < *n; i++ {
+			in, _ := gen.Next()
+			if err := tw.Write(in); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tw.Close(); err != nil {
+			fatal(err)
+		}
+	} else {
+		tw := trace.NewWriter(w, *n)
+		for i := 0; i < *n; i++ {
+			in, _ := gen.Next()
+			if err := tw.Write(in); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+	if *out != "" && *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", *n, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package repro reproduces Hartstein & Puzak, "Optimum
+// Power/Performance Pipeline Depth" (MICRO-36, 2003): the analytical
+// BIPS^m/W pipeline-depth model, a cycle-accurate 4-issue in-order
+// superscalar simulator with a per-unit power monitor, a 55-workload
+// synthetic trace catalog, and a harness that regenerates every figure
+// of the paper's evaluation.
+//
+// The implementation lives under internal/; see README.md for the
+// package map, DESIGN.md for the system inventory and per-experiment
+// index, and EXPERIMENTS.md for measured-vs-paper results. Entry
+// points:
+//
+//   - internal/theory: the closed-form model (Eqs. 1–8)
+//   - internal/pipeline + internal/power: the simulator and its
+//     power monitor
+//   - internal/core: depth-sweep studies over workloads
+//   - internal/experiments: per-figure reproductions
+//   - cmd/experiments, cmd/pipesim, cmd/sweep, cmd/tracegen: CLIs
+//   - examples/: runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate each figure
+// (BenchmarkFig...) and measure the substrate layers.
+package repro

@@ -1,0 +1,75 @@
+// Designspace explores how the optimum pipeline depth moves across the
+// technology design space — the paper's §5 sensitivity studies — using
+// the analytical model: leakage fraction × latch-growth exponent ×
+// clock gating, plus the metric-exponent dimension. No simulation is
+// needed; this is the "predict the correct design point when new
+// technologies arise" use case the paper advertises for its theory.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/theory"
+)
+
+func main() {
+	base := theory.Default()
+
+	fmt.Println("Optimum pipeline depth (stages) as leakage and latch growth vary")
+	fmt.Println("metric: BIPS^3/W, non-gated dynamic power")
+	fmt.Println()
+	leakages := []float64{0, 0.15, 0.30, 0.50, 0.70, 0.90}
+	betas := []float64{1.0, 1.1, 1.3, 1.5, 1.8, 2.1}
+
+	fmt.Printf("%10s", "leak\\beta")
+	for _, b := range betas {
+		fmt.Printf("%8.1f", b)
+	}
+	fmt.Println()
+	for _, l := range leakages {
+		fmt.Printf("%9.0f%%", l*100)
+		for _, b := range betas {
+			p := base.WithBeta(b).WithLeakageFraction(l, theory.DefaultLeakageRefDepth)
+			opt := p.OptimumExact()
+			if opt.AtMin {
+				fmt.Printf("%8s", "1*")
+			} else {
+				fmt.Printf("%8.1f", opt.Depth)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("(* single-stage design: no pipelined optimum)")
+	fmt.Println()
+
+	fmt.Println("Clock gating pushes the optimum deeper at every leakage level:")
+	for _, l := range []float64{0.05, 0.15, 0.30} {
+		ng := base.WithLeakageFraction(l, theory.DefaultLeakageRefDepth).OptimumExact()
+		g := base.WithClockGating(1).
+			WithLeakageFraction(l, theory.DefaultLeakageRefDepth).OptimumExact()
+		fmt.Printf("  leakage %3.0f%%: non-gated %.1f stages → gated %.1f stages\n",
+			l*100, ng.Depth, g.Depth)
+	}
+	fmt.Println()
+
+	fmt.Println("Partial clock gating (fractional f_cg) interpolates:")
+	for _, fcg := range []float64{1.0, 0.7, 0.4, 0.2} {
+		p := base.WithoutClockGating(fcg)
+		fmt.Printf("  f_cg = %.1f: optimum %.1f stages\n", fcg, p.OptimumExact().Depth)
+	}
+	fmt.Println()
+
+	fmt.Println("Metric exponent m sweeps from power-dominated to performance-only:")
+	for _, m := range []float64{1, 2, 2.5, 3, 4, 6, 10} {
+		p := base.WithMetricExponent(m)
+		opt := p.OptimumExact()
+		if opt.AtMin {
+			fmt.Printf("  m = %4.1f: single-stage design\n", m)
+			continue
+		}
+		fmt.Printf("  m = %4.1f: optimum %.1f stages (%.1f FO4)\n", m, opt.Depth, opt.FO4)
+	}
+	fmt.Printf("  m → ∞  : performance-only optimum %.1f stages (Eq. 2)\n", base.PerfOnlyOptimum())
+	fmt.Printf("\nexistence threshold: pipelined optima require m > %.2f here\n",
+		base.MExistenceThreshold())
+}

@@ -1,0 +1,99 @@
+// Powerbudget demonstrates the paper's *other* design strategy (§1):
+// "design for the best possible performance, subject to the constraint
+// that the power be just below some maximum value, which can be
+// effectively dissipated by the packaging environment" — and compares
+// it with the BIPS³/W metric optimum on both the analytical model and
+// the simulator, including a power-over-time trace at the chosen
+// design point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Theory: sweep the power budget and read off the frontier.
+	p := theory.Default()
+	ref := p.TotalPower(7)
+	fmt.Println("Power-constrained frontier (theory, budgets relative to the 7-stage design):")
+	for _, mult := range []float64{0.5, 1, 2, 4, 8} {
+		pt, ok := p.ConstrainedOptimum(ref * mult)
+		if !ok {
+			fmt.Printf("  %4.1f× budget: infeasible\n", mult)
+			continue
+		}
+		fmt.Printf("  %4.1f× budget: %5.1f stages (%5.1f FO4), BIPS %.4f\n",
+			mult, pt.Depth, pt.FO4, pt.Metric)
+	}
+	m3 := p.OptimumExact()
+	fmt.Printf("BIPS^3/W metric optimum for comparison: %.1f stages\n\n", m3.Depth)
+
+	// 2. Simulation: sweep a modern workload, then pick the deepest
+	// design whose simulated gated power fits a budget set at 1.5× the
+	// metric optimum's draw.
+	prof := workload.Representative(workload.Modern)
+	fmt.Printf("Simulating %s across depths...\n", prof.Name)
+	sweep, err := core.RunSweep(core.StudyConfig{Instructions: 15000}, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := sweep.FindOptimum(metrics.BIPS3PerWatt, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optPoint, _ := sweep.PointAt(int(opt.Depth + 0.5))
+	budget := optPoint.GatedPower.Total() * 1.5
+	var best core.DepthPoint
+	bestBIPS, found := 0.0, false
+	for _, pt := range sweep.Points {
+		if pt.GatedPower.Total() <= budget && pt.Result.BIPS() > bestBIPS {
+			best, bestBIPS, found = pt, pt.Result.BIPS(), true
+		}
+	}
+	fmt.Printf("metric optimum: %.1f stages drawing %.3g W-units\n",
+		opt.Depth, optPoint.GatedPower.Total())
+	if !found {
+		log.Fatal("no feasible design under the budget")
+	}
+	fmt.Printf("budget %.3g (1.5×): best feasible design %d stages, BIPS %.5f (vs %.5f at the metric optimum)\n\n",
+		budget, best.Depth, bestBIPS, optPoint.Result.BIPS())
+
+	// 3. Power trace at the chosen design point: the paper's monitor
+	// collects usage "every cycle"; here, per 500-cycle interval.
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pipeline.MustDefaultConfig(best.Depth)
+	cfg.SampleInterval = 500
+	res, err := pipeline.Run(cfg, trace.NewLimitStream(gen, 6000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm := power.DefaultModel()
+	fmt.Printf("gated power over time at %d stages (interval = 500 cycles):\n", best.Depth)
+	for i, b := range pm.PowerTrace(res, true) {
+		bar := int(b.Total() / budget * 40)
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("  %6d %8.3g |%s\n", res.Samples[i].Cycle, b.Total(), bars(bar))
+	}
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

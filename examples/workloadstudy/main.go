@@ -1,0 +1,85 @@
+// Workloadstudy reruns the paper's workload-population study (Figures
+// 6 and 7): it sweeps the whole 55-trace catalog across pipeline
+// depths, finds each workload's clock-gated BIPS^3/W optimum by the
+// paper's cubic-fit method, and prints the distribution overall and by
+// class, as ASCII histograms.
+//
+// Flags: -n <instructions per run> -workloads <cap> for quicker runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 15000, "instructions per simulation run")
+	cap := flag.Int("workloads", 0, "limit the number of workloads (0 = all 55)")
+	flag.Parse()
+
+	profs := workload.All()
+	if *cap > 0 && *cap < len(profs) {
+		profs = profs[:*cap]
+	}
+	fmt.Printf("Sweeping %d workloads over depths 2–25 (%d instructions each)...\n\n",
+		len(profs), *n)
+
+	sweeps, err := core.RunCatalog(core.StudyConfig{Instructions: *n}, profs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var optima []core.Optimum
+	for _, s := range sweeps {
+		o, err := s.FindOptimum(metrics.BIPS3PerWatt, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optima = append(optima, o)
+	}
+
+	fmt.Println("All workloads (Figure 6):")
+	printHistogram(optima)
+	mean := core.MeanDepth(optima)
+	fmt.Printf("mean %.1f stages = %.1f FO4 per stage (paper: ≈8 stages, 20 FO4)\n\n",
+		mean, 2.5+140/mean)
+
+	fmt.Println("By class (Figure 7):")
+	byClass := core.ByClass(optima)
+	classes := make([]workload.Class, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		opts := byClass[c]
+		m := core.MeanDepth(opts)
+		fmt.Printf("\n%s (%d workloads, mean %.1f stages / %.1f FO4):\n",
+			c, len(opts), m, 2.5+140/m)
+		printHistogram(opts)
+	}
+
+	fmt.Println("\nPer-workload detail:")
+	sorted := append([]core.Optimum(nil), optima...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Depth < sorted[j].Depth })
+	for _, o := range sorted {
+		fmt.Printf("  %-16s %-8s %5.1f stages (%5.1f FO4)\n",
+			o.Workload, o.Class, o.Depth, o.FO4)
+	}
+}
+
+func printHistogram(opts []core.Optimum) {
+	bins := core.Histogram(opts, 2, 25)
+	for i, count := range bins {
+		if count == 0 {
+			continue
+		}
+		fmt.Printf("  %2d stages | %s %d\n", i+2, strings.Repeat("#", count), count)
+	}
+}

@@ -1,0 +1,129 @@
+package branch
+
+import "fmt"
+
+// BTB is a set-associative branch target buffer with true-LRU
+// replacement. The front end needs the target of a predicted-taken
+// branch at fetch time; a BTB miss means the redirect must wait for
+// decode to compute the target, costing extra fetch bubbles even when
+// the direction prediction was correct.
+type BTB struct {
+	sets    int
+	ways    int
+	mask    uint64
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	age     []uint64
+	clock   uint64
+
+	lookups uint64
+	hits    uint64
+}
+
+// NewBTB builds a BTB with the given number of entries (a power of
+// two) and associativity.
+func NewBTB(entries, ways int) (*BTB, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("branch: BTB entries %d not a positive power of two", entries)
+	}
+	if ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("branch: BTB ways %d incompatible with %d entries", ways, entries)
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("branch: BTB set count %d not a power of two", sets)
+	}
+	return &BTB{
+		sets:    sets,
+		ways:    ways,
+		mask:    uint64(sets - 1),
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		age:     make([]uint64, entries),
+	}, nil
+}
+
+// MustBTB is NewBTB for known-good geometries.
+func MustBTB(entries, ways int) *BTB {
+	b, err := NewBTB(entries, ways)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (set int, tag uint64) {
+	line := pc >> 2
+	return int(line & b.mask), line >> uint(trailingZeros(b.sets))
+}
+
+// Lookup returns the predicted target for the branch at pc, and
+// whether the BTB holds an entry for it.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	b.clock++
+	b.lookups++
+	set, tag := b.index(pc)
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == tag {
+			b.age[i] = b.clock
+			b.hits++
+			return b.targets[i], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the branch's target.
+func (b *BTB) Update(pc, target uint64) {
+	b.clock++
+	set, tag := b.index(pc)
+	base := set * b.ways
+	lru := base
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == tag {
+			b.targets[i] = target
+			b.age[i] = b.clock
+			return
+		}
+		if b.age[i] < b.age[lru] {
+			lru = i
+		}
+	}
+	b.valid[lru] = true
+	b.tags[lru] = tag
+	b.targets[lru] = target
+	b.age[lru] = b.clock
+}
+
+// HitRate returns hits per lookup (0 for an idle BTB).
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// Reset clears contents and statistics.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+		b.tags[i] = 0
+		b.targets[i] = 0
+		b.age[i] = 0
+	}
+	b.clock, b.lookups, b.hits = 0, 0, 0
+}
+
+func trailingZeros(n int) int {
+	z := 0
+	for n > 1 {
+		n >>= 1
+		z++
+	}
+	return z
+}

@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Sweep one workload across pipeline depths and locate its optima the
+// way the paper does (cubic least-squares peak).
+func Example() {
+	cfg := core.StudyConfig{
+		Depths:       []int{2, 3, 4, 6, 8, 10, 13, 17, 21, 25},
+		Instructions: 10000,
+	}
+	sweep, err := core.RunSweep(cfg, workload.Representative(workload.SPECInt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m3, err := sweep.FindOptimum(metrics.BIPS3PerWatt, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n", m3.Workload)
+	fmt.Printf("BIPS^3/W optimum interior: %v\n", m3.Interior)
+	fmt.Printf("optimum in the paper's band [5, 10]: %v\n", m3.Depth >= 5 && m3.Depth <= 10)
+	// Output:
+	// workload: si95-gcc
+	// BIPS^3/W optimum interior: true
+	// optimum in the paper's band [5, 10]: true
+}

@@ -1,0 +1,445 @@
+// Package core is the public façade of the pipeline-depth study: it
+// orchestrates depth sweeps of the cycle-accurate simulator over
+// workloads, evaluates the power model under both gating disciplines,
+// extracts per-workload optima with the paper's cubic least-squares
+// analysis, and connects the measurements to the analytical model of
+// package theory.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fit"
+	"repro/internal/isa"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// DefaultInstructions is the default measured trace length per run.
+const DefaultInstructions = 30000
+
+// DefaultWarmup is the default architectural warm-up length: before
+// measurement, this many instructions prime the cache hierarchy and
+// branch predictor (trace-driven simulators measure steady state, as
+// the paper's carefully selected trace tapes do).
+const DefaultWarmup = 30000
+
+// DefaultRefDepth is the depth used for single-run parameter
+// extraction (theory curves are predicted from one simulation, §5).
+const DefaultRefDepth = 10
+
+// StudyConfig controls a depth-sweep study.
+type StudyConfig struct {
+	// Depths to simulate; DefaultDepths() if nil.
+	Depths []int
+	// Instructions per run; DefaultInstructions if 0.
+	Instructions int
+	// Warmup instructions priming caches and predictor before the
+	// measured portion; DefaultWarmup if 0, negative for none.
+	Warmup int
+	// Power model; power.DefaultModel() if zero-valued (detected via
+	// Pd == 0).
+	Power power.Model
+	// Machine builds the simulator configuration for a depth;
+	// pipeline.DefaultConfig if nil. It must return a fresh Config
+	// per call (predictor and cache state are per-run).
+	Machine func(depth int) (pipeline.Config, error)
+	// Parallelism bounds concurrent workload sweeps in RunCatalog;
+	// runtime.NumCPU() if 0.
+	Parallelism int
+}
+
+// DefaultDepths returns the paper's simulated range, 2–25 stages.
+func DefaultDepths() []int {
+	out := make([]int, 0, 24)
+	for d := 2; d <= 25; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Depths == nil {
+		c.Depths = DefaultDepths()
+	}
+	if c.Instructions == 0 {
+		c.Instructions = DefaultInstructions
+	}
+	if c.Warmup == 0 {
+		c.Warmup = DefaultWarmup
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+	if c.Power.Pd == 0 {
+		c.Power = power.DefaultModel()
+	}
+	if c.Machine == nil {
+		c.Machine = pipeline.DefaultConfig
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+// DepthPoint is one simulated design point of a sweep.
+type DepthPoint struct {
+	Depth      int
+	FO4        float64 // per-stage delay t_o + t_p/depth
+	Result     *pipeline.Result
+	GatedPower power.Breakdown
+	PlainPower power.Breakdown
+}
+
+// Sweep is one workload simulated across all depths.
+type Sweep struct {
+	Workload workload.Profile
+	Points   []DepthPoint
+}
+
+// RunSweep simulates one workload across the configured depths.
+// Depths run concurrently (bounded by cfg.Parallelism): every depth
+// gets its own generator replaying the identical stream and its own
+// machine state, so results are bit-identical to a serial sweep.
+func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
+	cfg = cfg.withDefaults()
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]DepthPoint, len(cfg.Depths))
+	errs := make([]error, len(cfg.Depths))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, d := range cfg.Depths {
+		wg.Add(1)
+		go func(i, d int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			points[i], errs[i] = runPoint(cfg, prof, d)
+		}(i, d)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at depth %d: %w", prof.Name, cfg.Depths[i], err)
+		}
+	}
+	return &Sweep{Workload: prof, Points: points}, nil
+}
+
+// runPoint simulates one design point with fresh generator and
+// machine state.
+func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, error) {
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return DepthPoint{}, err
+	}
+	mc, err := cfg.Machine(depth)
+	if err != nil {
+		return DepthPoint{}, fmt.Errorf("machine: %w", err)
+	}
+	if cfg.Warmup > 0 {
+		warm(&mc, gen, cfg.Warmup)
+	}
+	res, err := pipeline.Run(mc, trace.NewLimitStream(gen, cfg.Instructions))
+	if err != nil {
+		return DepthPoint{}, err
+	}
+	return DepthPoint{
+		Depth:      depth,
+		FO4:        mc.CycleTime(),
+		Result:     res,
+		GatedPower: cfg.Power.Evaluate(res, true),
+		PlainPower: cfg.Power.Evaluate(res, false),
+	}, nil
+}
+
+// RunCatalog sweeps every profile concurrently (bounded by
+// cfg.Parallelism) and returns the sweeps in input order.
+func RunCatalog(cfg StudyConfig, profs []workload.Profile) ([]*Sweep, error) {
+	cfg = cfg.withDefaults()
+	sweeps := make([]*Sweep, len(profs))
+	errs := make([]error, len(profs))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i := range profs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sweeps[i], errs[i] = RunSweep(cfg, profs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: workload %s: %w", profs[i].Name, err)
+		}
+	}
+	return sweeps, nil
+}
+
+// Depths returns the sweep's depth axis as floats (for fitting).
+func (s *Sweep) Depths() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = float64(p.Depth)
+	}
+	return out
+}
+
+// MetricCurve evaluates a figure of merit at each design point under
+// the chosen gating discipline.
+func (s *Sweep) MetricCurve(kind metrics.Kind, gated bool) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		watts := p.PlainPower.Total()
+		if gated {
+			watts = p.GatedPower.Total()
+		}
+		out[i] = kind.Value(p.Result.BIPS(), watts)
+	}
+	return out
+}
+
+// PointAt returns the design point simulated at the given depth.
+func (s *Sweep) PointAt(depth int) (DepthPoint, bool) {
+	for _, p := range s.Points {
+		if p.Depth == depth {
+			return p, true
+		}
+	}
+	return DepthPoint{}, false
+}
+
+// Optimum is a per-workload optimum design point determined by the
+// paper's cubic least-squares analysis of the simulated metric curve.
+type Optimum struct {
+	Workload string
+	Class    workload.Class
+	Depth    float64 // cubic-fit peak position (stages)
+	FO4      float64 // corresponding per-stage delay
+	Interior bool    // false when the metric is monotone over the range
+	R2       float64 // quality of the cubic fit (the paper "verifies
+	// that the fit is a smooth curve through the data points")
+}
+
+// FindOptimum fits a cubic to the sweep's metric curve and locates its
+// peak (paper §4: "a blind least squares fit to a cubic function").
+func (s *Sweep) FindOptimum(kind metrics.Kind, gated bool) (Optimum, error) {
+	curve := s.MetricCurve(kind, gated)
+	depths := s.Depths()
+	peak, interior, err := fit.CubicPeak(depths, curve)
+	if err != nil {
+		return Optimum{}, err
+	}
+	r2 := fitQuality(depths, curve)
+	fo4 := 0.0
+	if len(s.Points) > 0 {
+		cfg := s.Points[0].Result.Config
+		fo4 = cfg.TO + cfg.TP/peak
+	}
+	return Optimum{
+		Workload: s.Workload.Name,
+		Class:    s.Workload.Class,
+		Depth:    peak,
+		FO4:      fo4,
+		Interior: interior,
+		R2:       r2,
+	}, nil
+}
+
+// fitQuality returns the R² of the cubic least-squares fit behind the
+// peak analysis.
+func fitQuality(depths, curve []float64) float64 {
+	p, err := mathx.PolyFit(depths, curve, 3)
+	if err != nil {
+		return 0
+	}
+	yhat := make([]float64, len(depths))
+	for i, d := range depths {
+		yhat[i] = p.Eval(d)
+	}
+	return mathx.RSquared(curve, yhat)
+}
+
+// Extraction measures the theory parameters from the sweep's design
+// point at refDepth (DefaultRefDepth if the exact depth is absent,
+// the nearest simulated depth is used).
+func (s *Sweep) Extraction(refDepth int) (fit.Extraction, error) {
+	if len(s.Points) == 0 {
+		return fit.Extraction{}, errors.New("core: empty sweep")
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if abs(p.Depth-refDepth) < abs(best.Depth-refDepth) {
+			best = p
+		}
+	}
+	return fit.Extract(best.Result)
+}
+
+// TauCurve returns the measured time per instruction (FO4) at each
+// design point.
+func (s *Sweep) TauCurve() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Result.TimePerInstructionFO4()
+	}
+	return out
+}
+
+// CurveExtraction fits the performance model to the sweep's full τ(p)
+// curve (fit.ExtractCurve), yielding the effective parameters that
+// make the analytic model track this simulator.
+func (s *Sweep) CurveExtraction(refDepth int) (fit.Extraction, error) {
+	if len(s.Points) < 2 {
+		return fit.Extraction{}, errors.New("core: curve extraction needs ≥2 depths")
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if abs(p.Depth-refDepth) < abs(best.Depth-refDepth) {
+			best = p
+		}
+	}
+	return fit.ExtractCurve(s.Depths(), s.TauCurve(), best.Result)
+}
+
+// TheoryParams builds a theory parameter set for this sweep's
+// workload: technology from the simulated machine, workload parameters
+// extracted at refDepth, metric exponent m, and the gating model.
+func (s *Sweep) TheoryParams(refDepth int, m float64, gated bool) (theory.Params, error) {
+	ex, err := s.Extraction(refDepth)
+	if err != nil {
+		return theory.Params{}, err
+	}
+	return s.theoryFrom(ex, m, gated), nil
+}
+
+// FittedTheoryParams is TheoryParams with the workload parameters
+// taken from the full-curve fit instead of a single run, and the
+// latch-growth exponent β taken from the machine's own latch curve
+// (the paper's Figure-3 "overall" exponent) rather than the per-unit
+// value — the overall exponent is what multiplies total power in the
+// analytic model.
+func (s *Sweep) FittedTheoryParams(refDepth int, m float64, gated bool) (theory.Params, error) {
+	ex, err := s.CurveExtraction(refDepth)
+	if err != nil {
+		return theory.Params{}, err
+	}
+	p := s.theoryFrom(ex, m, gated)
+	if beta, err := s.OverallLatchBeta(); err == nil {
+		p = p.WithBeta(beta)
+	}
+	return p, nil
+}
+
+// OverallLatchBeta fits the machine's total latch count to k·p^β over
+// the sweep's unmerged depths (≥ 4) and returns the overall exponent
+// (paper Fig. 3: ≈ 1.1 when units grow as stages^1.3).
+func (s *Sweep) OverallLatchBeta() (float64, error) {
+	var xs, ys []float64
+	for _, pt := range s.Points {
+		if pt.Depth >= 4 {
+			xs = append(xs, float64(pt.Depth))
+			ys = append(ys, pt.GatedPower.Latches)
+		}
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("core: too few unmerged depths for latch fit")
+	}
+	_, beta, err := mathx.PowerLawFit(xs, ys)
+	return beta, err
+}
+
+func (s *Sweep) theoryFrom(ex fit.Extraction, m float64, gated bool) theory.Params {
+	p := theory.Default().WithMetricExponent(m)
+	if len(s.Points) > 0 {
+		cfg := s.Points[0].Result.Config
+		p.TP, p.TO = cfg.TP, cfg.TO
+	}
+	if gated {
+		p = p.WithClockGating(1).WithLeakageFraction(
+			theory.DefaultLeakageFraction, theory.DefaultLeakageRefDepth)
+	}
+	return ex.Apply(p)
+}
+
+// Histogram bins optima by integer stage count over [lo, hi], the
+// presentation of the paper's Figures 6 and 7.
+func Histogram(opt []Optimum, lo, hi int) []int {
+	depths := make([]float64, len(opt))
+	for i, o := range opt {
+		depths[i] = o.Depth
+	}
+	return mathx.Histogram(depths, lo, hi)
+}
+
+// ByClass partitions optima by workload class.
+func ByClass(opt []Optimum) map[workload.Class][]Optimum {
+	out := make(map[workload.Class][]Optimum)
+	for _, o := range opt {
+		out[o.Class] = append(out[o.Class], o)
+	}
+	return out
+}
+
+// MeanDepth returns the mean optimum depth.
+func MeanDepth(opt []Optimum) float64 {
+	depths := make([]float64, len(opt))
+	for i, o := range opt {
+		depths[i] = o.Depth
+	}
+	return mathx.Mean(depths)
+}
+
+// warm primes the machine's cache hierarchy and branch predictor with
+// the first n instructions of the stream, then marks the config to
+// keep that state. The measured portion that follows observes steady
+// state rather than a cold start.
+func warm(mc *pipeline.Config, src trace.Stream, n int) {
+	if mc.Hierarchy != nil {
+		mc.Hierarchy.Reset()
+	}
+	for i := 0; i < n; i++ {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if in.HasMemory() && mc.Hierarchy != nil {
+			mc.Hierarchy.Access(in.Addr)
+		}
+		if mc.ICache != nil {
+			mc.ICache.Access(in.PC)
+		}
+		if in.Class == isa.Branch {
+			if mc.Predictor != nil {
+				mc.Predictor.Predict(in.PC)
+				mc.Predictor.Update(in.PC, in.Taken)
+			}
+			if mc.BTB != nil && in.Taken {
+				mc.BTB.Lookup(in.PC)
+				mc.BTB.Update(in.PC, in.Target)
+			}
+		}
+	}
+	mc.KeepState = true
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

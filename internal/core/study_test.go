@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// quickCfg keeps unit-test sweeps fast: few depths, short traces.
+func quickCfg() StudyConfig {
+	return StudyConfig{
+		Depths:       []int{3, 5, 7, 9, 12, 16, 20, 25},
+		Instructions: 6000,
+	}
+}
+
+func TestRunSweepShape(t *testing.T) {
+	s, err := RunSweep(quickCfg(), workload.Representative(workload.SPECInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 8 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Result.Instructions != 6000 {
+			t.Errorf("depth %d retired %d", p.Depth, p.Result.Instructions)
+		}
+		if p.GatedPower.Total() <= 0 || p.PlainPower.Total() <= 0 {
+			t.Errorf("depth %d: non-positive power", p.Depth)
+		}
+		if p.GatedPower.Total() >= p.PlainPower.Total() {
+			t.Errorf("depth %d: gating did not reduce power", p.Depth)
+		}
+		if p.FO4 <= 0 {
+			t.Errorf("depth %d: FO4 = %g", p.Depth, p.FO4)
+		}
+	}
+	if _, ok := s.PointAt(12); !ok {
+		t.Error("PointAt(12) missing")
+	}
+	if _, ok := s.PointAt(13); ok {
+		t.Error("PointAt(13) found non-simulated depth")
+	}
+}
+
+func TestRunSweepInvalidWorkload(t *testing.T) {
+	bad := workload.Representative(workload.SPECInt)
+	bad.Name = ""
+	if _, err := RunSweep(quickCfg(), bad); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestMetricCurves(t *testing.T) {
+	s, err := RunSweep(quickCfg(), workload.Representative(workload.Modern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bips := s.MetricCurve(metrics.BIPS, true)
+	m3g := s.MetricCurve(metrics.BIPS3PerWatt, true)
+	m3n := s.MetricCurve(metrics.BIPS3PerWatt, false)
+	m1 := s.MetricCurve(metrics.BIPSPerWatt, true)
+	if len(bips) != len(s.Points) {
+		t.Fatal("curve length mismatch")
+	}
+	for i := range m3g {
+		if m3g[i] <= 0 || m3n[i] <= 0 || m1[i] <= 0 {
+			t.Fatalf("non-positive metric at %d", i)
+		}
+		if m3g[i] <= m3n[i] {
+			t.Errorf("point %d: gated metric %g not above non-gated %g", i, m3g[i], m3n[i])
+		}
+	}
+}
+
+func TestFindOptimumOrdering(t *testing.T) {
+	// The headline result at sweep level: the BIPS³/W optimum is far
+	// shallower than the performance-only optimum, and BIPS/W pins to
+	// the shallow edge.
+	s, err := RunSweep(quickCfg(), workload.Representative(workload.SPECInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := s.FindOptimum(metrics.BIPS, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := s.FindOptimum(metrics.BIPS3PerWatt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := s.FindOptimum(metrics.BIPSPerWatt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m3.Depth < perf.Depth) {
+		t.Errorf("BIPS³/W optimum %.1f not below BIPS optimum %.1f", m3.Depth, perf.Depth)
+	}
+	if m1.Interior || m1.Depth > 4 {
+		t.Errorf("BIPS/W optimum %+v, want pinned shallow", m1)
+	}
+	if m3.FO4 <= 0 {
+		t.Error("optimum FO4 not computed")
+	}
+	if m3.Workload != "si95-gcc" || m3.Class != workload.SPECInt {
+		t.Errorf("optimum identity: %+v", m3)
+	}
+}
+
+func TestExtractionAndTheoryParams(t *testing.T) {
+	s, err := RunSweep(quickCfg(), workload.Representative(workload.Legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.Extraction(DefaultRefDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 10 not simulated: nearest (9) used.
+	if ex.RefDepth != 9 {
+		t.Errorf("ref depth = %d, want nearest 9", ex.RefDepth)
+	}
+	p, err := s.TheoryParams(DefaultRefDepth, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.ClockGated || p.M != 3 {
+		t.Errorf("theory params: %+v", p)
+	}
+	if p.Alpha != ex.Alpha {
+		t.Error("extraction not applied")
+	}
+}
+
+func TestRunCatalogParallel(t *testing.T) {
+	profs := []workload.Profile{
+		workload.Representative(workload.SPECInt),
+		workload.Representative(workload.Modern),
+		workload.Representative(workload.SPECFP),
+	}
+	cfg := quickCfg()
+	cfg.Depths = []int{4, 8, 14, 20}
+	cfg.Instructions = 4000
+	cfg.Parallelism = 2
+	sweeps, err := RunCatalog(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 3 {
+		t.Fatalf("sweeps = %d", len(sweeps))
+	}
+	for i, s := range sweeps {
+		if s.Workload.Name != profs[i].Name {
+			t.Errorf("sweep %d out of order: %s", i, s.Workload.Name)
+		}
+	}
+	// Parallel result must equal serial result (determinism).
+	serial, err := RunSweep(cfg, profs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Points {
+		if serial.Points[i].Result.Cycles != sweeps[0].Points[i].Result.Cycles {
+			t.Error("parallel sweep diverged from serial")
+		}
+	}
+}
+
+func TestHistogramAndAggregation(t *testing.T) {
+	opt := []Optimum{
+		{Workload: "a", Class: workload.Legacy, Depth: 8.2},
+		{Workload: "b", Class: workload.Legacy, Depth: 9.1},
+		{Workload: "c", Class: workload.SPECInt, Depth: 6.7},
+	}
+	h := Histogram(opt, 2, 25)
+	if len(h) != 24 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	if h[8-2] != 1 || h[9-2] != 1 || h[6-2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	by := ByClass(opt)
+	if len(by[workload.Legacy]) != 2 || len(by[workload.SPECInt]) != 1 {
+		t.Errorf("ByClass = %v", by)
+	}
+	if m := MeanDepth(opt); m < 7.9 || m > 8.1 {
+		t.Errorf("mean = %g", m)
+	}
+}
+
+func TestDefaultDepths(t *testing.T) {
+	d := DefaultDepths()
+	if len(d) != 24 || d[0] != 2 || d[len(d)-1] != 25 {
+		t.Errorf("DefaultDepths = %v", d)
+	}
+}
+
+func TestStudyConfigDefaults(t *testing.T) {
+	c := StudyConfig{}.withDefaults()
+	if c.Instructions != DefaultInstructions || c.Depths == nil ||
+		c.Machine == nil || c.Parallelism < 1 || c.Power.Pd == 0 {
+		t.Errorf("defaults incomplete: %+v", c)
+	}
+	// Custom machine function is preserved.
+	called := false
+	c2 := StudyConfig{Machine: func(d int) (pipeline.Config, error) {
+		called = true
+		return pipeline.DefaultConfig(d)
+	}}.withDefaults()
+	if _, err := c2.Machine(10); err != nil || !called {
+		t.Error("custom machine not used")
+	}
+}
+
+func TestCurveExtractionAndFittedParams(t *testing.T) {
+	s, err := RunSweep(quickCfg(), workload.Representative(workload.SPECInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	taus := s.TauCurve()
+	if len(taus) != len(s.Points) {
+		t.Fatalf("tau curve length %d", len(taus))
+	}
+	for i, tau := range taus {
+		if tau <= 0 {
+			t.Fatalf("τ[%d] = %g", i, tau)
+		}
+	}
+	ex, err := s.CurveExtraction(DefaultRefDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Alpha <= 0 || ex.Gamma <= 0 || ex.Gamma > 1 {
+		t.Errorf("curve extraction out of range: %+v", ex)
+	}
+	p, err := s.FittedTheoryParams(DefaultRefDepth, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// β comes from the machine's own latch curve, near the Figure-3
+	// overall exponent.
+	beta, err := s.OverallLatchBeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Beta != beta {
+		t.Errorf("fitted params β %g ≠ latch-curve β %g", p.Beta, beta)
+	}
+	if beta < 0.9 || beta > 1.5 {
+		t.Errorf("latch β = %g outside plausibility", beta)
+	}
+	// Too few points for either fit.
+	short := &Sweep{Workload: s.Workload, Points: s.Points[:1]}
+	if _, err := short.CurveExtraction(DefaultRefDepth); err == nil {
+		t.Error("single-point curve extraction accepted")
+	}
+	if _, err := short.OverallLatchBeta(); err == nil {
+		t.Error("single-point latch fit accepted")
+	}
+}
+
+func TestRunSweepMachineError(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Machine = func(depth int) (pipeline.Config, error) {
+		if depth > 5 {
+			return pipeline.Config{}, fmt.Errorf("no machine at depth %d", depth)
+		}
+		return pipeline.DefaultConfig(depth)
+	}
+	if _, err := RunSweep(cfg, workload.Representative(workload.SPECInt)); err == nil {
+		t.Error("machine error not propagated")
+	}
+}
+
+func TestRunCatalogError(t *testing.T) {
+	bad := workload.Representative(workload.SPECInt)
+	bad.Mix[0] += 1 // invalid mix
+	_, err := RunCatalog(quickCfg(), []workload.Profile{
+		workload.Representative(workload.Modern), bad,
+	})
+	if err == nil {
+		t.Error("catalog error not propagated")
+	}
+}
+
+func TestWarmupDisabled(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Warmup = -1 // explicit none
+	cold, err := RunSweep(cfg, workload.Representative(workload.SPECInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Warmup = 30000
+	hot, err := RunSweep(cfg, workload.Representative(workload.SPECInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm machine must beat the cold one at every depth (fewer
+	// cold misses and predictor training losses).
+	for i := range cold.Points {
+		if hot.Points[i].Result.IPC() <= cold.Points[i].Result.IPC() {
+			t.Errorf("depth %d: warm IPC %.3f not above cold %.3f",
+				cold.Points[i].Depth,
+				hot.Points[i].Result.IPC(), cold.Points[i].Result.IPC())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Summary is the serializable digest of a sweep: everything needed to
+// re-plot or re-analyze without re-simulating. It deliberately
+// excludes live simulator state (caches, predictors) and keeps only
+// per-depth measurements.
+type Summary struct {
+	Workload string         `json:"workload"`
+	Class    string         `json:"class"`
+	Depths   []int          `json:"depths"`
+	FO4      []float64      `json:"fo4"`
+	BIPS     []float64      `json:"bips"`
+	IPC      []float64      `json:"ipc"`
+	Alpha    []float64      `json:"alpha"`
+	Gated    []float64      `json:"powerGated"`
+	Plain    []float64      `json:"powerPlain"`
+	Hazards  []float64      `json:"hazardRate"`
+	Gamma    []float64      `json:"gamma"`
+	Optima   map[string]Opt `json:"optima"`
+}
+
+// Opt is a serializable optimum.
+type Opt struct {
+	Depth    float64 `json:"depth"`
+	FO4      float64 `json:"fo4"`
+	Interior bool    `json:"interior"`
+}
+
+// Summarize digests a sweep, including the clock-gated and non-gated
+// BIPS³/W optima and the performance optimum.
+func Summarize(s *Sweep) (*Summary, error) {
+	if len(s.Points) == 0 {
+		return nil, errors.New("core: empty sweep")
+	}
+	sum := &Summary{
+		Workload: s.Workload.Name,
+		Class:    s.Workload.Class.String(),
+		Optima:   map[string]Opt{},
+	}
+	for _, p := range s.Points {
+		sum.Depths = append(sum.Depths, p.Depth)
+		sum.FO4 = append(sum.FO4, p.FO4)
+		sum.BIPS = append(sum.BIPS, p.Result.BIPS())
+		sum.IPC = append(sum.IPC, p.Result.IPC())
+		sum.Alpha = append(sum.Alpha, p.Result.Alpha())
+		sum.Gated = append(sum.Gated, p.GatedPower.Total())
+		sum.Plain = append(sum.Plain, p.PlainPower.Total())
+		sum.Hazards = append(sum.Hazards, p.Result.HazardRate())
+		sum.Gamma = append(sum.Gamma, p.Result.Gamma())
+	}
+	record := func(name string, kind metrics.Kind, gated bool) error {
+		o, err := s.FindOptimum(kind, gated)
+		if err != nil {
+			return err
+		}
+		sum.Optima[name] = Opt{Depth: o.Depth, FO4: o.FO4, Interior: o.Interior}
+		return nil
+	}
+	if err := record("bips3w-gated", metrics.BIPS3PerWatt, true); err != nil {
+		return nil, err
+	}
+	if err := record("bips3w-plain", metrics.BIPS3PerWatt, false); err != nil {
+		return nil, err
+	}
+	if err := record("bips-gated", metrics.BIPS, true); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// Validate checks internal consistency of a (possibly deserialized)
+// summary.
+func (s *Summary) Validate() error {
+	n := len(s.Depths)
+	if n == 0 {
+		return errors.New("core: summary has no points")
+	}
+	for name, xs := range map[string][]float64{
+		"fo4": s.FO4, "bips": s.BIPS, "ipc": s.IPC, "alpha": s.Alpha,
+		"powerGated": s.Gated, "powerPlain": s.Plain,
+		"hazardRate": s.Hazards, "gamma": s.Gamma,
+	} {
+		if len(xs) != n {
+			return fmt.Errorf("core: summary field %s has %d points, want %d", name, len(xs), n)
+		}
+	}
+	if s.Workload == "" {
+		return errors.New("core: summary missing workload name")
+	}
+	return nil
+}
+
+// WriteSummaries encodes summaries as indented JSON.
+func WriteSummaries(w io.Writer, sums []*Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sums)
+}
+
+// ReadSummaries decodes and validates summaries written by
+// WriteSummaries.
+func ReadSummaries(r io.Reader) ([]*Summary, error) {
+	var sums []*Summary
+	if err := json.NewDecoder(r).Decode(&sums); err != nil {
+		return nil, err
+	}
+	for i, s := range sums {
+		if s == nil {
+			return nil, fmt.Errorf("core: summary %d is null", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("core: summary %d (%s): %w", i, s.Workload, err)
+		}
+	}
+	return sums, nil
+}
+
+// SummarizeCatalog digests a whole catalog run.
+func SummarizeCatalog(sweeps []*Sweep) ([]*Summary, error) {
+	out := make([]*Summary, len(sweeps))
+	for i, s := range sweeps {
+		sum, err := Summarize(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", s.Workload.Name, err)
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// ClassOf parses the serialized class name back into a workload.Class.
+func ClassOf(s *Summary) (workload.Class, bool) {
+	for c := workload.Legacy; c <= workload.SPECFP; c++ {
+		if c.String() == s.Class {
+			return c, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func sampleSweep(t *testing.T) *Sweep {
+	t.Helper()
+	s, err := RunSweep(quickCfg(), workload.Representative(workload.SPECInt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSummarizeShape(t *testing.T) {
+	s := sampleSweep(t)
+	sum, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Workload != "si95-gcc" || sum.Class != "SPECint" {
+		t.Errorf("identity: %s / %s", sum.Workload, sum.Class)
+	}
+	if len(sum.Depths) != len(s.Points) {
+		t.Errorf("points: %d vs %d", len(sum.Depths), len(s.Points))
+	}
+	for _, key := range []string{"bips3w-gated", "bips3w-plain", "bips-gated"} {
+		if _, ok := sum.Optima[key]; !ok {
+			t.Errorf("optimum %q missing", key)
+		}
+	}
+	if sum.Optima["bips3w-gated"].Depth >= sum.Optima["bips-gated"].Depth {
+		t.Error("power optimum not shallower than performance optimum")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	s := sampleSweep(t)
+	sums, err := SummarizeCatalog([]*Sweep{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaries(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummaries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Workload != sums[0].Workload {
+		t.Fatalf("round trip lost identity")
+	}
+	for i := range sums[0].BIPS {
+		if got[0].BIPS[i] != sums[0].BIPS[i] {
+			t.Fatalf("BIPS[%d] changed in round trip", i)
+		}
+	}
+	if cls, ok := ClassOf(got[0]); !ok || cls != workload.SPECInt {
+		t.Errorf("ClassOf = %v, %v", cls, ok)
+	}
+}
+
+func TestReadSummariesRejectsCorrupt(t *testing.T) {
+	if _, err := ReadSummaries(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSummaries(strings.NewReader(`[null]`)); err == nil {
+		t.Error("null summary accepted")
+	}
+	// Mismatched series lengths.
+	bad := `[{"workload":"x","class":"SPECint","depths":[2,3],"fo4":[72.5],
+		"bips":[1,2],"ipc":[1,2],"alpha":[1,2],"powerGated":[1,2],
+		"powerPlain":[1,2],"hazardRate":[1,2],"gamma":[1,2],"optima":{}}]`
+	if _, err := ReadSummaries(strings.NewReader(bad)); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestSummarizeEmptySweep(t *testing.T) {
+	if _, err := Summarize(&Sweep{}); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, ok := ClassOf(&Summary{Class: "bogus"}); ok {
+		t.Error("bogus class parsed")
+	}
+}

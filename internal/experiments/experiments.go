@@ -1,0 +1,200 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (and its headline in-text numbers) from this repository's
+// theory and simulator. Each experiment produces a Report containing
+// the figure's data series (as a text table) plus the quantitative
+// findings that summarize it, so results can be compared against the
+// paper (EXPERIMENTS.md records the comparison).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Options configures experiment execution.
+type Options struct {
+	// Instructions per simulation run (core.DefaultInstructions if 0).
+	Instructions int
+	// Warmup instructions priming caches/predictor before measurement
+	// (core.DefaultWarmup if 0, negative for none).
+	Warmup int
+	// Depths to simulate (core.DefaultDepths() if nil).
+	Depths []int
+	// Workloads bounds the catalog size for figure 6/7 style
+	// experiments (0 = all 55). Reduced counts are for quick runs and
+	// tests only.
+	Workloads int
+	// Parallelism for catalog sweeps.
+	Parallelism int
+}
+
+func (o Options) study() core.StudyConfig {
+	return core.StudyConfig{
+		Depths:       o.Depths,
+		Instructions: o.Instructions,
+		Warmup:       o.Warmup,
+		Parallelism:  o.Parallelism,
+	}
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID       string
+	Title    string
+	Header   []string   // column names of the data table
+	Rows     [][]string // data series, one row per design point
+	Findings []string   // the quantitative claims to compare with the paper
+}
+
+// AddFinding appends a formatted finding.
+func (r *Report) AddFinding(format string, args ...interface{}) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// Render writes the report as aligned text.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if len(r.Header) > 0 {
+		if err := writeRow(r.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintf(w, "-- %s\n", f); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV renders the data table as comma-separated values.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Header) > 0 {
+		writeRow(r.Header)
+	}
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Experiment names a runnable reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+// All returns every experiment in figure order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Derivative of the metric vs depth: quartic root structure", Figure1},
+		{"fig2", "Pipeline structure: stage allocation across depths", Figure2},
+		{"fig3", "Latch count growth with pipeline depth", Figure3},
+		{"fig4a", "BIPS^3/W vs depth, modern workload: simulation and theory", Figure4a},
+		{"fig4b", "BIPS^3/W vs depth, SPECint workload: simulation and theory", Figure4b},
+		{"fig4c", "BIPS^3/W vs depth, floating-point workload: simulation and theory", Figure4c},
+		{"fig5", "All four metrics vs depth (clock gated)", Figure5},
+		{"fig6", "Distribution of optimum depths, all workloads", Figure6},
+		{"fig7", "Distribution of optimum depths by workload class", Figure7},
+		{"fig8", "Optimum shift with growing leakage power", Figure8},
+		{"fig9", "Optimum shift with latch growth exponent", Figure9},
+		{"headline", "Headline in-text numbers (Table H1)", Headline},
+		{"abl-ooo", "Ablation: in-order vs out-of-order execution", AblationOOO},
+		{"abl-predictor", "Ablation: branch predictor quality", AblationPredictor},
+		{"abl-prefetch", "Ablation: next-line prefetch degree", AblationPrefetch},
+		{"abl-width", "Ablation: superscalar issue width", AblationWidth},
+		{"abl-memsys", "Ablation: blocking vs non-blocking misses, I-cache", AblationMemSys},
+		{"abl-queues", "Ablation: decoupling-queue capacities", AblationQueues},
+		{"abl-wrongpath", "Ablation: wrong-path front-end energy", AblationWrongPath},
+		{"abl-ratio", "Ablation: technology ratio t_p/t_o (theory)", AblationRatio},
+		{"phase", "Existence boundary in the (beta, m) plane (theory)", Phase},
+		{"powercap", "Power-constrained design frontier (theory)", PowerCap},
+		{"machines", "Optimum across machine presets", Machines},
+		{"validate", "Closed-form approximation quality report", Validate},
+	}
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the experiment identifiers in order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// fmtF formats a float compactly for tables.
+func fmtF(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// sortedKeys returns map keys in sorted order (for deterministic
+// reports).
+func sortedKeys[K interface{ ~int }, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,549 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/theory"
+	"repro/internal/workload"
+)
+
+// Figure1 reproduces the paper's Figure 1: the cleared-denominator
+// derivative of the power/performance metric is a quartic in p with
+// four real roots, exactly one positive; the most negative root is
+// Eq. 6a (−t_p/t_o ≈ −56) and the small negative root is near Eq. 6b.
+func Figure1(Options) (*Report, error) {
+	p := theory.Default()
+	quartic := p.DerivativeQuartic()
+	// Normalize for presentation, as the paper's axis is arbitrary.
+	scale := math.Abs(quartic.Eval(10))
+	if scale == 0 {
+		scale = 1
+	}
+	r := &Report{
+		ID:     "fig1",
+		Title:  "d(Metric)/dp (cleared denominators) vs pipeline depth p",
+		Header: []string{"p", "dMetric/dp (scaled)"},
+	}
+	for x := -60.0; x <= 20.0001; x += 1 {
+		r.Rows = append(r.Rows, []string{fmtF(x), fmtF(quartic.Eval(x) / scale)})
+	}
+	roots := quartic.RealRoots()
+	positive := 0
+	for _, root := range roots {
+		if root > 0 {
+			positive++
+		}
+	}
+	r.AddFinding("real roots: %d at p = %v", len(roots), roundAll(roots, 3))
+	r.AddFinding("positive (physically meaningful) roots: %d", positive)
+	r.AddFinding("Eq. 6a exact root −t_p/t_o = %.4g (paper: ≈ −55)", p.Root6a())
+	r.AddFinding("Eq. 6b approximate root = %.4g (paper: ≈ −0.5)", p.Root6b())
+	if opt, ok := p.OptimumFromPolynomial(); ok {
+		r.AddFinding("optimum from positive root: %.3g stages (%.3g FO4)", opt.Depth, opt.FO4)
+	}
+	return r, nil
+}
+
+// Figure2 reproduces Figure 2: the modeled pipeline's structure — the
+// unit sequence and the per-unit stage allocation across design
+// depths, including the merged-stage organizations at depths 2–3 and
+// the uniform expansion above.
+func Figure2(Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig2",
+		Title:  "Pipeline structure: per-unit stage allocation vs design depth",
+		Header: []string{"depth", "decode", "agen", "cache", "exec", "merged stages"},
+	}
+	for _, d := range []int{2, 3, 4, 7, 10, 14, 20, 25} {
+		plan, err := pipeline.PlanDepth(d)
+		if err != nil {
+			return nil, err
+		}
+		merged := "none"
+		if len(plan.MergeGroups) > 0 {
+			var parts []string
+			for _, g := range plan.MergeGroups {
+				var names []string
+				for _, u := range g {
+					names = append(names, u.String())
+				}
+				parts = append(parts, strings.Join(names, "+"))
+			}
+			merged = strings.Join(parts, ", ")
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(d), fmt.Sprint(plan.Decode), fmt.Sprint(plan.Agen),
+			fmt.Sprint(plan.Cache), fmt.Sprint(plan.Exec), merged,
+		})
+	}
+	r.AddFinding("RR path: Decode → ExecQ → Exec → Retire; RX path adds AgenQ → Agen → Cache before ExecQ (paper Fig. 2)")
+	r.AddFinding("expansion inserts stages into Decode, Cache Access and the E-unit; contraction merges adjacent units (paper §3)")
+	r.AddFinding("out-of-order mode adds a one-stage Register Rename after Decode; the in-order study skips it, as the paper's does")
+	return r, nil
+}
+
+// Figure3 reproduces Figure 3: total latch count vs pipeline depth,
+// with the best-fit power law. Per-unit latch counts grow as
+// stages^1.3; the overall machine fits ≈ p^1.1.
+func Figure3(Options) (*Report, error) {
+	m := power.DefaultModel()
+	depths := core.DefaultDepths()
+	curve, err := m.LatchCurve(depths)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(depths))
+	for i, d := range depths {
+		xs[i] = float64(d)
+	}
+	k, exp, err := mathx.PowerLawFit(xs, curve)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:     "fig3",
+		Title:  "Latch count vs pipeline depth",
+		Header: []string{"depth", "latches", "fit k*p^b"},
+	}
+	for i, d := range depths {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(d), fmtF(curve[i]), fmtF(k * math.Pow(xs[i], exp)),
+		})
+	}
+	r.AddFinding("per-unit latch growth exponent: %.2f (paper: 1.3)", m.BetaUnit)
+	r.AddFinding("overall best-fit exponent: %.3f (paper: 1.1)", exp)
+	return r, nil
+}
+
+// Figure4a–c reproduce Figures 4a–4c: the simulated BIPS³/W curve of
+// one representative workload per class, clock gated and non-gated,
+// with the analytical curve (parameterized from a single simulated
+// depth, one overall scale factor) overlaid.
+func Figure4a(opt Options) (*Report, error) {
+	return figure4(opt, "fig4a", workload.Modern)
+}
+
+// Figure4b is the SPECint instance of Figure 4.
+func Figure4b(opt Options) (*Report, error) {
+	return figure4(opt, "fig4b", workload.SPECInt)
+}
+
+// Figure4c is the floating-point instance of Figure 4.
+func Figure4c(opt Options) (*Report, error) {
+	return figure4(opt, "fig4c", workload.SPECFP)
+}
+
+func figure4(opt Options, id string, cls workload.Class) (*Report, error) {
+	prof := workload.Representative(cls)
+	sweep, err := core.RunSweep(opt.study(), prof)
+	if err != nil {
+		return nil, err
+	}
+	depths := sweep.Depths()
+	simGated := sweep.MetricCurve(metrics.BIPS3PerWatt, true)
+	simPlain := sweep.MetricCurve(metrics.BIPS3PerWatt, false)
+
+	gp, err := sweep.FittedTheoryParams(core.DefaultRefDepth, 3, true)
+	if err != nil {
+		return nil, err
+	}
+	np, err := sweep.FittedTheoryParams(core.DefaultRefDepth, 3, false)
+	if err != nil {
+		return nil, err
+	}
+	thGated, r2g, err := fit.TheoryOverlay(gp, depths, simGated)
+	if err != nil {
+		return nil, err
+	}
+	thPlain, r2n, err := fit.TheoryOverlay(np, depths, simPlain)
+	if err != nil {
+		return nil, err
+	}
+
+	// Present all curves normalized to the gated simulation maximum,
+	// like the paper's per-figure arbitrary units.
+	norm := 0.0
+	for _, v := range simGated {
+		if v > norm {
+			norm = v
+		}
+	}
+	r := &Report{
+		ID:     id,
+		Title:  fmt.Sprintf("BIPS^3/W vs depth, %s workload (%s)", cls, prof.Name),
+		Header: []string{"depth", "sim gated", "theory gated", "sim non-gated", "theory non-gated"},
+	}
+	for i := range depths {
+		r.Rows = append(r.Rows, []string{
+			fmtF(depths[i]), fmtF(simGated[i] / norm), fmtF(thGated[i] / norm),
+			fmtF(simPlain[i] / norm), fmtF(thPlain[i] / norm),
+		})
+	}
+
+	og, err := sweep.FindOptimum(metrics.BIPS3PerWatt, true)
+	if err != nil {
+		return nil, err
+	}
+	on, err := sweep.FindOptimum(metrics.BIPS3PerWatt, false)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := sweep.Extraction(core.DefaultRefDepth)
+	if err != nil {
+		return nil, err
+	}
+	r.AddFinding("extracted parameters: %s", ex)
+	r.AddFinding("simulated optimum (cubic fit): gated %.1f stages (%.1f FO4), non-gated %.1f stages",
+		og.Depth, og.FO4, on.Depth)
+	r.AddFinding("theory optimum: gated %.1f stages, non-gated %.1f stages",
+		gp.OptimumExact().Depth, np.OptimumExact().Depth)
+	r.AddFinding("theory overlay R²: gated %.3f, non-gated %.3f", r2g, r2n)
+	r.AddFinding("clock gating deepens the simulated optimum: %v (gated %.1f vs non-gated %.1f)",
+		og.Depth > on.Depth, og.Depth, on.Depth)
+	return r, nil
+}
+
+// Figure5 reproduces Figure 5: all four metrics vs depth for the
+// modern workload with clock gating. BIPS and BIPS³/W show interior
+// optima; BIPS²/W and BIPS/W peak at the shallowest design.
+func Figure5(opt Options) (*Report, error) {
+	prof := workload.Representative(workload.Modern)
+	sweep, err := core.RunSweep(opt.study(), prof)
+	if err != nil {
+		return nil, err
+	}
+	depths := sweep.Depths()
+	curves := make(map[metrics.Kind][]float64, len(metrics.Kinds))
+	for _, k := range metrics.Kinds {
+		curves[k] = metrics.Normalize(sweep.MetricCurve(k, true))
+	}
+	r := &Report{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("Metrics vs depth, clock gated (%s)", prof.Name),
+		Header: []string{"depth", "BIPS", "BIPS^3/W", "BIPS^2/W", "BIPS/W"},
+	}
+	for i := range depths {
+		r.Rows = append(r.Rows, []string{
+			fmtF(depths[i]),
+			fmtF(curves[metrics.BIPS][i]),
+			fmtF(curves[metrics.BIPS3PerWatt][i]),
+			fmtF(curves[metrics.BIPS2PerWatt][i]),
+			fmtF(curves[metrics.BIPSPerWatt][i]),
+		})
+	}
+	var peaks []float64
+	for _, k := range metrics.Kinds {
+		o, err := sweep.FindOptimum(k, true)
+		if err != nil {
+			return nil, err
+		}
+		peaks = append(peaks, o.Depth)
+		inter := "interior"
+		if !o.Interior {
+			inter = "edge"
+		}
+		r.AddFinding("%s optimum: %.1f stages (%.1f FO4, %s)", k, o.Depth, o.FO4, inter)
+	}
+	// Kinds order: BIPS, m=3, m=2, m=1 — peaks must be non-increasing.
+	mono := true
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i] > peaks[i-1]+1e-9 {
+			mono = false
+		}
+	}
+	r.AddFinding("the more power matters (smaller m), the shorter the optimum: %v", mono)
+	return r, nil
+}
+
+// catalogOptima sweeps the (possibly capped) catalog and returns the
+// per-workload optima for the given metric and gating.
+func catalogOptima(opt Options, kind metrics.Kind, gated bool) ([]*core.Sweep, []core.Optimum, error) {
+	profs := workload.All()
+	if opt.Workloads > 0 && opt.Workloads < len(profs) {
+		// Take a class-balanced prefix: every nth workload.
+		step := len(profs) / opt.Workloads
+		if step < 1 {
+			step = 1
+		}
+		var sel []workload.Profile
+		for i := 0; i < len(profs) && len(sel) < opt.Workloads; i += step {
+			sel = append(sel, profs[i])
+		}
+		profs = sel
+	}
+	sweeps, err := core.RunCatalog(opt.study(), profs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var optima []core.Optimum
+	for _, s := range sweeps {
+		o, err := s.FindOptimum(kind, gated)
+		if err != nil {
+			return nil, nil, err
+		}
+		optima = append(optima, o)
+	}
+	return sweeps, optima, nil
+}
+
+// Figure6 reproduces Figure 6: the histogram of optimum pipeline
+// depths (clock-gated BIPS³/W, cubic-fit peaks) over the workload
+// catalog, centered near 8 stages (≈ 20 FO4).
+func Figure6(opt Options) (*Report, error) {
+	_, optima, err := catalogOptima(opt, metrics.BIPS3PerWatt, true)
+	if err != nil {
+		return nil, err
+	}
+	hist := core.Histogram(optima, 2, 25)
+	r := &Report{
+		ID:     "fig6",
+		Title:  "Distribution of optimum pipeline depths (BIPS^3/W, clock gated)",
+		Header: []string{"stages", "workloads"},
+	}
+	for i, n := range hist {
+		r.Rows = append(r.Rows, []string{fmt.Sprint(i + 2), fmt.Sprint(n)})
+	}
+	mean := core.MeanDepth(optima)
+	depths := make([]float64, len(optima))
+	r2s := make([]float64, len(optima))
+	for i, o := range optima {
+		depths[i] = o.Depth
+		r2s[i] = o.R2
+	}
+	r.AddFinding("workloads: %d", len(optima))
+	r.AddFinding("mean optimum: %.1f stages = %.1f FO4 (paper: ≈8 stages, 20 FO4)",
+		mean, theory.DefaultTO+theory.DefaultTP/mean)
+	r.AddFinding("median optimum: %.1f stages", mathx.Median(depths))
+	r.AddFinding("cubic fits are smooth curves through the data (paper §4): mean R² %.3f, min %.3f",
+		mathx.Mean(r2s), minOf(r2s))
+	return r, nil
+}
+
+// Figure7 reproduces Figure 7: the same distribution split by
+// workload class. The paper reports peaks at ≈9 stages (legacy), ≈7
+// (SPECint), 7–8 (modern), and a broad 6–16 range for floating point.
+func Figure7(opt Options) (*Report, error) {
+	_, optima, err := catalogOptima(opt, metrics.BIPS3PerWatt, true)
+	if err != nil {
+		return nil, err
+	}
+	byClass := core.ByClass(optima)
+	r := &Report{
+		ID:     "fig7",
+		Title:  "Optimum pipeline depths by workload class (BIPS^3/W, clock gated)",
+		Header: []string{"stages", "Legacy", "Modern", "SPECint", "SPECfp"},
+	}
+	hists := map[workload.Class][]int{}
+	for cls, opts := range byClass {
+		hists[cls] = core.Histogram(opts, 2, 25)
+	}
+	for s := 2; s <= 25; s++ {
+		row := []string{fmt.Sprint(s)}
+		for _, cls := range []workload.Class{workload.Legacy, workload.Modern, workload.SPECInt, workload.SPECFP} {
+			n := 0
+			if h := hists[cls]; h != nil {
+				n = h[s-2]
+			}
+			row = append(row, fmt.Sprint(n))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	for _, cls := range sortedKeys(byClass) {
+		opts := byClass[cls]
+		mean := core.MeanDepth(opts)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, o := range opts {
+			lo = math.Min(lo, o.Depth)
+			hi = math.Max(hi, o.Depth)
+		}
+		r.AddFinding("%s: %d workloads, mean %.1f stages (%.1f FO4), range %.1f–%.1f",
+			cls, len(opts), mean, theory.DefaultTO+theory.DefaultTP/mean, lo, hi)
+	}
+	return r, nil
+}
+
+// figure89params extracts theory parameters for the paper's Figure
+// 8/9 workload (a SPEC95 integer application), fitting the
+// performance model to the workload's simulated τ(p) curve.
+func figure89params(opt Options) (theory.Params, error) {
+	sweep, err := core.RunSweep(opt.study(), workload.Representative(workload.SPECInt))
+	if err != nil {
+		return theory.Params{}, err
+	}
+	return sweep.FittedTheoryParams(core.DefaultRefDepth, 3, true)
+}
+
+// Figure8 reproduces Figure 8: normalized theoretical BIPS³/W curves
+// for leakage fractions from 0% to 90% (dynamic power held constant).
+// Growing leakage moves the optimum to deeper pipelines.
+func Figure8(opt Options) (*Report, error) {
+	p, err := figure89params(opt)
+	if err != nil {
+		return nil, err
+	}
+	fractions := []float64{0, 0.15, 0.30, 0.50, 0.90}
+	depths := mathx.Linspace(2, 28, 53)
+	curves := p.LeakageSweep(fractions, theory.DefaultLeakageRefDepth, depths)
+
+	r := &Report{
+		ID:     "fig8",
+		Title:  "Normalized BIPS^3/W vs depth for growing leakage power (theory)",
+		Header: []string{"depth", "0%", "15%", "30%", "50%", "90%"},
+	}
+	for i := range depths {
+		row := []string{fmtF(depths[i])}
+		for j := range fractions {
+			row = append(row, fmtF(curves[j][i]))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	prev := 0.0
+	for j, f := range fractions {
+		o := p.WithLeakageFraction(f, theory.DefaultLeakageRefDepth).OptimumExact()
+		r.AddFinding("leakage %2.0f%%: optimum %.1f stages (%.1f FO4)", f*100, o.Depth, o.FO4)
+		if j > 0 && o.Depth < prev-1e-9 {
+			r.AddFinding("WARNING: optimum not monotone in leakage")
+		}
+		prev = o.Depth
+	}
+	lo := p.WithLeakageFraction(0, theory.DefaultLeakageRefDepth).OptimumExact().Depth
+	hi := p.WithLeakageFraction(0.9, theory.DefaultLeakageRefDepth).OptimumExact().Depth
+	r.AddFinding("0%% → 90%% leakage moves the optimum %.1f → %.1f stages (paper: 7 → 14)", lo, hi)
+	return r, nil
+}
+
+// Figure9 reproduces Figure 9: normalized theoretical BIPS³/W curves
+// for latch-growth exponents β ∈ {1.0, 1.3, 1.5, 1.8}. The optimum
+// shrinks rapidly as β grows; past β ≈ 2 a single-stage design wins.
+func Figure9(opt Options) (*Report, error) {
+	p, err := figure89params(opt)
+	if err != nil {
+		return nil, err
+	}
+	betas := []float64{1.0, 1.3, 1.5, 1.8}
+	depths := mathx.Linspace(2, 28, 53)
+	curves := p.BetaSweep(betas, depths)
+	r := &Report{
+		ID:     "fig9",
+		Title:  "Normalized BIPS^3/W vs depth for latch growth exponents (theory)",
+		Header: []string{"depth", "beta=1.0", "beta=1.3", "beta=1.5", "beta=1.8"},
+	}
+	for i := range depths {
+		row := []string{fmtF(depths[i])}
+		for j := range betas {
+			row = append(row, fmtF(curves[j][i]))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	prev := math.Inf(1)
+	for _, b := range betas {
+		o := p.WithBeta(b).OptimumExact()
+		r.AddFinding("beta %.1f: optimum %.1f stages (%.1f FO4)", b, o.Depth, o.FO4)
+		if o.Depth > prev+1e-9 {
+			r.AddFinding("WARNING: optimum not decreasing in beta")
+		}
+		prev = o.Depth
+	}
+	if o := p.WithBeta(2.3).OptimumExact(); o.AtMin {
+		r.AddFinding("beta 2.3: single-stage design optimal (paper: beta > 2 ⇒ no pipelining)")
+	}
+	return r, nil
+}
+
+// Headline reproduces the paper's in-text quantitative claims
+// (DESIGN.md Table H1): metric-existence conditions, the closed-form
+// approximation quality, and the catalog-average optima under both
+// analysis methods.
+func Headline(opt Options) (*Report, error) {
+	r := &Report{
+		ID:     "headline",
+		Title:  "In-text headline numbers",
+		Header: []string{"quantity", "measured", "paper"},
+	}
+	addRow := func(q, m, p string) { r.Rows = append(r.Rows, []string{q, m, p}) }
+
+	// Theory-only claims at the default parameterization.
+	p := theory.Default()
+	for _, m := range []float64{1, 2} {
+		o := p.WithMetricExponent(m).OptimumExact()
+		got := "single stage"
+		if o.Interior {
+			got = fmt.Sprintf("%.2f stages", o.Depth)
+		}
+		addRow(fmt.Sprintf("BIPS^%g/W optimum (theory)", m), got, "single stage")
+	}
+	addRow("existence threshold on m", fmt.Sprintf("m > %.2f", p.MExistenceThreshold()),
+		"m > beta (necessary)")
+	o3 := p.OptimumExact()
+	addRow("BIPS^3/W optimum (theory, default workload)",
+		fmt.Sprintf("%.2f stages (%.1f FO4)", o3.Depth, o3.FO4), "≈7 stages (22.5 FO4)")
+	if q, ok := p.OptimumQuadratic(); ok {
+		addRow("Eq.7 quadratic vs exact optimum",
+			fmt.Sprintf("%.2f vs %.2f (%.1f%% error)", q, o3.Depth, 100*math.Abs(q-o3.Depth)/o3.Depth),
+			"approximate")
+	}
+
+	// Catalog averages, both analysis methods.
+	sweeps, optima, err := catalogOptima(opt, metrics.BIPS3PerWatt, true)
+	if err != nil {
+		return nil, err
+	}
+	mean := core.MeanDepth(optima)
+	addRow("catalog mean optimum (cubic fit of simulation)",
+		fmt.Sprintf("%.1f stages (%.1f FO4)", mean, theory.DefaultTO+theory.DefaultTP/mean),
+		"8 stages (20 FO4)")
+
+	var thDepths, perfDepths []float64
+	for _, s := range sweeps {
+		tp, err := s.FittedTheoryParams(core.DefaultRefDepth, 3, true)
+		if err != nil {
+			return nil, err
+		}
+		if to := tp.OptimumExact(); to.Interior {
+			thDepths = append(thDepths, to.Depth)
+		}
+		perfDepths = append(perfDepths, tp.PerfOnlyOptimum())
+	}
+	thMean := mathx.Mean(thDepths)
+	addRow("catalog mean optimum (theory fit)",
+		fmt.Sprintf("%.1f stages (%.1f FO4)", thMean, theory.DefaultTO+theory.DefaultTP/thMean),
+		"6.25 stages (25 FO4), ≈20% below the cubic fit")
+	addRow("theory fit is shorter than cubic fit",
+		fmt.Sprintf("%v (%.0f%% shorter)", thMean < mean, 100*(1-thMean/mean)),
+		"true (≈20%)")
+
+	perfMean := mathx.Mean(perfDepths)
+	addRow("performance-only optimum (theory Eq.2, catalog mean)",
+		fmt.Sprintf("%.1f stages (%.1f FO4)", perfMean, theory.DefaultTO+theory.DefaultTP/perfMean),
+		"22 stages (8.9 FO4) [sim]; deeper under the analytic hazard model")
+	addRow("power shortens the optimum vs performance-only",
+		fmt.Sprintf("%v (%.1f vs %.1f stages)", mean < perfMean, mean, perfMean), "true")
+
+	r.AddFinding("see EXPERIMENTS.md for the full paper-vs-measured discussion")
+	return r, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+func roundAll(xs []float64, digits int) []float64 {
+	scale := math.Pow(10, float64(digits))
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Round(x*scale) / scale
+	}
+	return out
+}

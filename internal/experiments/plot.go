@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ASCII rendering of a report's data series, so the reproduced
+// figures can be eyeballed against the paper's plots straight from a
+// terminal. The first column is the x axis; every later numeric
+// column becomes one series drawn with its own glyph.
+
+// plotGlyphs assigns one marker per series, in column order.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the report's data table as an ASCII chart of the
+// given size. Non-numeric rows/columns are skipped. It returns an
+// empty string when fewer than two numeric points exist.
+func (r *Report) Chart(width, height int) string {
+	if width < 16 || height < 4 || len(r.Rows) < 2 || len(r.Header) < 2 {
+		return ""
+	}
+	type series struct {
+		name string
+		ys   []float64
+	}
+	var xs []float64
+	nCols := len(r.Header)
+	cols := make([][]float64, nCols)
+	rowOK := 0
+	for _, row := range r.Rows {
+		if len(row) != nCols {
+			continue
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue
+		}
+		vals := make([]float64, nCols)
+		ok := true
+		for c := 1; c < nCols; c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[c] = v
+		}
+		if !ok {
+			continue
+		}
+		xs = append(xs, x)
+		for c := 1; c < nCols; c++ {
+			cols[c] = append(cols[c], vals[c])
+		}
+		rowOK++
+	}
+	if rowOK < 2 {
+		return ""
+	}
+	var ss []series
+	for c := 1; c < nCols; c++ {
+		ss = append(ss, series{name: r.Header[c], ys: cols[c]})
+	}
+
+	// Bounds.
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		for _, y := range s.ys {
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmax == xmin || ymax == ymin || math.IsInf(ymin, 0) {
+		return ""
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range ss {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i, y := range s.ys {
+			col := int(float64(width-1) * (xs[i] - xmin) / (xmax - xmin))
+			row := height - 1 - int(float64(height-1)*(y-ymin)/(ymax-ymin))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.4g\n", ymax)
+	for _, line := range grid {
+		b.WriteString("| ")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%.4g %s%.4g → %.4g (%s)\n", ymin,
+		strings.Repeat(" ", max(1, width-20)), xmin, xmax, r.Header[0])
+	var legend []string
+	for si, s := range ss {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.name))
+	}
+	b.WriteString("  " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}
+
+// RenderWithChart renders the report and, when the data is chartable,
+// an ASCII chart of it.
+func (r *Report) RenderWithChart(w io.Writer) error {
+	if err := r.Render(w); err != nil {
+		return err
+	}
+	if c := r.Chart(64, 16); c != "" {
+		if _, err := io.WriteString(w, c+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

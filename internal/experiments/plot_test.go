@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartReport() *Report {
+	r := &Report{
+		ID:     "t",
+		Title:  "chart test",
+		Header: []string{"depth", "a", "b"},
+	}
+	for d := 2; d <= 20; d++ {
+		x := float64(d)
+		r.Rows = append(r.Rows, []string{
+			fmtF(x), fmtF(x * x), fmtF(100 - x),
+		})
+	}
+	return r
+}
+
+func TestChartRendering(t *testing.T) {
+	c := chartReport().Chart(60, 12)
+	if c == "" {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(strings.TrimRight(c, "\n"), "\n")
+	// ymax header + 12 grid rows + x-axis footer + legend.
+	if len(lines) != 15 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), c)
+	}
+	if !strings.Contains(c, "*=a") || !strings.Contains(c, "o=b") {
+		t.Errorf("legend missing:\n%s", c)
+	}
+	// Both glyphs must appear in the grid.
+	if !strings.Contains(c, "*") || !strings.Contains(c, "o") {
+		t.Error("series glyphs missing")
+	}
+	// Rising series: '*' in the last grid column must be near the top.
+	firstStarRow := -1
+	for i, line := range lines[1:13] {
+		if strings.Contains(line, "*") && firstStarRow == -1 {
+			firstStarRow = i
+		}
+	}
+	if firstStarRow > 2 {
+		t.Errorf("rising series does not reach the chart top (first * at row %d)", firstStarRow)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	// Too small a canvas.
+	if c := chartReport().Chart(4, 2); c != "" {
+		t.Error("tiny canvas produced a chart")
+	}
+	// Non-numeric data.
+	r := &Report{Header: []string{"a", "b"}, Rows: [][]string{{"x", "y"}, {"p", "q"}}}
+	if c := r.Chart(60, 10); c != "" {
+		t.Error("non-numeric data produced a chart")
+	}
+	// Flat data (ymin == ymax).
+	r = &Report{Header: []string{"x", "y"}, Rows: [][]string{{"1", "5"}, {"2", "5"}}}
+	if c := r.Chart(60, 10); c != "" {
+		t.Error("flat data produced a chart")
+	}
+	// One point.
+	r = &Report{Header: []string{"x", "y"}, Rows: [][]string{{"1", "5"}}}
+	if c := r.Chart(60, 10); c != "" {
+		t.Error("single point produced a chart")
+	}
+}
+
+func TestChartSkipsNonNumericRows(t *testing.T) {
+	r := chartReport()
+	r.Rows = append(r.Rows, []string{"note", "this row", "is text"})
+	if c := r.Chart(60, 10); c == "" {
+		t.Error("mixed rows broke the chart")
+	}
+}
+
+func TestRenderWithChart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chartReport().RenderWithChart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== t: chart test ==") {
+		t.Error("table missing")
+	}
+	if !strings.Contains(out, "*=a") {
+		t.Error("chart missing")
+	}
+	// Unchartable reports render the table only, without error.
+	r := &Report{ID: "x", Title: "y", Header: []string{"k", "v"},
+		Rows: [][]string{{"a", "b"}}}
+	buf.Reset()
+	if err := r.RenderWithChart(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/theory"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func runAt(t *testing.T, cls workload.Class, depth, n int) *pipeline.Result {
+	t.Helper()
+	g := workload.MustGenerator(workload.Representative(cls))
+	r, err := pipeline.Run(pipeline.MustDefaultConfig(depth), trace.NewLimitStream(g, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestExtractBasics(t *testing.T) {
+	r := runAt(t, workload.SPECInt, 10, 20000)
+	e, err := Extract(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Alpha <= 1 || e.Alpha > 4 {
+		t.Errorf("alpha = %g, want in (1, 4]", e.Alpha)
+	}
+	if e.Gamma <= 0 || e.Gamma > 1 {
+		t.Errorf("gamma = %g, want in (0, 1]", e.Gamma)
+	}
+	if e.HazardRate <= 0 || e.HazardRate > 0.5 {
+		t.Errorf("hazard rate = %g", e.HazardRate)
+	}
+	if e.RefDepth != 10 || e.NI != 20000 {
+		t.Errorf("bookkeeping: %+v", e)
+	}
+	if len(e.String()) == 0 {
+		t.Error("empty String")
+	}
+}
+
+func TestExtractFoldsFPIntoAlpha(t *testing.T) {
+	// SPECfp's FPU serialization must depress α, not inflate N_H.
+	fp, err := Extract(runAt(t, workload.SPECFP, 10, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := Extract(runAt(t, workload.SPECInt, 10, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fp.Alpha < si.Alpha*0.5) {
+		t.Errorf("FP alpha %.2f not well below SPECint %.2f", fp.Alpha, si.Alpha)
+	}
+	// N_H must not count FP structural episodes.
+	r := runAt(t, workload.SPECFP, 10, 20000)
+	if fp.NH >= r.Hazards.Total() {
+		t.Errorf("FP episodes not excluded: NH=%d total=%d", fp.NH, r.Hazards.Total())
+	}
+}
+
+func TestExtractClassOrdering(t *testing.T) {
+	// Legacy assembler code has the lowest integer ILP.
+	lg, _ := Extract(runAt(t, workload.Legacy, 10, 20000))
+	si, _ := Extract(runAt(t, workload.SPECInt, 10, 20000))
+	if !(lg.Alpha < si.Alpha) {
+		t.Errorf("legacy alpha %.2f not below SPECint %.2f", lg.Alpha, si.Alpha)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	var r pipeline.Result
+	r.Config = pipeline.MustDefaultConfig(10)
+	if _, err := Extract(&r); err == nil {
+		t.Error("empty run accepted")
+	}
+}
+
+func TestApply(t *testing.T) {
+	e := Extraction{Alpha: 1.7, Gamma: 0.4, HazardRate: 0.05}
+	p := e.Apply(theory.Default())
+	if p.Alpha != 1.7 || p.Gamma != 0.4 || p.HazardRate != 0.05 {
+		t.Errorf("Apply lost values: %+v", p)
+	}
+	if p.TP != theory.DefaultTP {
+		t.Error("Apply touched technology constants")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	model := []float64{1, 2, 3}
+	data := []float64{2, 4, 6}
+	k, err := ScaleFactor(model, data)
+	if err != nil || math.Abs(k-2) > 1e-12 {
+		t.Fatalf("k = %g err=%v", k, err)
+	}
+	if _, err := ScaleFactor([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := ScaleFactor([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestTheoryOverlay(t *testing.T) {
+	// Overlaying a theory curve on data generated from the same
+	// theory (arbitrary scale) must recover R² ≈ 1.
+	p := theory.Default()
+	depths := []float64{2, 4, 6, 8, 10, 14, 18, 22, 25}
+	data := make([]float64, len(depths))
+	for i, d := range depths {
+		data[i] = 7.25 * p.Metric(d)
+	}
+	curve, r2, err := TheoryOverlay(p, depths, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.999999 {
+		t.Errorf("self-overlay R² = %g", r2)
+	}
+	for i := range curve {
+		if math.Abs(curve[i]-data[i]) > 1e-9*data[i] {
+			t.Errorf("curve[%d] = %g, want %g", i, curve[i], data[i])
+		}
+	}
+}
+
+func TestTheoryOverlayOnSimulation(t *testing.T) {
+	// The paper's central validation: theory parameterized from ONE
+	// simulated depth, scaled by one factor, should track the
+	// simulated gated BIPS³/W curve reasonably (Figs. 4a–c).
+	g := workload.MustGenerator(workload.Representative(workload.SPECInt))
+	pm := power.DefaultModel()
+	var depths, sim []float64
+	var ref *pipeline.Result
+	for d := 4; d <= 25; d += 3 {
+		g.Reset()
+		r, err := pipeline.Run(pipeline.MustDefaultConfig(d), trace.NewLimitStream(g, 20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == 10 {
+			ref = r
+		}
+		depths = append(depths, float64(d))
+		b := r.BIPS()
+		sim = append(sim, b*b*b/pm.Evaluate(r, true).Total())
+	}
+	if ref == nil {
+		t.Fatal("no reference depth run")
+	}
+	ex, err := Extract(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ex.Apply(theory.Default()).WithClockGating(1)
+	_, r2, err := TheoryOverlay(p, depths, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The theory is approximate; require it to explain the bulk of
+	// the variance, as the paper's figures show.
+	if r2 < 0.5 {
+		t.Errorf("theory overlay R² = %.3f, want ≥ 0.5", r2)
+	}
+}
+
+func TestFitTauRecoversSyntheticModel(t *testing.T) {
+	// Data generated exactly from the two-parameter model must be
+	// recovered to machine precision.
+	const tp, to = 140.0, 2.5
+	alpha, gp := 1.85, 0.031
+	var depths, taus []float64
+	for d := 2.0; d <= 25; d++ {
+		depths = append(depths, d)
+		taus = append(taus, (to+tp/d)/alpha+gp*(to*d+tp))
+	}
+	a, g, err := FitTau(depths, taus, tp, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-alpha) > 1e-9 || math.Abs(g-gp) > 1e-12 {
+		t.Errorf("recovered α=%g γ'=%g, want %g, %g", a, g, alpha, gp)
+	}
+}
+
+func TestFitTauHazardFreeWorkload(t *testing.T) {
+	// τ = t_s/α exactly: the fitted γ' must clamp to zero, not go
+	// negative.
+	const tp, to = 140.0, 2.5
+	var depths, taus []float64
+	for d := 2.0; d <= 25; d++ {
+		depths = append(depths, d)
+		taus = append(taus, (to+tp/d)/2.2)
+	}
+	a, g, err := FitTau(depths, taus, tp, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0 || g > 1e-12 {
+		t.Errorf("γ' = %g, want ≈ 0 (non-negative)", g)
+	}
+	if math.Abs(a-2.2) > 0.05 {
+		t.Errorf("α = %g, want ≈ 2.2", a)
+	}
+}
+
+func TestFitTauErrors(t *testing.T) {
+	if _, _, err := FitTau([]float64{5}, []float64{10}, 140, 2.5); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := FitTau([]float64{5, 5}, []float64{10, 10}, 140, 2.5); err == nil {
+		t.Error("degenerate design accepted")
+	}
+	if _, _, err := FitTau([]float64{5, 10}, []float64{1, 2, 3}, 140, 2.5); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestExtractCurveGammaCap(t *testing.T) {
+	// When the fitted γ' exceeds what the single-run hazard count can
+	// explain with γ ≤ 1, the event rate absorbs the excess and γ
+	// pins at 1; the product γ·h must equal the fitted γ' either way.
+	g := workload.MustGenerator(workload.Representative(workload.Legacy))
+	var depths, taus []float64
+	var ref *pipeline.Result
+	for d := 4; d <= 25; d += 3 {
+		g.Reset()
+		r, err := pipeline.Run(pipeline.MustDefaultConfig(d), trace.NewLimitStream(g, 8000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == 10 {
+			ref = r
+		}
+		depths = append(depths, float64(d))
+		taus = append(taus, r.TimePerInstructionFO4())
+	}
+	ex, err := ExtractCurve(depths, taus, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gp, err := FitTau(depths, taus, ref.Config.TP, ref.Config.TO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Gamma > 1+1e-12 || ex.Gamma <= 0 {
+		t.Errorf("γ = %g out of (0, 1]", ex.Gamma)
+	}
+	if got := ex.Gamma * ex.HazardRate; math.Abs(got-gp) > 1e-9 {
+		t.Errorf("γ·h = %g ≠ fitted γ' %g", got, gp)
+	}
+}

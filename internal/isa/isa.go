@@ -1,0 +1,151 @@
+// Package isa defines the synthetic instruction set consumed by the
+// pipeline simulator. It mirrors the structure the paper's zSeries
+// model requires: register-only (RR) instructions, register/memory
+// (RX) loads and stores, branches, and multi-cycle floating-point
+// operations, over a small architected register file.
+package isa
+
+import "fmt"
+
+// Class is the broad instruction category that determines which
+// pipeline path an instruction takes (paper Fig. 2: register-only
+// instructions skip the address-generation/cache path; memory-format
+// instructions — loads, stores and RX computes — traverse
+// AgenQ → Agen → Cache).
+type Class uint8
+
+const (
+	// RR is a register-to-register integer operation: Decode →
+	// ExecQ → Exec → Complete → Retire.
+	RR Class = iota
+	// Load is a memory read: Decode → AgenQ → Agen → Cache →
+	// ExecQ → Exec. Its result becomes available after cache access.
+	Load
+	// Store is a memory write. It generates its address and accesses
+	// the cache like a load but produces no register result.
+	Store
+	// Branch is a conditional or unconditional control transfer,
+	// resolved at execute; a misprediction flushes the pipeline.
+	Branch
+	// FP is a floating-point operation. FP instructions execute
+	// individually (unpipelined) and take multiple cycles (§4),
+	// which depresses the effective superscalar utilization α.
+	FP
+	// RX is the zSeries register/memory compute instruction
+	// (R1 ← R1 op mem[X2+B2+D2]): it traverses the address/cache path
+	// like a load, then executes like an RR op once both its register
+	// operand and its memory operand arrive. The paper's machine "must
+	// execute RX efficiently" (§3).
+	RX
+
+	numClasses = iota
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+// String returns the conventional mnemonic group for the class.
+func (c Class) String() string {
+	switch c {
+	case RR:
+		return "RR"
+	case Load:
+		return "LOAD"
+	case Store:
+		return "STORE"
+	case Branch:
+		return "BRANCH"
+	case FP:
+		return "FP"
+	case RX:
+		return "RX"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return int(c) < NumClasses }
+
+// Reg names an architected register. General-purpose registers are
+// 0..15; floating-point registers are 16..31. RegNone marks an absent
+// operand.
+type Reg uint8
+
+const (
+	// NumGPR is the number of general-purpose registers.
+	NumGPR = 16
+	// NumFPR is the number of floating-point registers.
+	NumFPR = 16
+	// NumRegs is the total architected register count.
+	NumRegs = NumGPR + NumFPR
+	// RegNone marks a missing source or destination operand.
+	RegNone Reg = 0xFF
+)
+
+// FirstFPR is the register number of the first floating-point
+// register.
+const FirstFPR Reg = NumGPR
+
+// Valid reports whether r names an architected register or RegNone.
+func (r Reg) Valid() bool { return r == RegNone || int(r) < NumRegs }
+
+// Instruction is one dynamic (trace) instruction. The layout is kept
+// lean because simulators stream hundreds of thousands of these.
+type Instruction struct {
+	PC     uint64 // instruction address
+	Addr   uint64 // effective memory address (Load/Store only)
+	Target uint64 // branch target (Branch only)
+	Dst    Reg    // destination register, RegNone if none
+	Src1   Reg    // first source, RegNone if none
+	Src2   Reg    // second source, RegNone if none
+	Class  Class
+	Taken  bool  // actual branch outcome (Branch only)
+	FPLat  uint8 // FP execution latency in cycles (FP only)
+}
+
+// HasMemory reports whether the instruction accesses memory (takes the
+// address-generation/cache path).
+func (in *Instruction) HasMemory() bool {
+	return in.Class == Load || in.Class == Store || in.Class == RX
+}
+
+// WritesReg reports whether the instruction produces a register
+// result.
+func (in *Instruction) WritesReg() bool {
+	return in.Dst != RegNone && in.Class != Store && in.Class != Branch
+}
+
+// BaseReg returns the register used for address generation: Src1 for
+// loads, Src2 for stores and RX computes, RegNone otherwise.
+func (in *Instruction) BaseReg() Reg {
+	switch in.Class {
+	case Load:
+		return in.Src1
+	case Store, RX:
+		return in.Src2
+	default:
+		return RegNone
+	}
+}
+
+// Validate reports structural problems with the instruction (invalid
+// class or register numbers, branch without outcome semantics, FP
+// without latency).
+func (in *Instruction) Validate() error {
+	if !in.Class.Valid() {
+		return fmt.Errorf("isa: invalid class %d", in.Class)
+	}
+	for _, r := range []Reg{in.Dst, in.Src1, in.Src2} {
+		if !r.Valid() {
+			return fmt.Errorf("isa: invalid register %d", r)
+		}
+	}
+	if in.Class == FP && in.FPLat == 0 {
+		return fmt.Errorf("isa: FP instruction with zero latency")
+	}
+	if in.HasMemory() && in.Addr == 0 {
+		return fmt.Errorf("isa: memory instruction with nil address")
+	}
+	return nil
+}

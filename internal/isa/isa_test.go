@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		RR: "RR", Load: "LOAD", Store: "STORE", Branch: "BRANCH", FP: "FP",
+		RX: "RX",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, s)
+		}
+	}
+	if s := Class(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown class String() = %q", s)
+	}
+	if Class(200).Valid() {
+		t.Error("Class(200) reported valid")
+	}
+	for c := 0; c < NumClasses; c++ {
+		if !Class(c).Valid() {
+			t.Errorf("Class(%d) reported invalid", c)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	if !RegNone.Valid() {
+		t.Error("RegNone must be valid")
+	}
+	if !Reg(0).Valid() || !Reg(NumRegs-1).Valid() {
+		t.Error("architected registers must be valid")
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("register beyond file reported valid")
+	}
+	if FirstFPR != Reg(NumGPR) {
+		t.Errorf("FirstFPR = %d, want %d", FirstFPR, NumGPR)
+	}
+}
+
+func TestHasMemoryWritesReg(t *testing.T) {
+	ld := Instruction{Class: Load, Dst: 3, Src1: 7, Addr: 0x1000}
+	st := Instruction{Class: Store, Dst: RegNone, Src2: 8, Addr: 0x1000}
+	rr := Instruction{Class: RR, Dst: 5}
+	br := Instruction{Class: Branch, Dst: RegNone}
+	rx := Instruction{Class: RX, Dst: 5, Src1: 5, Src2: 9, Addr: 0x1000}
+	if !ld.HasMemory() || !st.HasMemory() || !rx.HasMemory() {
+		t.Error("memory ops not detected")
+	}
+	if ld.BaseReg() != 7 || st.BaseReg() != 8 || rx.BaseReg() != 9 || rr.BaseReg() != RegNone {
+		t.Error("BaseReg selection wrong")
+	}
+	if !rx.WritesReg() {
+		t.Error("RX must write a register")
+	}
+	if rr.HasMemory() || br.HasMemory() {
+		t.Error("non-memory ops detected as memory")
+	}
+	if !ld.WritesReg() || !rr.WritesReg() {
+		t.Error("register writers not detected")
+	}
+	if st.WritesReg() || br.WritesReg() {
+		t.Error("non-writers detected as writers")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Instruction{
+		{Class: RR, Dst: 1, Src1: 2, Src2: 3},
+		{Class: Load, Dst: 1, Src1: 2, Src2: RegNone, Addr: 0x1000},
+		{Class: Branch, Dst: RegNone, Src1: 4, Src2: RegNone, Target: 0x40, Taken: true},
+		{Class: FP, Dst: 20, Src1: 21, Src2: 22, FPLat: 8},
+		{Class: RX, Dst: 1, Src1: 1, Src2: 2, Addr: 0x1000},
+	}
+	for i, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []Instruction{
+		{Class: Class(99)},
+		{Class: RR, Dst: 77},
+		{Class: FP, Dst: 20, Src1: 21, Src2: 22, FPLat: 0},
+		{Class: Load, Dst: 1, Src1: 2, Src2: RegNone, Addr: 0},
+		{Class: RX, Dst: 1, Src1: 1, Src2: 2, Addr: 0},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad[%d] accepted", i)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system is singular or
+// too ill-conditioned to solve.
+var ErrSingular = errors.New("mathx: singular or ill-conditioned system")
+
+// ErrBadInput is returned when fit inputs are structurally invalid
+// (mismatched lengths, too few points, non-positive data for log fits).
+var ErrBadInput = errors.New("mathx: invalid fit input")
+
+// PolyFit fits a polynomial of the given degree to the points (x, y)
+// by unweighted least squares and returns it in ascending-power form.
+// len(x) must equal len(y) and exceed the degree.
+func PolyFit(x, y []float64, degree int) (Poly, error) {
+	if len(x) != len(y) || degree < 0 || len(x) < degree+1 {
+		return nil, ErrBadInput
+	}
+	n := degree + 1
+	// Normal equations: (VᵀV)·a = Vᵀy with Vandermonde V.
+	// For the low degrees used here (≤ 3–4) this is well conditioned
+	// after centering x about its mean.
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	xc := make([]float64, len(x))
+	for i, v := range x {
+		xc[i] = v - mean
+	}
+
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	atb := make([]float64, n)
+	pow := make([]float64, 2*n-1)
+	for _, v := range xc {
+		t := 1.0
+		for k := 0; k < 2*n-1; k++ {
+			pow[k] += t
+			t *= v
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ata[i][j] = pow[i+j]
+		}
+	}
+	for k, v := range xc {
+		t := 1.0
+		for i := 0; i < n; i++ {
+			atb[i] += t * y[k]
+			t *= v
+		}
+	}
+	a, err := SolveLinear(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	// Un-center: p(x) = Σ a_i (x-mean)^i  →  expand about x.
+	centered := Poly(a).Trim()
+	shift := Poly{-mean, 1} // (x - mean)
+	result := Poly{}
+	term := Poly{1}
+	for i := 0; i <= centered.Degree(); i++ {
+		result = result.Add(term.Scale(centered[i]))
+		term = term.Mul(shift)
+	}
+	return result, nil
+}
+
+// SolveLinear solves the dense linear system A·x = b by Gaussian
+// elimination with partial pivoting. A is modified in place; pass a
+// copy if the caller needs it preserved.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, ErrBadInput
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, ErrBadInput
+		}
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// PowerLawFit fits y ≈ k·x^b to strictly positive data by linear
+// regression in log–log space, returning the scale k and exponent b.
+// This is the fit used for the paper's Figure 3 (latch count vs depth).
+func PowerLawFit(x, y []float64) (k, b float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, ErrBadInput
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, 0, ErrBadInput
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	slope, intercept, err := LinearFit(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(intercept), slope, nil
+}
+
+// LinearFit fits y ≈ slope·x + intercept by least squares.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, ErrBadInput
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, ErrSingular
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// CubicPeak fits a cubic to (x, y) by least squares and returns the
+// interior local maximum of the fitted cubic within [min(x), max(x)].
+// This is the paper's "blind least squares fit to a cubic function,
+// find the peak" analysis for extracting the optimum pipeline depth
+// from noisy simulation data. If the cubic has no interior local
+// maximum in range, the in-range abscissa with the largest fitted
+// value is returned and interior=false.
+func CubicPeak(x, y []float64) (peak float64, interior bool, err error) {
+	p, err := PolyFit(x, y, 3)
+	if err != nil {
+		return 0, false, err
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	d := p.Derivative()
+	dd := d.Derivative()
+	for _, r := range d.RealRoots() {
+		if r > lo && r < hi && dd.Eval(r) < 0 {
+			// Guard against spurious bumps that a cubic fitted to
+			// monotone data can develop: a genuine peak must dominate
+			// both fitted endpoints.
+			if v := p.Eval(r); v >= p.Eval(lo) && v >= p.Eval(hi) {
+				return r, true, nil
+			}
+		}
+	}
+	// No interior max: metric is monotone over the range (e.g. BIPS/W);
+	// report the best endpoint.
+	if p.Eval(lo) >= p.Eval(hi) {
+		return lo, false, nil
+	}
+	return hi, false, nil
+}
+
+// RSquared returns the coefficient of determination of model values
+// yhat against observations y. It returns 1 for a perfect fit and can
+// be negative for fits worse than the mean.
+func RSquared(y, yhat []float64) float64 {
+	if len(y) != len(yhat) || len(y) == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		ssRes += (y[i] - yhat[i]) * (y[i] - yhat[i])
+		ssTot += (y[i] - mean) * (y[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}

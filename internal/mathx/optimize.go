@@ -1,0 +1,93 @@
+package mathx
+
+import "math"
+
+// invPhi is 1/φ, the golden-section step ratio.
+const invPhi = 0.6180339887498949
+
+// GoldenMax maximizes a unimodal function f on [lo, hi] by
+// golden-section search and returns the abscissa of the maximum.
+// For non-unimodal f it converges to a local maximum inside the
+// bracket. tol is the absolute x tolerance.
+func GoldenMax(f func(float64) float64, lo, hi, tol float64) float64 {
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	return a + (b-a)/2
+}
+
+// GridThenGoldenMax scans [lo, hi] at n evenly spaced points to locate
+// the best sample, then refines with golden-section search on the
+// bracketing interval. It is robust when f has several local maxima:
+// the grid picks the dominant basin and golden-section polishes it.
+// If the maximum lies at an endpoint, the endpoint is returned.
+func GridThenGoldenMax(f func(float64) float64, lo, hi float64, n int, tol float64) float64 {
+	if n < 3 {
+		n = 3
+	}
+	best, bestX := math.Inf(-1), lo
+	bestI := 0
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		if v := f(x); v > best {
+			best, bestX, bestI = v, x, i
+		}
+	}
+	a := math.Max(lo, bestX-step)
+	b := math.Min(hi, bestX+step)
+	// If the grid maximum sits on a boundary of the scan and the
+	// adjacent interior sample is lower, the supremum may be at the
+	// endpoint itself.
+	if bestI == 0 || bestI == n-1 {
+		x := GoldenMax(f, a, b, tol)
+		if f(x) >= best {
+			return x
+		}
+		return bestX
+	}
+	return GoldenMax(f, a, b, tol)
+}
+
+// MaximizeResult describes the outcome of a bounded 1-D maximization.
+type MaximizeResult struct {
+	X     float64 // abscissa of the maximum
+	F     float64 // f(X)
+	AtLo  bool    // maximum is at the lower bound (within tolerance)
+	AtHi  bool    // maximum is at the upper bound (within tolerance)
+	Inner bool    // maximum is strictly interior
+}
+
+// Maximize finds the maximum of f on [lo, hi] using a grid scan plus
+// golden-section refinement and classifies whether the optimum is
+// interior or pinned to a boundary. Boundary classification matters in
+// the pipeline-depth study: metrics like BIPS/W have no interior
+// optimum and pin to the shortest pipeline.
+func Maximize(f func(float64) float64, lo, hi float64, n int, tol float64) MaximizeResult {
+	x := GridThenGoldenMax(f, lo, hi, n, tol)
+	r := MaximizeResult{X: x, F: f(x)}
+	edge := math.Max(tol*4, (hi-lo)*1e-6)
+	switch {
+	case x-lo <= edge && f(lo) >= r.F-math.Abs(r.F)*1e-12:
+		r.AtLo, r.X, r.F = true, lo, f(lo)
+	case hi-x <= edge && f(hi) >= r.F-math.Abs(r.F)*1e-12:
+		r.AtHi, r.X, r.F = true, hi, f(hi)
+	default:
+		r.Inner = true
+	}
+	return r
+}

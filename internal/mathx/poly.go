@@ -1,0 +1,434 @@
+// Package mathx provides the numerical substrate for the pipeline-depth
+// study: polynomials with real-root extraction, scalar root finding and
+// one-dimensional optimization, least-squares polynomial fitting, and
+// power-law fitting. Only the standard library is used.
+//
+// All routines operate on float64 and are deterministic. They are tuned
+// for the well-conditioned, low-degree problems that arise in the
+// Hartstein–Puzak power/performance model (quadratics through quartics
+// over physically meaningful parameter ranges), but they polish every
+// candidate root with Newton iterations so that mild ill-conditioning
+// is tolerated.
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Poly is a real polynomial stored by ascending power:
+// Poly{a0, a1, a2} represents a0 + a1·x + a2·x².
+// The zero value is the zero polynomial.
+type Poly []float64
+
+// NewPoly returns a polynomial with the given coefficients in ascending
+// order of power, trimmed of trailing (highest-degree) zeros.
+func NewPoly(coeffs ...float64) Poly {
+	return Poly(coeffs).Trim()
+}
+
+// Trim returns p with trailing zero coefficients removed, so that the
+// leading coefficient of a nonzero polynomial is nonzero. The zero
+// polynomial trims to an empty (nil-degree) polynomial.
+func (p Poly) Trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.Trim()) - 1 }
+
+// Eval evaluates p at x using Horner's scheme.
+func (p Poly) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*x + p[i]
+	}
+	return v
+}
+
+// Derivative returns dp/dx.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return Poly{}
+	}
+	d := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = float64(i) * p[i]
+	}
+	return d.Trim()
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	for i := range r {
+		if i < len(p) {
+			r[i] += p[i]
+		}
+		if i < len(q) {
+			r[i] += q[i]
+		}
+	}
+	return r.Trim()
+}
+
+// Scale returns k·p.
+func (p Poly) Scale(k float64) Poly {
+	r := make(Poly, len(p))
+	for i, c := range p {
+		r[i] = k * c
+	}
+	return r.Trim()
+}
+
+// Mul returns p·q.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		for j, b := range q {
+			r[i+j] += a * b
+		}
+	}
+	return r.Trim()
+}
+
+// String renders p in conventional descending-power notation, e.g.
+// "2x^3 - x + 5".
+func (p Poly) String() string {
+	t := p.Trim()
+	if len(t) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := len(t) - 1; i >= 0; i-- {
+		c := t[i]
+		if c == 0 && len(t) > 1 {
+			continue
+		}
+		if first {
+			if c < 0 {
+				b.WriteString("-")
+			}
+			first = false
+		} else {
+			if c < 0 {
+				b.WriteString(" - ")
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		a := math.Abs(c)
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "%g", a)
+		case i == 1:
+			if a == 1 {
+				b.WriteString("x")
+			} else {
+				fmt.Fprintf(&b, "%gx", a)
+			}
+		default:
+			if a == 1 {
+				fmt.Fprintf(&b, "x^%d", i)
+			} else {
+				fmt.Fprintf(&b, "%gx^%d", a, i)
+			}
+		}
+	}
+	return b.String()
+}
+
+// RealRoots returns the real roots of p in ascending order. Roots of
+// multiplicity k appear once (the solvers coalesce numerically equal
+// roots). It handles degrees 0 through 4 analytically; higher degrees
+// fall back to recursive deflation seeded by derivative roots (the
+// polynomial's real roots interleave with its derivative's), which is
+// robust for the smooth low-degree-dominated polynomials used here.
+func (p Poly) RealRoots() []float64 {
+	t := p.Trim()
+	switch len(t) {
+	case 0, 1:
+		return nil // zero or constant polynomial: no isolated roots
+	case 2:
+		return []float64{-t[0] / t[1]}
+	case 3:
+		return solveQuadratic(t[2], t[1], t[0])
+	case 4:
+		return solveCubic(t[3], t[2], t[1], t[0])
+	case 5:
+		return solveQuartic(t[4], t[3], t[2], t[1], t[0])
+	default:
+		return solveByBracketing(t)
+	}
+}
+
+// solveQuadratic returns the real roots of ax²+bx+c, ascending.
+// It uses the numerically stable citardauq formulation to avoid
+// cancellation when b² >> 4ac.
+func solveQuadratic(a, b, c float64) []float64 {
+	if a == 0 {
+		if b == 0 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	if disc == 0 {
+		return []float64{-b / (2 * a)}
+	}
+	s := math.Sqrt(disc)
+	var q float64
+	if b >= 0 {
+		q = -0.5 * (b + s)
+	} else {
+		q = -0.5 * (b - s)
+	}
+	r1, r2 := q/a, c/q
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return []float64{r1, r2}
+}
+
+// solveCubic returns the real roots of ax³+bx²+cx+d, ascending,
+// using the trigonometric/Cardano method followed by Newton polishing.
+func solveCubic(a, b, c, d float64) []float64 {
+	if a == 0 {
+		return solveQuadratic(b, c, d)
+	}
+	// Normalize to monic: x³ + B x² + C x + D.
+	B, C, D := b/a, c/a, d/a
+	// Depressed cubic t³ + pt + q with x = t - B/3.
+	p := C - B*B/3
+	q := 2*B*B*B/27 - B*C/3 + D
+	shift := -B / 3
+	var roots []float64
+	disc := q*q/4 + p*p*p/27
+	switch {
+	case disc > 0:
+		// One real root.
+		sq := math.Sqrt(disc)
+		u := math.Cbrt(-q/2 + sq)
+		v := math.Cbrt(-q/2 - sq)
+		roots = []float64{u + v + shift}
+	case disc == 0:
+		if q == 0 {
+			roots = []float64{shift}
+		} else {
+			u := math.Cbrt(-q / 2)
+			roots = []float64{2*u + shift, -u + shift}
+		}
+	default:
+		// Three real roots (casus irreducibilis): trigonometric form.
+		r := math.Sqrt(-p * p * p / 27)
+		phi := math.Acos(clamp(-q/(2*r), -1, 1))
+		m := 2 * math.Sqrt(-p/3)
+		roots = []float64{
+			m*math.Cos(phi/3) + shift,
+			m*math.Cos((phi+2*math.Pi)/3) + shift,
+			m*math.Cos((phi+4*math.Pi)/3) + shift,
+		}
+	}
+	poly := Poly{d, c, b, a}
+	return polishAndSort(poly, roots)
+}
+
+// solveQuartic returns the real roots of ax⁴+bx³+cx²+dx+e, ascending,
+// via Ferrari's resolvent-cubic method with Newton polishing.
+func solveQuartic(a, b, c, d, e float64) []float64 {
+	if a == 0 {
+		return solveCubic(b, c, d, e)
+	}
+	// Normalize to monic: x⁴ + B x³ + C x² + D x + E.
+	B, C, D, E := b/a, c/a, d/a, e/a
+	// Depressed quartic y⁴ + py² + qy + r with x = y - B/4.
+	p := C - 3*B*B/8
+	q := D - B*C/2 + B*B*B/8
+	r := E - B*D/4 + B*B*C/16 - 3*B*B*B*B/256
+	shift := -B / 4
+
+	var roots []float64
+	if math.Abs(q) < 1e-12*(1+math.Abs(p)+math.Abs(r)) {
+		// Biquadratic: y⁴ + py² + r = 0.
+		for _, z := range solveQuadratic(1, p, r) {
+			if z > 0 {
+				s := math.Sqrt(z)
+				roots = append(roots, s+shift, -s+shift)
+			} else if z == 0 {
+				roots = append(roots, shift)
+			}
+		}
+	} else {
+		// Resolvent cubic: z³ + 2pz² + (p²−4r)z − q² = 0.
+		// Any positive root z gives the factorization.
+		res := solveCubic(1, 2*p, p*p-4*r, -q*q)
+		var z float64
+		for _, zr := range res {
+			if zr > z {
+				z = zr
+			}
+		}
+		if z <= 0 {
+			// No positive resolvent root ⇒ no real factorization into
+			// real quadratics via this branch; fall back to bracketing.
+			return solveByBracketing(Poly{e, d, c, b, a})
+		}
+		s := math.Sqrt(z)
+		// y⁴+py²+qy+r = (y² + s·y + (p+z)/2 − q/(2s)) · (y² − s·y + (p+z)/2 + q/(2s))
+		u := (p+z)/2 - q/(2*s)
+		v := (p+z)/2 + q/(2*s)
+		for _, y := range solveQuadratic(1, s, u) {
+			roots = append(roots, y+shift)
+		}
+		for _, y := range solveQuadratic(1, -s, v) {
+			roots = append(roots, y+shift)
+		}
+	}
+	poly := Poly{e, d, c, b, a}
+	return polishAndSort(poly, roots)
+}
+
+// solveByBracketing finds real roots of an arbitrary-degree polynomial
+// by recursively locating the roots of the derivative (between which
+// the polynomial is monotone) and bisecting each monotone interval.
+func solveByBracketing(p Poly) []float64 {
+	t := p.Trim()
+	if len(t) <= 2 {
+		return t.RealRoots()
+	}
+	crit := solveByBracketingOrAnalytic(t.Derivative())
+	// Build bracket endpoints: -inf bound, critical points, +inf bound.
+	bound := rootBound(t)
+	pts := []float64{-bound}
+	for _, c := range crit {
+		if c > -bound && c < bound {
+			pts = append(pts, c)
+		}
+	}
+	pts = append(pts, bound)
+	sort.Float64s(pts)
+	var roots []float64
+	for i := 0; i+1 < len(pts); i++ {
+		lo, hi := pts[i], pts[i+1]
+		flo, fhi := t.Eval(lo), t.Eval(hi)
+		if flo == 0 {
+			roots = append(roots, lo)
+			continue
+		}
+		if flo*fhi < 0 {
+			if r, ok := Bisect(t.Eval, lo, hi, 1e-13, 200); ok {
+				roots = append(roots, r)
+			}
+		}
+	}
+	if f := t.Eval(pts[len(pts)-1]); f == 0 {
+		roots = append(roots, pts[len(pts)-1])
+	}
+	return polishAndSort(t, roots)
+}
+
+func solveByBracketingOrAnalytic(p Poly) []float64 {
+	if p.Degree() <= 4 {
+		return p.RealRoots()
+	}
+	return solveByBracketing(p)
+}
+
+// rootBound returns the Cauchy bound: all real roots of p lie in
+// [-bound, bound].
+func rootBound(p Poly) float64 {
+	t := p.Trim()
+	if len(t) < 2 {
+		return 1
+	}
+	lead := math.Abs(t[len(t)-1])
+	m := 0.0
+	for _, c := range t[:len(t)-1] {
+		if a := math.Abs(c); a > m {
+			m = a
+		}
+	}
+	return 1 + m/lead
+}
+
+// polishAndSort applies Newton iterations to each candidate root,
+// discards non-finite results and duplicates, and returns the roots in
+// ascending order.
+func polishAndSort(p Poly, roots []float64) []float64 {
+	d := p.Derivative()
+	scale := polyScale(p)
+	var out []float64
+	for _, r := range roots {
+		x := r
+		for i := 0; i < 8; i++ {
+			fx := p.Eval(x)
+			dx := d.Eval(x)
+			if dx == 0 || math.IsNaN(fx) || math.IsInf(fx, 0) {
+				break
+			}
+			step := fx / dx
+			x -= step
+			if math.Abs(step) <= 1e-14*(1+math.Abs(x)) {
+				break
+			}
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		// Reject candidates that are not actually roots (e.g. spurious
+		// quadratic-factor solutions with large residuals).
+		if math.Abs(p.Eval(x)) > 1e-6*scale*(1+math.Pow(math.Abs(x), float64(p.Degree()))) {
+			continue
+		}
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	// Coalesce numerically equal roots.
+	var uniq []float64
+	for _, r := range out {
+		if len(uniq) == 0 || math.Abs(r-uniq[len(uniq)-1]) > 1e-8*(1+math.Abs(r)) {
+			uniq = append(uniq, r)
+		}
+	}
+	return uniq
+}
+
+func polyScale(p Poly) float64 {
+	m := 0.0
+	for _, c := range p {
+		if a := math.Abs(c); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return m
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

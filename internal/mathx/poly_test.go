@@ -1,0 +1,270 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	p := NewPoly(5, -1, 0, 2) // 5 - x + 2x³
+	cases := []struct{ x, want float64 }{
+		{0, 5},
+		{1, 6},
+		{-1, 4},
+		{2, 19},
+		{0.5, 4.75},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); !approxEq(got, c.want, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPolyTrimAndDegree(t *testing.T) {
+	if d := NewPoly().Degree(); d != -1 {
+		t.Errorf("zero poly degree = %d, want -1", d)
+	}
+	if d := NewPoly(3).Degree(); d != 0 {
+		t.Errorf("constant degree = %d, want 0", d)
+	}
+	if d := NewPoly(1, 2, 0, 0).Degree(); d != 1 {
+		t.Errorf("trimmed degree = %d, want 1", d)
+	}
+	if d := NewPoly(0, 0, 0).Degree(); d != -1 {
+		t.Errorf("all-zero degree = %d, want -1", d)
+	}
+}
+
+func TestPolyDerivative(t *testing.T) {
+	p := NewPoly(7, 3, -2, 1) // 7 + 3x - 2x² + x³
+	d := p.Derivative()       // 3 - 4x + 3x²
+	want := NewPoly(3, -4, 3)
+	if len(d) != len(want) {
+		t.Fatalf("derivative = %v, want %v", d, want)
+	}
+	for i := range d {
+		if d[i] != want[i] {
+			t.Fatalf("derivative = %v, want %v", d, want)
+		}
+	}
+	if got := NewPoly(5).Derivative().Degree(); got != -1 {
+		t.Errorf("d(const)/dx degree = %d, want -1", got)
+	}
+}
+
+func TestPolyAddScaleMul(t *testing.T) {
+	p := NewPoly(1, 2)    // 1 + 2x
+	q := NewPoly(3, 0, 1) // 3 + x²
+	sum := p.Add(q)
+	if got, want := sum.Eval(2), p.Eval(2)+q.Eval(2); !approxEq(got, want, 1e-12) {
+		t.Errorf("Add eval mismatch: %g vs %g", got, want)
+	}
+	prod := p.Mul(q)
+	if got, want := prod.Eval(1.5), p.Eval(1.5)*q.Eval(1.5); !approxEq(got, want, 1e-12) {
+		t.Errorf("Mul eval mismatch: %g vs %g", got, want)
+	}
+	if got := p.Scale(-2).Eval(3); !approxEq(got, -2*p.Eval(3), 1e-12) {
+		t.Errorf("Scale eval mismatch")
+	}
+	// Adding the negation yields zero.
+	if z := p.Add(p.Scale(-1)); z.Degree() != -1 {
+		t.Errorf("p + (-p) = %v, want zero poly", z)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{NewPoly(), "0"},
+		{NewPoly(5), "5"},
+		{NewPoly(-1, 2), "2x - 1"},
+		{NewPoly(5, -1, 0, 2), "2x^3 - x + 5"},
+		{NewPoly(0, 1), "x"},
+		{NewPoly(0, 0, 1), "x^2"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", []float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestQuadraticRoots(t *testing.T) {
+	// (x-2)(x+3) = x² + x - 6
+	r := NewPoly(-6, 1, 1).RealRoots()
+	if len(r) != 2 || !approxEq(r[0], -3, 1e-10) || !approxEq(r[1], 2, 1e-10) {
+		t.Fatalf("roots = %v, want [-3, 2]", r)
+	}
+	// No real roots.
+	if r := NewPoly(1, 0, 1).RealRoots(); len(r) != 0 {
+		t.Fatalf("x²+1 roots = %v, want none", r)
+	}
+	// Double root.
+	r = NewPoly(4, -4, 1).RealRoots() // (x-2)²
+	if len(r) != 1 || !approxEq(r[0], 2, 1e-8) {
+		t.Fatalf("(x-2)² roots = %v, want [2]", r)
+	}
+	// Catastrophic-cancellation regime: x² - 1e8·x + 1, roots ≈ 1e8 and 1e-8.
+	r = NewPoly(1, -1e8, 1).RealRoots()
+	if len(r) != 2 || !approxEq(r[0], 1e-8, 1e-6) || !approxEq(r[1], 1e8, 1e-10) {
+		t.Fatalf("ill-conditioned quadratic roots = %v", r)
+	}
+}
+
+func TestCubicRoots(t *testing.T) {
+	// (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6
+	r := NewPoly(-6, 11, -6, 1).RealRoots()
+	if len(r) != 3 {
+		t.Fatalf("roots = %v, want 3 roots", r)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if !approxEq(r[i], want, 1e-8) {
+			t.Errorf("root[%d] = %g, want %g", i, r[i], want)
+		}
+	}
+	// One real root: x³ + x + 1.
+	r = NewPoly(1, 1, 0, 1).RealRoots()
+	if len(r) != 1 || !approxEq(r[0], -0.6823278038280193, 1e-9) {
+		t.Fatalf("x³+x+1 roots = %v", r)
+	}
+	// Triple root: (x+1)³.
+	r = NewPoly(1, 3, 3, 1).RealRoots()
+	if len(r) != 1 || !approxEq(r[0], -1, 1e-4) {
+		t.Fatalf("(x+1)³ roots = %v", r)
+	}
+}
+
+func TestQuarticRoots(t *testing.T) {
+	// (x-1)(x+1)(x-2)(x+2) = x⁴ - 5x² + 4 (biquadratic path)
+	r := NewPoly(4, 0, -5, 0, 1).RealRoots()
+	want := []float64{-2, -1, 1, 2}
+	if len(r) != 4 {
+		t.Fatalf("roots = %v, want %v", r, want)
+	}
+	for i := range want {
+		if !approxEq(r[i], want[i], 1e-8) {
+			t.Errorf("root[%d] = %g, want %g", i, r[i], want[i])
+		}
+	}
+	// General quartic with 4 real roots: (x+55)(x+0.5)(x-7)(x-30).
+	p := NewPoly(55, 1).Mul(NewPoly(0.5, 1)).Mul(NewPoly(-7, 1)).Mul(NewPoly(-30, 1))
+	r = p.RealRoots()
+	want = []float64{-55, -0.5, 7, 30}
+	if len(r) != 4 {
+		t.Fatalf("roots = %v, want %v", r, want)
+	}
+	for i := range want {
+		if !approxEq(r[i], want[i], 1e-6) {
+			t.Errorf("root[%d] = %g, want %g", i, r[i], want[i])
+		}
+	}
+	// Two real roots: (x²+1)(x-3)(x+4).
+	p = NewPoly(1, 0, 1).Mul(NewPoly(-3, 1)).Mul(NewPoly(4, 1))
+	r = p.RealRoots()
+	if len(r) != 2 || !approxEq(r[0], -4, 1e-7) || !approxEq(r[1], 3, 1e-7) {
+		t.Fatalf("roots = %v, want [-4, 3]", r)
+	}
+	// No real roots: (x²+1)(x²+2).
+	p = NewPoly(1, 0, 1).Mul(NewPoly(2, 0, 1))
+	if r = p.RealRoots(); len(r) != 0 {
+		t.Fatalf("roots = %v, want none", r)
+	}
+}
+
+func TestHighDegreeRootsByBracketing(t *testing.T) {
+	// Degree 5 with known roots.
+	p := NewPoly(1, 1)
+	for _, root := range []float64{2, -3, 0.25, 10} {
+		p = p.Mul(NewPoly(-root, 1))
+	}
+	r := p.RealRoots()
+	want := []float64{-3, -1, 0.25, 2, 10}
+	if len(r) != len(want) {
+		t.Fatalf("degree-5 roots = %v, want %v", r, want)
+	}
+	for i := range want {
+		if !approxEq(r[i], want[i], 1e-7) {
+			t.Errorf("root[%d] = %g, want %g", i, r[i], want[i])
+		}
+	}
+}
+
+// TestRealRootsProperty builds random monic polynomials from known real
+// roots and checks RealRoots recovers abscissas that zero the
+// polynomial and include every constructed root.
+func TestRealRootsProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3) // degree 2..4
+		roots := make([]float64, 0, n)
+		p := NewPoly(1)
+		for len(roots) < n {
+			// Quarter-integer roots in [-20,20], kept ≥ 0.5 apart:
+			// root recovery for clustered/multiple roots is inherently
+			// ill-conditioned and is exercised by dedicated tests.
+			cand := math.Round((rng.Float64()*40-20)*4) / 4
+			tooClose := false
+			for _, r := range roots {
+				if math.Abs(cand-r) < 0.5 {
+					tooClose = true
+					break
+				}
+			}
+			if tooClose {
+				continue
+			}
+			roots = append(roots, cand)
+			p = p.Mul(NewPoly(-cand, 1))
+		}
+		got := p.RealRoots()
+		// Every reported root must nearly zero the polynomial.
+		scale := polyScale(p)
+		for _, r := range got {
+			if math.Abs(p.Eval(r)) > 1e-5*scale*(1+math.Pow(math.Abs(r), float64(n))) {
+				t.Logf("seed %d: reported root %g has residual %g (poly %v)", seed, r, p.Eval(r), p)
+				return false
+			}
+		}
+		// Every constructed root must be near some reported root.
+		for _, want := range roots {
+			found := false
+			for _, r := range got {
+				if math.Abs(r-want) < 1e-4*(1+math.Abs(want)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Logf("seed %d: constructed root %g missing from %v (poly %v)", seed, want, got, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootBound(t *testing.T) {
+	p := NewPoly(-6, 11, -6, 1) // roots 1, 2, 3
+	b := rootBound(p)
+	for _, r := range p.RealRoots() {
+		if math.Abs(r) > b {
+			t.Errorf("root %g outside Cauchy bound %g", r, b)
+		}
+	}
+}

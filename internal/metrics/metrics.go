@@ -1,0 +1,95 @@
+// Package metrics defines the power/performance figures of merit the
+// study optimizes: BIPS^m/W for m = 1, 2, 3 and the performance-only
+// limit (paper Eq. 4 family).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects a figure of merit.
+type Kind int
+
+// The metrics studied in the paper (Fig. 5 plots all four).
+const (
+	// BIPS is performance only — the m → ∞ limit.
+	BIPS Kind = iota
+	// BIPSPerWatt is BIPS/W (m = 1): energy per instruction.
+	BIPSPerWatt
+	// BIPS2PerWatt is BIPS²/W (m = 2): energy–delay product.
+	BIPS2PerWatt
+	// BIPS3PerWatt is BIPS³/W (m = 3): energy–delay² — the paper's
+	// headline metric.
+	BIPS3PerWatt
+)
+
+// Kinds lists all metrics in presentation order.
+var Kinds = []Kind{BIPS, BIPS3PerWatt, BIPS2PerWatt, BIPSPerWatt}
+
+// String names the metric as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case BIPS:
+		return "BIPS"
+	case BIPSPerWatt:
+		return "BIPS/W"
+	case BIPS2PerWatt:
+		return "BIPS^2/W"
+	case BIPS3PerWatt:
+		return "BIPS^3/W"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Exponent returns the metric's m, with +Inf for performance-only.
+func (k Kind) Exponent() float64 {
+	switch k {
+	case BIPS:
+		return math.Inf(1)
+	case BIPSPerWatt:
+		return 1
+	case BIPS2PerWatt:
+		return 2
+	case BIPS3PerWatt:
+		return 3
+	default:
+		return math.NaN()
+	}
+}
+
+// UsesPower reports whether the metric has a power denominator.
+func (k Kind) UsesPower() bool { return k != BIPS }
+
+// Value computes the metric from a performance and a power
+// measurement. Power must be positive for power-bearing metrics.
+func (k Kind) Value(bips, watts float64) float64 {
+	if k == BIPS {
+		return bips
+	}
+	if watts <= 0 {
+		return math.NaN()
+	}
+	return math.Pow(bips, k.Exponent()) / watts
+}
+
+// Normalize scales a curve so its maximum is 1, as in the paper's
+// normalized figures. A non-positive maximum leaves the curve
+// untouched.
+func Normalize(curve []float64) []float64 {
+	max := 0.0
+	for _, v := range curve {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(curve))
+	copy(out, curve)
+	if max > 0 {
+		for i := range out {
+			out[i] /= max
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindBasics(t *testing.T) {
+	names := map[Kind]string{
+		BIPS: "BIPS", BIPSPerWatt: "BIPS/W",
+		BIPS2PerWatt: "BIPS^2/W", BIPS3PerWatt: "BIPS^3/W",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	if !math.IsInf(BIPS.Exponent(), 1) {
+		t.Error("BIPS exponent not +Inf")
+	}
+	if BIPS3PerWatt.Exponent() != 3 || BIPSPerWatt.Exponent() != 1 {
+		t.Error("exponents wrong")
+	}
+	if math.IsNaN(BIPS2PerWatt.Exponent()) || !math.IsNaN(Kind(9).Exponent()) {
+		t.Error("exponent NaN behaviour wrong")
+	}
+	if BIPS.UsesPower() || !BIPS3PerWatt.UsesPower() {
+		t.Error("UsesPower wrong")
+	}
+	if len(Kinds) != 4 {
+		t.Errorf("Kinds = %v", Kinds)
+	}
+}
+
+func TestValue(t *testing.T) {
+	if got := BIPS.Value(0.05, 123); got != 0.05 {
+		t.Errorf("BIPS value = %g", got)
+	}
+	if got := BIPS3PerWatt.Value(2, 4); got != 2 {
+		t.Errorf("BIPS³/W value = %g, want 8/4", got)
+	}
+	if got := BIPSPerWatt.Value(2, 4); got != 0.5 {
+		t.Errorf("BIPS/W value = %g", got)
+	}
+	if got := BIPS2PerWatt.Value(3, 9); got != 1 {
+		t.Errorf("BIPS²/W value = %g", got)
+	}
+	if !math.IsNaN(BIPS3PerWatt.Value(2, 0)) {
+		t.Error("zero watts should yield NaN")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	c := Normalize([]float64{1, 4, 2})
+	if c[1] != 1 || c[0] != 0.25 || c[2] != 0.5 {
+		t.Errorf("normalized = %v", c)
+	}
+	// All-zero input left untouched.
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("zero curve = %v", z)
+	}
+	// Input not mutated.
+	in := []float64{2, 8}
+	_ = Normalize(in)
+	if in[0] != 2 || in[1] != 8 {
+		t.Error("input mutated")
+	}
+}

@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+)
+
+// Config specifies one simulation: the machine geometry, depth plan,
+// technology constants, and the attached predictor and cache
+// hierarchy.
+type Config struct {
+	// Machine geometry.
+	Width       int // decode/issue/retire width (the paper's 4-issue machine)
+	AgenWidth   int // address-generation units
+	CachePorts  int // data-cache ports (also bounds memory issues per cycle)
+	BranchWidth int // branches issued per cycle
+	AgenQCap    int // address-queue capacity (instructions)
+	ExecQCap    int // execution-queue capacity (instructions)
+	WindowCap   int // maximum in-flight instructions (completion buffer)
+
+	// OutOfOrder selects out-of-order issue with register renaming
+	// (the paper's machine supports both; its study uses in-order,
+	// finding "only minor differences" — reproduce that with the
+	// abl-ooo experiment). A one-stage rename unit is inserted after
+	// decode; the issue stage selects ready instructions oldest-first
+	// from the execution-queue window.
+	OutOfOrder bool
+
+	// Depth plan (build with PlanDepth).
+	Plan DepthPlan
+
+	// Technology, used to convert fixed-FO4 miss latencies to cycles.
+	TP float64 // total logic delay, FO4
+	TO float64 // per-stage latch overhead, FO4
+
+	// Attached models. Predictor may be nil for perfect prediction;
+	// Hierarchy may be nil for a perfect (always-hit) cache; BTB may
+	// be nil for perfect target provision (taken redirects then cost
+	// only the RedirectBubble).
+	Predictor branch.Predictor
+	BTB       *branch.BTB
+	Hierarchy *cache.Hierarchy
+
+	// BTBMissBubbles is the extra fetch-hold, in cycles, when a
+	// correctly predicted taken branch misses the BTB and the target
+	// must come from decode.
+	BTBMissBubbles int
+
+	// NonBlockingCache lifts the blocking-miss rule: memory misses no
+	// longer serialize behind one another (idealized infinite MSHRs).
+	// The baseline models the era's blocking L1.
+	NonBlockingCache bool
+
+	// ICache models the instruction cache: when non-nil, fetch stalls
+	// on instruction-line misses for ICacheMissFO4 of time. The
+	// baseline assumes a perfect front end, as the paper's trace-
+	// driven methodology does.
+	ICache        *cache.Cache
+	ICacheMissFO4 float64
+
+	// RedirectBubble inserts a one-cycle fetch bubble after every
+	// correctly predicted taken branch (taken-branch redirect).
+	RedirectBubble bool
+
+	// KeepState starts the run with the attached hierarchy's (and
+	// predictor's) existing contents instead of resetting them —
+	// used after an architectural warm-up pass.
+	KeepState bool
+
+	// WrongPathActivity charges the front end (fetch, decode, rename)
+	// with full-rate switching during misprediction-recovery windows:
+	// a real machine fetches down the wrong path while the branch
+	// resolves, burning energy the freeze model otherwise omits.
+	WrongPathActivity bool
+
+	// SampleInterval, when positive, records per-unit activity and
+	// instruction counts every SampleInterval cycles, producing the
+	// cycle-resolved power trace the paper's monitor collects
+	// ("we monitor the usage of each microarchitectural unit of the
+	// processor every cycle", §3). Zero disables sampling.
+	SampleInterval uint64
+
+	// MaxCycles aborts runaway simulations (0 = no limit beyond the
+	// built-in forward-progress watchdog).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the study's baseline machine at the given
+// depth: 4-issue, 2 AGUs, 2 cache ports, tournament predictor,
+// default cache hierarchy, t_p = 140 FO4, t_o = 2.5 FO4.
+func DefaultConfig(depth int) (Config, error) {
+	plan, err := PlanDepth(depth)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Width:          4,
+		AgenWidth:      2,
+		CachePorts:     2,
+		BranchWidth:    1,
+		AgenQCap:       8,
+		ExecQCap:       16,
+		WindowCap:      512,
+		Plan:           plan,
+		TP:             140,
+		TO:             2.5,
+		Predictor:      branch.NewTournament(12),
+		BTB:            branch.MustBTB(512, 4),
+		BTBMissBubbles: 2,
+		Hierarchy:      cache.MustHierarchy(cache.DefaultHierarchy()),
+		RedirectBubble: true,
+	}, nil
+}
+
+// MustDefaultConfig is DefaultConfig for known-good depths.
+func MustDefaultConfig(depth int) Config {
+	c, err := DefaultConfig(depth)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate reports configuration problems.
+func (c *Config) Validate() error {
+	switch {
+	case c.Width < 1:
+		return errors.New("pipeline: width must be ≥ 1")
+	case c.AgenWidth < 1 || c.CachePorts < 1:
+		return errors.New("pipeline: agen width and cache ports must be ≥ 1")
+	case c.BranchWidth < 1:
+		return errors.New("pipeline: branch width must be ≥ 1")
+	case c.AgenQCap < 1 || c.ExecQCap < 1:
+		return errors.New("pipeline: queue capacities must be ≥ 1")
+	case c.WindowCap < c.ExecQCap+c.Width:
+		return errors.New("pipeline: window too small for the execution queue")
+	case c.TP <= 0 || c.TO <= 0:
+		return errors.New("pipeline: technology constants must be positive")
+	}
+	if c.BTBMissBubbles < 0 {
+		return errors.New("pipeline: negative BTB miss bubbles")
+	}
+	if c.ICache != nil && c.ICacheMissFO4 <= 0 {
+		return errors.New("pipeline: ICache requires a positive miss latency")
+	}
+	if c.Plan.Total() != c.Plan.Depth {
+		return fmt.Errorf("pipeline: plan stages %d ≠ depth %d", c.Plan.Total(), c.Plan.Depth)
+	}
+	if c.Plan.Depth < MinSimDepth || c.Plan.Depth > MaxSimDepth {
+		return fmt.Errorf("pipeline: depth %d out of range", c.Plan.Depth)
+	}
+	return nil
+}
+
+// CycleTime returns t_s = t_o + t_p/p in FO4 for this configuration.
+func (c *Config) CycleTime() float64 {
+	return c.TO + c.TP/float64(c.Plan.Depth)
+}
+
+// LatencyCycles converts a fixed FO4 latency (an L2 or memory access)
+// into whole cycles at this configuration's cycle time, rounding up
+// with a one-cycle minimum.
+func (c *Config) LatencyCycles(fo4 float64) uint64 {
+	if fo4 <= 0 {
+		return 0
+	}
+	ts := c.CycleTime()
+	n := uint64(fo4 / ts)
+	if float64(n)*ts < fo4 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package pipeline
+
+import "fmt"
+
+// Depth limits of the simulator. The paper studies 2–25 stages; the
+// upper bound leaves headroom for sensitivity studies.
+const (
+	MinSimDepth = 2
+	MaxSimDepth = 40
+)
+
+// DepthPlan maps an overall pipeline depth (counted, as in the paper,
+// between the beginning of decode and the end of execution) onto
+// per-unit stage counts. Expansion adds stages to Decode, Cache and
+// Exec (and proportionally Agen); contraction first shrinks units to
+// one stage each and then merges adjacent units into shared stages,
+// following the paper's methodology. Queues are decoupling buffers and
+// are not counted in the depth.
+type DepthPlan struct {
+	Depth  int
+	Decode int // decode stages (≥ 1)
+	Agen   int // address-generation stages (0 when merged into decode)
+	Cache  int // cache-access stages (≥ 1)
+	Exec   int // execution stages (0 when merged into cache)
+
+	// MergeGroups lists units that share stages at contracted depths.
+	// Merged units contribute the max of their powers (paper §3: "the
+	// power assigned is the greater of the power requirement for each
+	// unit").
+	MergeGroups [][]Unit
+}
+
+// Stage-allocation weights for expansion: extra stages go mostly to
+// Decode and Cache Access with a smaller share to the E-unit,
+// following the paper's uniform insertion into Decode, Cache Access
+// and the E-unit pipe (real deep pipelines grow their front ends and
+// access paths faster than their ALU loops). At depth 20 the split is
+// decode 8 / agen 2 / cache 6 / exec 4.
+var stageWeights = map[Unit]float64{
+	UnitDecode: 0.42,
+	UnitAgen:   0.12,
+	UnitCache:  0.28,
+	UnitExec:   0.18,
+}
+
+// PlanDepth builds the DepthPlan for a target overall depth.
+func PlanDepth(depth int) (DepthPlan, error) {
+	if depth < MinSimDepth || depth > MaxSimDepth {
+		return DepthPlan{}, fmt.Errorf("pipeline: depth %d outside [%d, %d]",
+			depth, MinSimDepth, MaxSimDepth)
+	}
+	p := DepthPlan{Depth: depth}
+	switch depth {
+	case 2:
+		// [Decode+Agen] [Cache+Exec]
+		p.Decode, p.Agen, p.Cache, p.Exec = 1, 0, 1, 0
+		p.MergeGroups = [][]Unit{{UnitDecode, UnitAgen}, {UnitCache, UnitExec}}
+	case 3:
+		// [Decode] [Agen+Cache] [Exec]
+		p.Decode, p.Agen, p.Cache, p.Exec = 1, 0, 1, 1
+		p.MergeGroups = [][]Unit{{UnitAgen, UnitCache}}
+	default:
+		// Largest-remainder apportionment with a 1-stage floor.
+		units := []Unit{UnitDecode, UnitAgen, UnitCache, UnitExec}
+		alloc := make(map[Unit]int, len(units))
+		rem := make(map[Unit]float64, len(units))
+		total := 0
+		for _, u := range units {
+			exact := stageWeights[u] * float64(depth)
+			n := int(exact)
+			if n < 1 {
+				n = 1
+			}
+			alloc[u] = n
+			rem[u] = exact - float64(n)
+			total += n
+		}
+		for total < depth {
+			best := units[0]
+			for _, u := range units[1:] {
+				if rem[u] > rem[best] {
+					best = u
+				}
+			}
+			alloc[best]++
+			rem[best]--
+			total++
+		}
+		for total > depth {
+			// Over-allocation can only come from the 1-stage floors;
+			// shrink the most over-represented unit above its floor.
+			var worst Unit = -1
+			for _, u := range units {
+				if alloc[u] > 1 && (worst < 0 || rem[u] < rem[worst]) {
+					worst = u
+				}
+			}
+			alloc[worst]--
+			rem[worst]++
+			total--
+		}
+		p.Decode, p.Agen, p.Cache, p.Exec = alloc[UnitDecode], alloc[UnitAgen], alloc[UnitCache], alloc[UnitExec]
+	}
+	return p, nil
+}
+
+// MustPlanDepth is PlanDepth for known-good depths.
+func MustPlanDepth(depth int) DepthPlan {
+	p, err := PlanDepth(depth)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Total returns the summed logic stages, which must equal Depth.
+func (p DepthPlan) Total() int { return p.Decode + p.Agen + p.Cache + p.Exec }
+
+// UnitStages returns the logic stage count assigned to the unit; the
+// fixed-depth bookends and queues report 1.
+func (p DepthPlan) UnitStages(u Unit) int {
+	switch u {
+	case UnitDecode:
+		return p.Decode
+	case UnitAgen:
+		return p.Agen
+	case UnitCache:
+		return p.Cache
+	case UnitExec:
+		return p.Exec
+	case UnitFPU:
+		return maxIntp(1, p.Exec)
+	default:
+		return 1
+	}
+}
+
+// MergedWith returns the units sharing a stage group with u (excluding
+// u itself).
+func (p DepthPlan) MergedWith(u Unit) []Unit {
+	for _, g := range p.MergeGroups {
+		for _, m := range g {
+			if m == u {
+				var out []Unit
+				for _, o := range g {
+					if o != u {
+						out = append(out, o)
+					}
+				}
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+func maxIntp(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The simulator is fully deterministic, so exact cycle counts act as a
+// behavioral checksum: any engine change that alters timing — even by
+// one cycle — trips this test. When a change is *intentional* (a
+// modeling improvement or recalibration), regenerate the table by
+// running the test with -run TestRegressionDigest -v and copying the
+// printed rows.
+var regressionDigest = map[string]uint64{
+	"si95-gcc/d10/inorder":  15063,
+	"si95-gcc/d10/ooo":      13556,
+	"si95-gcc/d25/inorder":  29205,
+	"oltp-bank/d10/inorder": 17794,
+	"sf-swim/d10/inorder":   30548,
+	"sf-swim/d2/inorder":    18615,
+}
+
+func digestKey(wl string, depth int, ooo bool) string {
+	mode := "inorder"
+	if ooo {
+		mode = "ooo"
+	}
+	return fmt.Sprintf("%s/d%d/%s", wl, depth, mode)
+}
+
+func TestRegressionDigest(t *testing.T) {
+	run := func(wl string, depth int, ooo bool) uint64 {
+		prof, ok := workload.ByName(wl)
+		if !ok {
+			t.Fatalf("unknown workload %s", wl)
+		}
+		g := workload.MustGenerator(prof)
+		cfg := MustDefaultConfig(depth)
+		cfg.OutOfOrder = ooo
+		r, err := Run(cfg, trace.NewLimitStream(g, 10000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	cases := []struct {
+		wl    string
+		depth int
+		ooo   bool
+	}{
+		{"si95-gcc", 10, false},
+		{"si95-gcc", 10, true},
+		{"si95-gcc", 25, false},
+		{"oltp-bank", 10, false},
+		{"sf-swim", 10, false},
+		{"sf-swim", 2, false},
+	}
+	for _, c := range cases {
+		key := digestKey(c.wl, c.depth, c.ooo)
+		got := run(c.wl, c.depth, c.ooo)
+		t.Logf("%q: %d,", key, got)
+		want, ok := regressionDigest[key]
+		if !ok {
+			t.Errorf("missing digest entry %q (measured %d)", key, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: %d cycles, digest says %d — engine behaviour changed; "+
+				"if intentional, update regressionDigest", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,939 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// never marks an unknown future cycle.
+const never = math.MaxUint64
+
+// watchdogCycles bounds cycles without forward progress before the
+// engine reports a deadlock (an engine bug, not a workload property).
+const watchdogCycles = 200000
+
+// intLat is the forwarding latency of simple integer operations and
+// of the completion pass of memory operations, in cycles. It does not
+// scale with the E-pipe depth (see the RR case in issue).
+const intLat = 1
+
+// robEntry is the in-flight state of one instruction from decode
+// entry to retirement.
+type robEntry struct {
+	in        isa.Instruction
+	seq       uint64 // sequence number (guards window-slot reuse)
+	dataReady uint64 // mem ops: cycle the cache data is available
+	issuedAt  uint64 // issue cycle (never until issued)
+	complete  uint64 // completion cycle (never until known)
+
+	// Memory ops snapshot their base-register producer — at issue
+	// time in the in-order model (the only point where the scoreboard
+	// is exact), at rename time in the out-of-order model; the
+	// address queue resolves the producer's readiness dynamically.
+	baseWriterSeq uint64
+	hasBaseWriter bool
+
+	// Out-of-order mode: source producers captured at rename.
+	src1Writer uint64
+	src2Writer uint64
+	hasSrc1W   bool
+	hasSrc2W   bool
+}
+
+// pipeEntry is one instruction in a transit pipe: its sequence number
+// and the cycle it entered.
+type pipeEntry struct {
+	seq uint64
+	at  uint64
+}
+
+// fifo is a fixed-capacity ring of pipeEntries.
+type fifo struct {
+	buf  []pipeEntry
+	head int
+	size int
+}
+
+func newFIFO(capacity int) *fifo { return &fifo{buf: make([]pipeEntry, capacity)} }
+
+func (f *fifo) full() bool  { return f.size == len(f.buf) }
+func (f *fifo) empty() bool { return f.size == 0 }
+
+func (f *fifo) push(e pipeEntry) {
+	f.buf[(f.head+f.size)%len(f.buf)] = e
+	f.size++
+}
+
+func (f *fifo) peek() pipeEntry { return f.buf[f.head] }
+
+func (f *fifo) pop() pipeEntry {
+	e := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.size--
+	return e
+}
+
+// anyMoving reports whether any entry is still in transit (younger
+// than the pipe's stage count), i.e. the unit's latches switched this
+// cycle.
+func (f *fifo) anyMoving(cycle, transit uint64) bool {
+	for i := 0; i < f.size; i++ {
+		e := f.buf[(f.head+i)%len(f.buf)]
+		if cycle-e.at < transit {
+			return true
+		}
+	}
+	return false
+}
+
+// sim is the engine state for one run.
+type sim struct {
+	cfg Config
+	src trace.Stream
+	res Result
+
+	rob []robEntry
+	// Sequence-number cursors: retired ≤ issued ≤ decoded ≤ next.
+	// decoded−issued is the execution-queue occupancy; next−retired is
+	// the in-flight window.
+	retired, issued, decoded, next uint64
+
+	decodePipe *fifo
+	agenQ      *fifo
+	agenPipe   *fifo
+	cachePipe  *fifo
+
+	regReady [isa.NumRegs]uint64
+	// lastWriter tracks the most recent issued producer of each
+	// register, for stall classification and for guarding the
+	// late regReady fix-up that loads perform at cache exit.
+	lastWriter [isa.NumRegs]uint64
+	haveWriter [isa.NumRegs]bool
+
+	// Out-of-order state: the rename table maps each architected
+	// register to its youngest renamed producer; pending holds the
+	// decoded-but-unissued window in program order; inExecQ is the
+	// window occupancy (valid in both modes).
+	renameTable [isa.NumRegs]uint64
+	haveRename  [isa.NumRegs]bool
+	pending     []uint64
+	inExecQ     int
+
+	cycle           uint64
+	iBusyUntil      uint64 // instruction-cache miss in progress
+	lastFetchLine   uint64
+	pendingBranch   uint64 // seq of unresolved mispredicted branch
+	havePending     bool
+	redirectHoldTo  uint64
+	cacheBusyUntil  uint64
+	fpuBusyUntil    uint64
+	execActiveUntil uint64
+
+	decTransit  uint64
+	agenTransit uint64
+	cacheT      uint64
+	execLat     uint64
+
+	traceDone    bool
+	lastProgress uint64
+
+	// Interval-sampling state: the cumulative counters at the last
+	// sample boundary.
+	lastSampleActive [NumUnits]uint64
+	lastSampleOps    [NumUnits]uint64
+	lastSampleRet    uint64
+
+	// Per-cycle flags for stall-episode and activity accounting.
+	prevStall     StallCause
+	prevWasStall  bool
+	unitMoved     [NumUnits]bool
+	fetchedNow    int
+	retiredNow    int
+	agenQTouched  bool
+	execQTouched  bool
+	cacheAccessed bool
+}
+
+// Run simulates the stream to completion on the configured machine
+// and returns the measured Result.
+func Run(cfg Config, src trace.Stream) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:         cfg,
+		src:         src,
+		rob:         make([]robEntry, cfg.WindowCap),
+		decodePipe:  newFIFO(maxIntp(1, cfg.Plan.Decode) * cfg.Width),
+		agenQ:       newFIFO(cfg.AgenQCap),
+		agenPipe:    newFIFO(maxIntp(1, cfg.Plan.Agen) * cfg.AgenWidth),
+		cachePipe:   newFIFO(maxIntp(1, cfg.Plan.Cache) * cfg.CachePorts),
+		decTransit:  uint64(cfg.Plan.Decode + renameStages(cfg)),
+		agenTransit: uint64(cfg.Plan.Agen),
+		cacheT:      uint64(cfg.Plan.Cache),
+		execLat:     uint64(maxIntp(1, cfg.Plan.Exec)),
+	}
+	s.res.Config = cfg
+	s.res.IssueHist = make([]uint64, cfg.Width+1)
+	if cfg.Hierarchy != nil && !cfg.KeepState {
+		cfg.Hierarchy.Reset()
+	}
+
+	for {
+		if s.traceDone && s.retired == s.next {
+			break
+		}
+		s.cycle++
+		if cfg.MaxCycles > 0 && s.cycle > cfg.MaxCycles {
+			return nil, fmt.Errorf("pipeline: exceeded MaxCycles=%d", cfg.MaxCycles)
+		}
+		if s.cycle-s.lastProgress > watchdogCycles {
+			return nil, errors.New("pipeline: no forward progress (engine deadlock)")
+		}
+		s.step()
+	}
+	s.res.Cycles = s.cycle
+	return &s.res, nil
+}
+
+// step advances the machine one cycle, processing stages back to
+// front so an instruction traverses at most one stage per cycle.
+func (s *sim) step() {
+	for i := range s.unitMoved {
+		s.unitMoved[i] = false
+	}
+	s.fetchedNow, s.retiredNow = 0, 0
+	s.agenQTouched, s.execQTouched = false, false
+	s.cacheAccessed = false
+
+	s.resolvePendingBranch()
+	s.stepRetire()
+	s.stepIssue()
+	s.stepCacheExit()
+	s.stepAgenAdvance()
+	s.stepAgenQ()
+	s.stepDecodeExit()
+	s.stepFetch()
+	s.recordActivity()
+
+	if occ := int(s.next - s.retired); occ > s.res.MaxWindowOccupied {
+		s.res.MaxWindowOccupied = occ
+	}
+	if iv := s.cfg.SampleInterval; iv > 0 && s.cycle%iv == 0 {
+		s.takeSample()
+	}
+}
+
+// takeSample appends one interval of the activity trace.
+func (s *sim) takeSample() {
+	var sm ActivitySample
+	sm.Cycle = s.cycle
+	for u := 0; u < NumUnits; u++ {
+		sm.UnitActive[u] = s.res.UnitActive[u] - s.lastSampleActive[u]
+		sm.UnitOps[u] = s.res.UnitOps[u] - s.lastSampleOps[u]
+		s.lastSampleActive[u] = s.res.UnitActive[u]
+		s.lastSampleOps[u] = s.res.UnitOps[u]
+	}
+	sm.Retired = s.res.Instructions - s.lastSampleRet
+	s.lastSampleRet = s.res.Instructions
+	s.res.Samples = append(s.res.Samples, sm)
+}
+
+func (s *sim) entry(seq uint64) *robEntry { return &s.rob[seq%uint64(len(s.rob))] }
+
+// resolvePendingBranch unfreezes the front end once the mispredicted
+// branch has completed; fetch resumes the following cycle, so the
+// refill sees the full decode-to-execute transit.
+func (s *sim) resolvePendingBranch() {
+	if s.havePending && s.entry(s.pendingBranch).complete < s.cycle {
+		s.havePending = false
+	}
+}
+
+func (s *sim) stepRetire() {
+	for s.retired < s.decoded && s.retiredNow < s.cfg.Width {
+		e := s.entry(s.retired)
+		if e.issuedAt == never || e.complete >= s.cycle {
+			break
+		}
+		s.retired++
+		s.retiredNow++
+		s.res.Instructions++
+		s.res.UnitOps[UnitRetire]++
+		s.lastProgress = s.cycle
+	}
+	if s.retiredNow > 0 {
+		s.unitMoved[UnitRetire] = true
+	}
+}
+
+// stepIssue issues up to Width instructions from the execution queue
+// — strictly in program order for the in-order model, oldest-ready-
+// first within the window for the out-of-order model — or classifies
+// the stall.
+func (s *sim) stepIssue() {
+	if s.cfg.OutOfOrder {
+		s.stepIssueOOO()
+		return
+	}
+	issued, memIssued, brIssued := 0, 0, 0
+	var cause StallCause
+	blocked := false
+	for issued < s.cfg.Width && s.issued < s.decoded {
+		e := s.entry(s.issued)
+		// Structural issue-group limits: memory ops are bounded by the
+		// cache ports, branches by the branch unit.
+		if e.in.HasMemory() && memIssued >= s.cfg.CachePorts {
+			break
+		}
+		if e.in.Class == isa.Branch && brIssued >= s.cfg.BranchWidth {
+			break
+		}
+		if c, ok := s.blockCause(e); ok {
+			cause, blocked = c, true
+			break
+		}
+		s.issue(s.issued, e)
+		s.issued++
+		s.inExecQ--
+		issued++
+		if e.in.HasMemory() {
+			memIssued++
+		}
+		if e.in.Class == isa.Branch {
+			brIssued++
+		}
+		if e.in.Class == isa.FP {
+			s.res.UnitOps[UnitFPU]++
+		} else {
+			s.res.UnitOps[UnitExec]++
+		}
+		s.execQTouched = true
+	}
+
+	s.finishIssueAccounting(issued, cause, blocked)
+}
+
+// finishIssueAccounting updates issue statistics and stall-episode
+// counters after an issue attempt (shared by both issue disciplines).
+func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) {
+	if issued > 0 {
+		s.res.IssueCycles++
+		s.res.IssueHist[issued]++
+		s.prevWasStall = false
+		return
+	}
+	s.res.IssueHist[0]++
+	if !blocked {
+		// Execution queue empty: either the front end is frozen on a
+		// mispredicted branch, or it simply has not delivered yet.
+		if s.next == s.retired && s.traceDone {
+			s.prevWasStall = false
+			return // drained: not a stall
+		}
+		if s.havePending {
+			cause = StallBranch
+		} else {
+			cause = StallFrontend
+		}
+	}
+	s.res.StallCycles[cause]++
+	// Episode counting: a maximal run of equal-cause stall cycles is
+	// one hazard event for the causes whose events are not counted
+	// elsewhere (mispredicts and misses are counted at occurrence).
+	if !s.prevWasStall || s.prevStall != cause {
+		switch cause {
+		case StallDependency:
+			s.res.Hazards.DepEpisodes++
+		case StallFP:
+			s.res.Hazards.FPEpisodes++
+		case StallAgen:
+			s.res.Hazards.AgenEpisodes++
+		}
+	}
+	s.prevWasStall = true
+	s.prevStall = cause
+}
+
+// renameStages returns the extra front-end transit of the rename
+// stage (out-of-order mode only).
+func renameStages(cfg Config) int {
+	if cfg.OutOfOrder {
+		return 1
+	}
+	return 0
+}
+
+// stepIssueOOO selects up to Width ready instructions oldest-first
+// from the pending (decoded-but-unissued) window, respecting the same
+// structural limits as the in-order issue stage. Stall classification
+// follows the oldest unissued instruction. The pending list is kept
+// compact, so the per-cycle cost is bounded by the window capacity.
+func (s *sim) stepIssueOOO() {
+	issued, memIssued, brIssued := 0, 0, 0
+	var cause StallCause
+	blocked := false
+	keep := s.pending[:0]
+	for i, seq := range s.pending {
+		e := s.entry(seq)
+		if issued >= s.cfg.Width {
+			keep = append(keep, s.pending[i:]...)
+			break
+		}
+		if e.in.HasMemory() && memIssued >= s.cfg.CachePorts {
+			keep = append(keep, seq)
+			continue
+		}
+		if e.in.Class == isa.Branch && brIssued >= s.cfg.BranchWidth {
+			keep = append(keep, seq)
+			continue
+		}
+		if c, ok := s.blockCauseOOO(e); ok {
+			if len(keep) == 0 && !blocked {
+				cause, blocked = c, true
+			}
+			keep = append(keep, seq)
+			continue
+		}
+		s.issue(seq, e)
+		s.inExecQ--
+		issued++
+		if e.in.HasMemory() {
+			memIssued++
+		}
+		if e.in.Class == isa.Branch {
+			brIssued++
+		}
+		if e.in.Class == isa.FP {
+			s.res.UnitOps[UnitFPU]++
+		} else {
+			s.res.UnitOps[UnitExec]++
+		}
+		s.execQTouched = true
+	}
+	s.pending = keep
+	s.finishIssueAccounting(issued, cause, blocked)
+}
+
+// blockCauseOOO decides readiness from the producers captured at
+// rename, resolved dynamically against the window.
+func (s *sim) blockCauseOOO(e *robEntry) (StallCause, bool) {
+	in := &e.in
+	if in.Class == isa.FP && s.fpuBusyUntil > s.cycle {
+		return StallFP, true
+	}
+	if in.Class == isa.Load {
+		return 0, false
+	}
+	if in.Class == isa.Store {
+		if e.hasSrc1W {
+			if t := s.writerReady(e.src1Writer); t > s.cycle {
+				return s.classifyWriter(e.src1Writer), true
+			}
+		}
+		return 0, false
+	}
+	if in.Class == isa.RX {
+		if e.dataReady == never {
+			return StallAgen, true
+		}
+		if e.dataReady > s.cycle {
+			return StallMemory, true
+		}
+		if e.hasSrc1W {
+			if t := s.writerReady(e.src1Writer); t > s.cycle {
+				return s.classifyWriter(e.src1Writer), true
+			}
+		}
+		return 0, false
+	}
+	if e.hasSrc1W {
+		if t := s.writerReady(e.src1Writer); t > s.cycle {
+			return s.classifyWriter(e.src1Writer), true
+		}
+	}
+	if e.hasSrc2W {
+		if t := s.writerReady(e.src2Writer); t > s.cycle {
+			return s.classifyWriter(e.src2Writer), true
+		}
+	}
+	return 0, false
+}
+
+// classifyWriter attributes a wait on the given producer.
+func (s *sim) classifyWriter(seq uint64) StallCause {
+	if seq < s.retired {
+		return StallDependency
+	}
+	p := s.entry(seq)
+	if p.seq != seq {
+		return StallDependency
+	}
+	if p.in.Class == isa.Load {
+		if p.dataReady == never {
+			return StallAgen
+		}
+		if p.dataReady > s.cycle {
+			return StallMemory
+		}
+	}
+	return StallDependency
+}
+
+// blockCause reports why the head instruction cannot issue, if it
+// cannot. Loads and stores issue without waiting for their own data
+// (the machine is access-decoupled: address generation and cache
+// access run ahead of the execution queue, per Fig. 2); only true
+// consumers of in-flight data stall.
+func (s *sim) blockCause(e *robEntry) (StallCause, bool) {
+	in := &e.in
+	if in.Class == isa.Load {
+		return 0, false
+	}
+	if in.Class == isa.Store {
+		if s.regReady[in.Src1] > s.cycle { // store data not ready
+			return s.classifyDep(in.Src1), true
+		}
+		return 0, false
+	}
+	if in.Class == isa.RX {
+		// The memory operand must have arrived and the register
+		// operand must be ready: the zSeries RX op computes at issue.
+		if e.dataReady == never {
+			return StallAgen, true
+		}
+		if e.dataReady > s.cycle {
+			return StallMemory, true
+		}
+		if s.regReady[in.Src1] > s.cycle {
+			return s.classifyDep(in.Src1), true
+		}
+		return 0, false
+	}
+	if in.Class == isa.FP && s.fpuBusyUntil > s.cycle {
+		return StallFP, true
+	}
+	if in.Src1 != isa.RegNone && s.regReady[in.Src1] > s.cycle {
+		return s.classifyDep(in.Src1), true
+	}
+	if in.Src2 != isa.RegNone && s.regReady[in.Src2] > s.cycle {
+		return s.classifyDep(in.Src2), true
+	}
+	return 0, false
+}
+
+// classifyDep attributes a wait on register r to its producer: a load
+// still in the address path is an agen stall, a load waiting on a
+// cache miss is a memory stall, anything else is a plain dependency.
+func (s *sim) classifyDep(r isa.Reg) StallCause {
+	if !s.haveWriter[r] {
+		return StallDependency
+	}
+	p := s.entry(s.lastWriter[r])
+	if p.in.Class == isa.Load {
+		if p.dataReady == never {
+			return StallAgen
+		}
+		if p.dataReady > s.cycle {
+			return StallMemory
+		}
+	}
+	return StallDependency
+}
+
+// issue starts execution of e at the current cycle.
+func (s *sim) issue(seq uint64, e *robEntry) {
+	in := &e.in
+	e.issuedAt = s.cycle
+	switch in.Class {
+	case isa.FP:
+		// Unpipelined: the FPU is occupied for the full latency (at
+		// least the E-pipe transit).
+		lat := uint64(in.FPLat)
+		if lat < s.execLat {
+			lat = s.execLat
+		}
+		e.complete = s.cycle + lat
+		s.fpuBusyUntil = e.complete
+		s.regReady[in.Dst] = e.complete
+		s.lastWriter[in.Dst] = seq
+		s.haveWriter[in.Dst] = true
+	case isa.Load:
+		// The consumer-visible ready time is the cache data arrival;
+		// completion additionally includes the E-unit pass.
+		if e.dataReady == never {
+			e.complete = never
+		} else {
+			e.complete = maxU64(s.cycle+intLat, e.dataReady)
+			s.execActiveUntil = maxU64(s.execActiveUntil, s.cycle+intLat)
+		}
+		s.regReady[in.Dst] = e.dataReady
+		s.lastWriter[in.Dst] = seq
+		s.haveWriter[in.Dst] = true
+	case isa.Store:
+		if e.dataReady == never {
+			e.complete = never
+		} else {
+			e.complete = maxU64(s.cycle+intLat, e.dataReady)
+		}
+		s.execActiveUntil = maxU64(s.execActiveUntil, s.cycle+intLat)
+	case isa.RX:
+		// Operands arrived (memory at dataReady, register checked at
+		// issue): the compute itself is a one-cycle ALU pass.
+		e.complete = s.cycle + intLat
+		s.regReady[in.Dst] = e.complete
+		s.lastWriter[in.Dst] = seq
+		s.haveWriter[in.Dst] = true
+		s.execActiveUntil = maxU64(s.execActiveUntil, e.complete)
+	case isa.Branch:
+		// Branches resolve at the end of the E-unit pipe: the
+		// misprediction penalty grows with the pipeline depth.
+		e.complete = s.cycle + s.execLat
+		s.execActiveUntil = maxU64(s.execActiveUntil, e.complete)
+	default: // RR
+		// Simple ALU results forward in one cycle independent of the
+		// E-pipe depth — deep real designs keep the common ALU loop
+		// single-cycle with aggressive bypassing (staggered ALUs);
+		// only branch resolution, FP and memory pay the added stages.
+		e.complete = s.cycle + intLat
+		s.regReady[in.Dst] = e.complete
+		s.lastWriter[in.Dst] = seq
+		s.haveWriter[in.Dst] = true
+		s.execActiveUntil = maxU64(s.execActiveUntil, e.complete)
+	}
+}
+
+// stepCacheExit completes cache accesses for memory operations leaving
+// the cache pipe. Load misses block the cache (no MSHRs, as in the
+// era's blocking L1 designs); stores retire into a store buffer and
+// never block.
+func (s *sim) stepCacheExit() {
+	for ports := 0; ports < s.cfg.CachePorts && !s.cachePipe.empty(); ports++ {
+		if s.cycle < s.cacheBusyUntil {
+			break
+		}
+		pe := s.cachePipe.peek()
+		if s.cycle-pe.at < s.cacheT {
+			break
+		}
+		s.cachePipe.pop()
+		e := s.entry(pe.seq)
+		s.cacheAccessed = true
+		s.res.UnitOps[UnitCache]++
+
+		level, latFO4 := cache.L1, 0.0
+		if s.cfg.Hierarchy != nil {
+			level, latFO4 = s.cfg.Hierarchy.Access(e.in.Addr)
+		}
+		extra := uint64(0)
+		if level != cache.L1 {
+			s.res.L1Misses++
+			extra = s.cfg.LatencyCycles(latFO4)
+		}
+		if e.in.Class != isa.Store {
+			if e.in.Class == isa.Load {
+				s.res.LoadCount++
+			} else {
+				s.res.RXCount++
+			}
+			e.dataReady = s.cycle + extra
+			if extra > 0 {
+				if level == cache.L2 {
+					s.res.Hazards.LoadL2Hits++
+				} else {
+					// Only memory accesses block the (otherwise
+					// pipelined) cache port; L2 hits stream. With
+					// MSHRs (NonBlockingCache) misses overlap freely.
+					s.res.Hazards.LoadMemAccesses++
+					if !s.cfg.NonBlockingCache {
+						s.cacheBusyUntil = s.cycle + extra
+					}
+				}
+			}
+		} else {
+			s.res.StoreCount++
+			e.dataReady = s.cycle
+		}
+		// Late fix-up for memory ops that issued before their data
+		// arrived: completion and (for loads that are still the
+		// youngest writer of their register) consumer visibility.
+		if e.issuedAt != never {
+			e.complete = maxU64(e.issuedAt+intLat, e.dataReady)
+		}
+		if e.in.Class == isa.Load &&
+			s.haveWriter[e.in.Dst] && s.lastWriter[e.in.Dst] == pe.seq {
+			s.regReady[e.in.Dst] = e.dataReady
+		}
+	}
+}
+
+// stepAgenAdvance moves address-generated operations into the cache
+// pipe.
+func (s *sim) stepAgenAdvance() {
+	for moved := 0; moved < s.cfg.AgenWidth && !s.agenPipe.empty(); moved++ {
+		pe := s.agenPipe.peek()
+		if s.cycle-pe.at < s.agenTransit {
+			break
+		}
+		if s.cachePipe.full() {
+			break
+		}
+		s.agenPipe.pop()
+		s.cachePipe.push(pipeEntry{seq: pe.seq, at: s.cycle})
+		s.unitMoved[UnitAgen] = true
+		s.res.UnitOps[UnitAgen]++
+	}
+}
+
+// stepAgenQ launches queued memory operations into address generation
+// once their base registers are ready (in order).
+func (s *sim) stepAgenQ() {
+	for moved := 0; moved < s.cfg.AgenWidth && !s.agenQ.empty(); moved++ {
+		pe := s.agenQ.peek()
+		e := s.entry(pe.seq)
+		// The base producer was captured at decode exit, so the
+		// address path runs fully decoupled from issue in both modes.
+		if e.hasBaseWriter {
+			if t := s.writerReady(e.baseWriterSeq); t == never || t > s.cycle {
+				break
+			}
+		}
+		if s.agenPipe.full() {
+			break
+		}
+		s.agenQ.pop()
+		s.agenPipe.push(pipeEntry{seq: pe.seq, at: s.cycle})
+		s.agenQTouched = true
+		s.res.UnitOps[UnitAgenQ]++
+	}
+}
+
+// stepDecodeExit routes decoded instructions into the execution queue
+// (and memory operations additionally into the address queue).
+func (s *sim) stepDecodeExit() {
+	for moved := 0; moved < s.cfg.Width && !s.decodePipe.empty(); moved++ {
+		pe := s.decodePipe.peek()
+		if s.cycle-pe.at < s.decTransit {
+			break
+		}
+		if s.inExecQ >= s.cfg.ExecQCap {
+			break
+		}
+		e := s.entry(pe.seq)
+		if e.in.HasMemory() && s.agenQ.full() {
+			break
+		}
+		s.decodePipe.pop()
+		s.rename(pe.seq, e)
+		if e.in.HasMemory() {
+			s.agenQ.push(pipeEntry{seq: pe.seq, at: s.cycle})
+			s.agenQTouched = true
+		}
+		s.decoded++
+		s.inExecQ++
+		if s.cfg.OutOfOrder {
+			s.pending = append(s.pending, pe.seq)
+		}
+		s.res.UnitOps[UnitDecode]++
+		s.res.UnitOps[UnitExecQ]++
+		s.execQTouched = true
+	}
+}
+
+// stepFetch brings new instructions from the trace into decode,
+// consulting the branch predictor and freezing on mispredictions (the
+// machine does not fetch down the wrong path; the freeze lasts until
+// the branch resolves, which reproduces the misprediction penalty
+// exactly).
+func (s *sim) stepFetch() {
+	if s.havePending || s.traceDone || s.cycle < s.redirectHoldTo {
+		return
+	}
+	if s.cycle < s.iBusyUntil {
+		return
+	}
+	for s.fetchedNow < s.cfg.Width {
+		if s.next-s.retired >= uint64(len(s.rob)) {
+			break
+		}
+		if s.decodePipe.full() {
+			break
+		}
+		in, ok := s.src.Next()
+		if !ok {
+			s.traceDone = true
+			break
+		}
+		// Instruction-cache model: a new code line must be resident;
+		// a miss stalls fetch for the configured time.
+		if s.cfg.ICache != nil {
+			line := in.PC &^ 63
+			if line != s.lastFetchLine {
+				s.lastFetchLine = line
+				if !s.cfg.ICache.Access(in.PC) {
+					s.res.ICacheMisses++
+					s.iBusyUntil = s.cycle + s.cfg.LatencyCycles(s.cfg.ICacheMissFO4)
+				}
+			}
+		}
+		seq := s.next
+		s.next++
+		s.lastProgress = s.cycle
+		*s.entry(seq) = robEntry{in: in, seq: seq, dataReady: never, issuedAt: never, complete: never}
+		s.decodePipe.push(pipeEntry{seq: seq, at: s.cycle})
+		s.fetchedNow++
+		s.res.UnitOps[UnitFetch]++
+
+		if in.Class == isa.Branch {
+			s.res.Branches++
+			if in.Taken {
+				s.res.TakenBranches++
+			}
+			pred := in.Taken
+			if s.cfg.Predictor != nil {
+				pred = s.cfg.Predictor.Predict(in.PC)
+				s.cfg.Predictor.Update(in.PC, in.Taken)
+			}
+			if pred == in.Taken {
+				s.res.PredictorCorrect++
+				if in.Taken {
+					hold := uint64(0)
+					if s.cfg.RedirectBubble {
+						// Correctly predicted taken branch: one-cycle
+						// fetch redirect bubble.
+						hold = 1
+					}
+					// The redirect needs the target: a BTB miss holds
+					// fetch until decode computes it.
+					if s.cfg.BTB != nil {
+						if _, hit := s.cfg.BTB.Lookup(in.PC); !hit {
+							s.res.BTBMisses++
+							hold += uint64(s.cfg.BTBMissBubbles)
+						}
+						s.cfg.BTB.Update(in.PC, in.Target)
+					}
+					if hold > 0 {
+						s.redirectHoldTo = s.cycle + 1 + hold
+						break
+					}
+				}
+			} else {
+				s.res.Hazards.BranchMispredicts++
+				s.pendingBranch = seq
+				s.havePending = true
+				break
+			}
+		}
+	}
+	if s.fetchedNow > 0 {
+		s.unitMoved[UnitFetch] = true
+	}
+}
+
+// recordActivity accumulates per-unit switching activity for the
+// power monitor: a unit is active on a cycle when its latches clock
+// new values (instructions advanced through it). With
+// WrongPathActivity, misprediction-recovery cycles charge the front
+// end at full rate (wrong-path fetch and decode).
+func (s *sim) recordActivity() {
+	if s.cfg.WrongPathActivity && s.havePending {
+		s.unitMoved[UnitFetch] = true
+		s.unitMoved[UnitDecode] = true
+		s.res.UnitOps[UnitFetch] += uint64(s.cfg.Width)
+		s.res.UnitOps[UnitDecode] += uint64(s.cfg.Width)
+		if s.cfg.OutOfOrder {
+			s.unitMoved[UnitRename] = true
+			s.res.UnitOps[UnitRename] += uint64(s.cfg.Width)
+		}
+	}
+	if s.decodePipe.anyMoving(s.cycle, s.decTransit) {
+		s.unitMoved[UnitDecode] = true
+	}
+	if s.agenTransit > 0 && s.agenPipe.anyMoving(s.cycle, s.agenTransit) {
+		s.unitMoved[UnitAgen] = true
+	}
+	if s.cacheAccessed || s.cachePipe.anyMoving(s.cycle, s.cacheT) {
+		s.unitMoved[UnitCache] = true
+	}
+	if s.agenQTouched {
+		s.unitMoved[UnitAgenQ] = true
+	}
+	if s.execQTouched {
+		s.unitMoved[UnitExecQ] = true
+	}
+	if s.cycle < s.execActiveUntil {
+		s.unitMoved[UnitExec] = true
+	}
+	if s.cycle < s.fpuBusyUntil {
+		s.unitMoved[UnitFPU] = true
+	}
+	for u := 0; u < NumUnits; u++ {
+		if s.unitMoved[u] {
+			s.res.UnitActive[u]++
+		}
+	}
+}
+
+// rename records producers in the decode-time writer table. In both
+// execution modes, memory operations capture their base-register
+// producer here — decode exit is exact for that purpose: every older
+// instruction has already claimed its destination, no younger one has
+// — which lets the address path run decoupled from issue. In
+// out-of-order mode the full source operands are captured too (the
+// register-renaming step proper), eliminating WAW and WAR hazards.
+func (s *sim) rename(seq uint64, e *robEntry) {
+	in := &e.in
+	capture := func(r isa.Reg) (uint64, bool) {
+		if r == isa.RegNone || !s.haveRename[r] {
+			return 0, false
+		}
+		return s.renameTable[r], true
+	}
+	if in.HasMemory() {
+		e.baseWriterSeq, e.hasBaseWriter = capture(in.BaseReg())
+	}
+	if s.cfg.OutOfOrder {
+		switch in.Class {
+		case isa.Store, isa.RX:
+			e.src1Writer, e.hasSrc1W = capture(in.Src1)
+		case isa.RR, isa.FP, isa.Branch:
+			e.src1Writer, e.hasSrc1W = capture(in.Src1)
+			e.src2Writer, e.hasSrc2W = capture(in.Src2)
+		}
+		s.res.UnitOps[UnitRename]++
+		s.unitMoved[UnitRename] = true
+	}
+	if in.WritesReg() {
+		s.renameTable[in.Dst] = seq
+		s.haveRename[in.Dst] = true
+	}
+}
+
+// writerReady returns when the result of the instruction with the
+// given sequence number becomes readable, or 0 if it has already
+// retired (its window slot may have been reused).
+func (s *sim) writerReady(seq uint64) uint64 {
+	if seq < s.retired {
+		return 0
+	}
+	e := s.entry(seq)
+	if e.seq != seq {
+		return 0
+	}
+	if e.in.Class == isa.Load {
+		return e.dataReady
+	}
+	return e.complete
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

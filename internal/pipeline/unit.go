@@ -1,0 +1,72 @@
+// Package pipeline implements the cycle-accurate simulator of the
+// paper's 4-issue in-order superscalar machine (Fig. 2): instructions
+// flow through Decode → (memory ops: AgenQ → Agen → Cache) → ExecQ →
+// Exec/FPU → Complete → Retire. The pipeline depth between decode and
+// execute is configurable from 2 to 40 stages; extra stages are added
+// "uniformly" to Decode, Cache and the E-unit as the paper prescribes,
+// and at very short depths adjacent units merge into shared stages.
+//
+// The simulator counts cycles exactly under its stated
+// microarchitectural rules, attributes every stall cycle to a hazard
+// cause, counts hazard events (the N_H of the analytical model), and
+// records per-unit switching activity every cycle for the power
+// monitor in package power.
+package pipeline
+
+import "fmt"
+
+// Unit identifies one microarchitectural unit for depth planning and
+// power accounting.
+type Unit int
+
+// The simulator's units. Fetch and Retire are fixed-depth bookends;
+// Decode, Agen, Cache and Exec are the expandable logic units whose
+// stage counts sum to the pipeline depth; Rename is the one-stage
+// register renamer (active only for out-of-order execution — the
+// in-order model skips it, as the paper's does); AgenQ and ExecQ are
+// decoupling buffers; FPU is the unpipelined floating-point unit.
+const (
+	UnitFetch Unit = iota
+	UnitDecode
+	UnitRename
+	UnitAgenQ
+	UnitAgen
+	UnitCache
+	UnitExecQ
+	UnitExec
+	UnitFPU
+	UnitRetire
+
+	numUnits = iota
+)
+
+// NumUnits is the number of modeled units.
+const NumUnits = int(numUnits)
+
+// String names the unit.
+func (u Unit) String() string {
+	switch u {
+	case UnitFetch:
+		return "fetch"
+	case UnitDecode:
+		return "decode"
+	case UnitRename:
+		return "rename"
+	case UnitAgenQ:
+		return "agenq"
+	case UnitAgen:
+		return "agen"
+	case UnitCache:
+		return "cache"
+	case UnitExecQ:
+		return "execq"
+	case UnitExec:
+		return "exec"
+	case UnitFPU:
+		return "fpu"
+	case UnitRetire:
+		return "retire"
+	default:
+		return fmt.Sprintf("Unit(%d)", int(u))
+	}
+}

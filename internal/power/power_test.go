@@ -1,0 +1,283 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestDefaultModelValidates(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel()
+	bad.BetaUnit = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero beta accepted")
+	}
+	bad = DefaultModel()
+	bad.Pd, bad.Pl = 0, 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero power accepted")
+	}
+	bad = DefaultModel()
+	bad.BaseLatches[pipeline.UnitExec] = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative base latches accepted")
+	}
+}
+
+func TestUnitLatchesScaling(t *testing.T) {
+	m := DefaultModel()
+	p10 := pipeline.MustPlanDepth(10)
+	p20 := pipeline.MustPlanDepth(20)
+	// Decode: 3 stages at depth 10, 6 at depth 20 → ratio 2^1.3.
+	r := m.UnitLatches(p20, pipeline.UnitDecode) / m.UnitLatches(p10, pipeline.UnitDecode)
+	if math.Abs(r-math.Pow(2, m.BetaUnit)) > 1e-9 {
+		t.Errorf("decode latch ratio = %g, want 2^%g", r, m.BetaUnit)
+	}
+	// Fixed units do not scale.
+	if m.UnitLatches(p20, pipeline.UnitFetch) != m.UnitLatches(p10, pipeline.UnitFetch) {
+		t.Error("fetch latches scaled with depth")
+	}
+}
+
+func TestFigure3OverallExponent(t *testing.T) {
+	// Paper Fig. 3: with per-unit β = 1.3, the overall latch count
+	// grows as ≈ p^1.1.
+	m := DefaultModel()
+	var depths []int
+	var xs, ys []float64
+	for d := 2; d <= 25; d++ {
+		depths = append(depths, d)
+	}
+	curve, err := m.LatchCurve(depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range depths {
+		xs = append(xs, float64(d))
+		ys = append(ys, curve[i])
+	}
+	_, exp, err := mathx.PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp < 1.0 || exp > 1.2 {
+		t.Errorf("overall latch exponent = %.3f, want ≈ 1.1", exp)
+	}
+	// Monotone growth.
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] {
+			t.Errorf("latch curve not increasing at depth %d", depths[i])
+		}
+	}
+}
+
+func TestLeakageCalibration(t *testing.T) {
+	m := DefaultModel()
+	// At the reference depth with full switching, leakage must be 15%.
+	plan := pipeline.MustPlanDepth(DefaultLeakageRefDepth)
+	fs := 1 / (m.TO + m.TP/float64(DefaultLeakageRefDepth))
+	latches := m.TotalLatches(plan)
+	dyn := m.Pd * latches * fs
+	leak := m.Pl * latches
+	frac := leak / (dyn + leak)
+	if math.Abs(frac-0.15) > 1e-9 {
+		t.Errorf("calibrated leakage fraction = %g, want 0.15", frac)
+	}
+	// Zero fraction clears leakage; WithBetaUnit preserves Pd.
+	if m2 := m.WithLeakageFraction(0, 3); m2.Pl != 0 {
+		t.Error("zero fraction did not clear Pl")
+	}
+	if m2 := m.WithBetaUnit(1.1); m2.BetaUnit != 1.1 || m2.Pd != m.Pd {
+		t.Error("WithBetaUnit side effects")
+	}
+	if m2 := m.WithLeakageFraction(1, 3); math.IsInf(m2.Pl, 0) {
+		t.Error("fraction 1 diverged")
+	}
+}
+
+func simResult(t *testing.T, depth int) *pipeline.Result {
+	t.Helper()
+	g := workload.MustGenerator(workload.Representative(workload.Modern))
+	r, err := pipeline.Run(pipeline.MustDefaultConfig(depth), trace.NewLimitStream(g, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEvaluateGatedBelowNonGated(t *testing.T) {
+	m := DefaultModel()
+	r := simResult(t, 12)
+	gated := m.Evaluate(r, true)
+	plain := m.Evaluate(r, false)
+	if !(gated.Dynamic < plain.Dynamic) {
+		t.Errorf("gated dynamic %g not below non-gated %g", gated.Dynamic, plain.Dynamic)
+	}
+	if gated.Leakage != plain.Leakage {
+		t.Errorf("leakage differs with gating: %g vs %g", gated.Leakage, plain.Leakage)
+	}
+	if gated.Total() >= plain.Total() {
+		t.Error("gating did not reduce total power")
+	}
+	if gated.Total() != gated.Dynamic+gated.Leakage {
+		t.Error("total ≠ dynamic + leakage")
+	}
+	if plain.LeakageFraction() <= 0 || plain.LeakageFraction() >= 1 {
+		t.Errorf("leakage fraction = %g", plain.LeakageFraction())
+	}
+}
+
+func TestEvaluatePerUnitConsistency(t *testing.T) {
+	m := DefaultModel()
+	r := simResult(t, 10)
+	for _, gated := range []bool{false, true} {
+		b := m.Evaluate(r, gated)
+		sum := 0.0
+		for _, p := range b.PerUnit {
+			sum += p
+		}
+		if math.Abs(sum-b.Total()) > 1e-9*b.Total() {
+			t.Errorf("gated=%v: per-unit sum %g ≠ total %g", gated, sum, b.Total())
+		}
+	}
+}
+
+func TestPowerGrowsWithDepth(t *testing.T) {
+	// Non-gated power must grow strongly with depth (frequency ×
+	// latches); gated power grows more slowly.
+	m := DefaultModel()
+	shallow := m.Evaluate(simResult(t, 5), false)
+	deep := m.Evaluate(simResult(t, 22), false)
+	if deep.Total() < 2*shallow.Total() {
+		t.Errorf("non-gated power %g → %g from depth 5 → 22; want strong growth",
+			shallow.Total(), deep.Total())
+	}
+	gShallow := m.Evaluate(simResult(t, 5), true)
+	gDeep := m.Evaluate(simResult(t, 22), true)
+	ngRatio := deep.Total() / shallow.Total()
+	gRatio := gDeep.Total() / gShallow.Total()
+	if gRatio >= ngRatio {
+		t.Errorf("gated power ratio %.2f ≥ non-gated %.2f", gRatio, ngRatio)
+	}
+}
+
+func TestMergedUnitsUseMaxPower(t *testing.T) {
+	// At depth 2, decode+agen merge and cache+exec merge: total power
+	// must count each group once, at the larger member's level —
+	// strictly less than the sum of separate units would give.
+	m := DefaultModel()
+	plan2 := pipeline.MustPlanDepth(2)
+	merged := m.TotalLatches(plan2)
+	separate := 0.0
+	for u := 0; u < pipeline.NumUnits; u++ {
+		separate += m.UnitLatches(plan2, pipeline.Unit(u))
+	}
+	if !(merged < separate) {
+		t.Errorf("merged latches %g not below separate %g", merged, separate)
+	}
+	// The group contributes max(members): dropping the smaller member
+	// changes nothing.
+	m2 := m
+	m2.BaseLatches[pipeline.UnitAgen] = 0 // smaller member of decode+agen group
+	if m2.TotalLatches(plan2) != merged {
+		t.Error("smaller merged member affected group latches")
+	}
+	// But raising it above the larger member does.
+	m3 := m
+	m3.BaseLatches[pipeline.UnitAgen] = m.BaseLatches[pipeline.UnitDecode] * 10
+	if !(m3.TotalLatches(plan2) > merged) {
+		t.Error("larger merged member did not raise group latches")
+	}
+}
+
+func TestLatchCurveErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.LatchCurve([]int{1}); err == nil {
+		t.Error("invalid depth accepted")
+	}
+}
+
+func TestPowerTrace(t *testing.T) {
+	g := workload.MustGenerator(workload.Representative(workload.Modern))
+	cfg := pipeline.MustDefaultConfig(10)
+	cfg.SampleInterval = 200
+	r, err := pipeline.Run(cfg, trace.NewLimitStream(g, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples) < 10 {
+		t.Fatalf("samples = %d", len(r.Samples))
+	}
+	m := DefaultModel()
+	tr := m.PowerTrace(r, true)
+	if len(tr) != len(r.Samples) {
+		t.Fatalf("trace length %d vs %d samples", len(tr), len(r.Samples))
+	}
+	plain := m.Evaluate(r, false)
+	var sum, minP, maxP float64
+	minP = math.Inf(1)
+	for _, b := range tr {
+		if b.Total() <= 0 {
+			t.Fatal("non-positive interval power")
+		}
+		if b.Total() > plain.Total()*(1+1e-9) {
+			t.Errorf("interval power %g exceeds the non-gated bound %g", b.Total(), plain.Total())
+		}
+		sum += b.Total()
+		minP = math.Min(minP, b.Total())
+		maxP = math.Max(maxP, b.Total())
+	}
+	// Gated power varies over time with program behaviour.
+	if maxP <= minP {
+		t.Error("power trace is flat — sampling not capturing activity variation")
+	}
+	// The time-average of interval powers matches the whole-run gated
+	// power over the sampled region (both are activity-weighted means).
+	avg := sum / float64(len(tr))
+	whole := m.Evaluate(r, true).Total()
+	if math.Abs(avg-whole)/whole > 0.15 {
+		t.Errorf("trace average %g deviates from run power %g", avg, whole)
+	}
+}
+
+func TestPowerTraceIntervalAccounting(t *testing.T) {
+	g := workload.MustGenerator(workload.Representative(workload.SPECInt))
+	cfg := pipeline.MustDefaultConfig(8)
+	cfg.SampleInterval = 100
+	r, err := pipeline.Run(cfg, trace.NewLimitStream(g, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval deltas must sum to (at most) the cumulative totals —
+	// the tail beyond the last boundary is unsampled.
+	var retired uint64
+	var active [pipeline.NumUnits]uint64
+	for _, sm := range r.Samples {
+		retired += sm.Retired
+		for u := 0; u < pipeline.NumUnits; u++ {
+			active[u] += sm.UnitActive[u]
+			if sm.UnitActive[u] > 100 {
+				t.Fatalf("unit %s active %d cycles in a 100-cycle interval",
+					pipeline.Unit(u), sm.UnitActive[u])
+			}
+		}
+	}
+	if retired > r.Instructions {
+		t.Errorf("sampled retirements %d exceed total %d", retired, r.Instructions)
+	}
+	if r.Instructions-retired > 4*100 {
+		t.Errorf("unsampled tail too large: %d", r.Instructions-retired)
+	}
+	for u := 0; u < pipeline.NumUnits; u++ {
+		if active[u] > r.UnitActive[u] {
+			t.Errorf("unit %s sampled activity exceeds total", pipeline.Unit(u))
+		}
+	}
+}

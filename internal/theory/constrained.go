@@ -1,0 +1,94 @@
+package theory
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// The paper's introduction contrasts two design strategies under a
+// power budget: optimize a combined BIPS^m/W metric (the paper's
+// study), or "design for the best possible performance, subject to
+// the constraint that the power be just below some maximum value,
+// which can be effectively dissipated by the packaging environment."
+// This file implements the second strategy on the same model, so the
+// two can be compared.
+
+// ConstrainedOptimum maximizes performance subject to the power cap
+// P_T(p) ≤ cap over the physical depth range. ok is false when no
+// depth satisfies the cap. When the cap is not binding the result
+// coincides with the unconstrained performance optimum (clipped to
+// the search range).
+func (p Params) ConstrainedOptimum(cap float64) (Optimum, bool) {
+	const samples = 600
+	feasibleBest := math.Inf(-1)
+	bestX := 0.0
+	found := false
+	// Grid scan the feasible set; BIPS is smooth and unimodal, but
+	// the feasible set need not be an interval for the gated model,
+	// so scan rather than bisect.
+	xs := mathx.Linspace(MinDepth, MaxDepth, samples)
+	for _, x := range xs {
+		if p.TotalPower(x) > cap {
+			continue
+		}
+		found = true
+		if b := p.BIPS(x); b > feasibleBest {
+			feasibleBest, bestX = b, x
+		}
+	}
+	if !found {
+		return Optimum{}, false
+	}
+	// Refine around the best sample, restricted to feasibility.
+	step := (MaxDepth - MinDepth) / float64(samples-1)
+	lo, hi := math.Max(MinDepth, bestX-step), math.Min(MaxDepth, bestX+step)
+	x := mathx.GoldenMax(func(d float64) float64 {
+		if p.TotalPower(d) > cap {
+			return math.Inf(-1)
+		}
+		return p.BIPS(d)
+	}, lo, hi, 1e-6)
+	if p.TotalPower(x) > cap || p.BIPS(x) < feasibleBest {
+		x = bestX
+	}
+	return Optimum{
+		Depth:    x,
+		FO4:      p.CycleTime(x),
+		Metric:   p.BIPS(x),
+		Interior: x > MinDepth+1e-3 && x < MaxDepth-1e-3,
+		AtMin:    x <= MinDepth+1e-3,
+		AtMax:    x >= MaxDepth-1e-3,
+	}, true
+}
+
+// FrontierPoint is one point of the power-constrained design
+// frontier: the best achievable performance and its depth for a given
+// power budget.
+type FrontierPoint struct {
+	Cap      float64 // power budget
+	Depth    float64 // best feasible depth
+	FO4      float64
+	BIPS     float64
+	Power    float64 // power actually drawn at the chosen depth
+	Feasible bool
+}
+
+// PowerFrontier evaluates the constrained optimum across a set of
+// power budgets — the packaging-limited design curve. Budgets are
+// interpreted in the model's (arbitrary) power units; a convenient
+// reference is TotalPower at a known design point.
+func (p Params) PowerFrontier(caps []float64) []FrontierPoint {
+	out := make([]FrontierPoint, len(caps))
+	for i, c := range caps {
+		opt, ok := p.ConstrainedOptimum(c)
+		out[i] = FrontierPoint{Cap: c, Feasible: ok}
+		if ok {
+			out[i].Depth = opt.Depth
+			out[i].FO4 = opt.FO4
+			out[i].BIPS = opt.Metric
+			out[i].Power = p.TotalPower(opt.Depth)
+		}
+	}
+	return out
+}

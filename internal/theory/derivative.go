@@ -1,0 +1,201 @@
+package theory
+
+import (
+	"repro/internal/mathx"
+)
+
+// This file contains the closed-form stationarity conditions: the
+// paper's quartic (Eq. 5), its exact and approximate factors (Eqs. 6a,
+// 6b), and the residual quadratic (Eqs. 7–8).
+//
+// Derivation sketch (verified by TestDerivativeMatchesNumericGradient):
+// write τ(p)·p = (t_o·p + t_p)(γ'·p + 1/α) ≡ S(p) with
+// S = c·p² + a·p + b, a = t_o/α + γ'·t_p, b = t_p/α, c = γ'·t_o.
+// Minimizing F = τ^m·P_T and clearing denominators gives, for the
+// non-gated model with D = f_cg·P_d + P_l·t_o,
+//
+//	m(c·p² − b)(D·p + P_l·t_p)
+//	  + β(t_o·p + t_p)(γ'·p + 1/α)(D·p + P_l·t_p)
+//	  + f_cg·P_d·t_p·p·(γ'·p + 1/α) = 0            (cubic)
+//
+// The paper's quartic Eq. 5 is (t_o·p + t_p) times this cubic, which
+// is why p = −t_p/t_o (Eq. 6a) is an exact root; (D·p + P_l·t_p) is an
+// approximate factor, giving Eq. 6b; dividing it out leaves the
+// quadratic Eqs. 7–8.
+//
+// For the clock-gated model the cleared condition is
+//
+//	β·S·(κ·P_d·p + P_l·S) + (c·p² − b)·((m−1)·κ·P_d·p + m·P_l·S) = 0
+//
+// a quartic in p (S is quadratic).
+
+// sCoeffs returns (b, a, c) with S(p) = c·p² + a·p + b = τ(p)·p.
+func (p Params) sCoeffs() (b, a, c float64) {
+	gp := p.GammaPrime()
+	return p.TP / p.Alpha, p.TO/p.Alpha + gp*p.TP, gp * p.TO
+}
+
+// sPoly returns S(p) = τ(p)·p as a polynomial.
+func (p Params) sPoly() mathx.Poly {
+	b, a, c := p.sCoeffs()
+	return mathx.NewPoly(b, a, c)
+}
+
+// DerivativeCubic returns the cubic polynomial in depth whose roots
+// are the stationary points of the non-gated metric (the paper's
+// quartic Eq. 5 with the exact factor (t_o·p + t_p) divided out).
+// It panics if called on a clock-gated parameter set; use
+// GatedDerivativeQuartic instead.
+func (p Params) DerivativeCubic() mathx.Poly {
+	if p.ClockGated {
+		panic("theory: DerivativeCubic requires the non-gated model")
+	}
+	b, _, c := p.sCoeffs()
+	d := p.Fcg*p.Pd + p.Pl*p.TO
+	gp := p.GammaPrime()
+	inva := 1 / p.Alpha
+
+	// m(c·p² − b)(D·p + P_l·t_p)
+	t1 := mathx.NewPoly(-b, 0, c).Scale(p.M).Mul(mathx.NewPoly(p.Pl*p.TP, d))
+	// β(t_o·p + t_p)(γ'·p + 1/α)(D·p + P_l·t_p)
+	t2 := mathx.NewPoly(p.TP, p.TO).
+		Mul(mathx.NewPoly(inva, gp)).
+		Mul(mathx.NewPoly(p.Pl*p.TP, d)).
+		Scale(p.Beta)
+	// f_cg·P_d·t_p·p·(γ'·p + 1/α)
+	t3 := mathx.NewPoly(0, inva, gp).Scale(p.Fcg * p.Pd * p.TP)
+
+	return t1.Add(t2).Add(t3)
+}
+
+// DerivativeQuartic returns the paper's Eq. 5: the quartic
+// (t_o·p + t_p) × DerivativeCubic whose four real roots appear in the
+// paper's Figure 1. Exactly one root is positive (when an optimum
+// exists); p = −t_p/t_o is always among the negative roots.
+func (p Params) DerivativeQuartic() mathx.Poly {
+	return mathx.NewPoly(p.TP, p.TO).Mul(p.DerivativeCubic())
+}
+
+// GatedDerivativeQuartic returns the quartic stationarity condition
+// for the clock-gated model. It panics if called on a non-gated
+// parameter set.
+func (p Params) GatedDerivativeQuartic() mathx.Poly {
+	if !p.ClockGated {
+		panic("theory: GatedDerivativeQuartic requires the clock-gated model")
+	}
+	b, _, c := p.sCoeffs()
+	s := p.sPoly()
+	kpd := p.Kappa * p.Pd
+
+	// β·S·(κP_d·p + P_l·S)
+	t1 := s.Mul(mathx.NewPoly(0, kpd).Add(s.Scale(p.Pl))).Scale(p.Beta)
+	// (c·p² − b)·((m−1)·κP_d·p + m·P_l·S)
+	t2 := mathx.NewPoly(-b, 0, c).
+		Mul(mathx.NewPoly(0, (p.M-1)*kpd).Add(s.Scale(p.M * p.Pl)))
+
+	return t1.Add(t2)
+}
+
+// StationaryPoints returns every real root of the active model's
+// stationarity polynomial, in ascending order. Physically meaningful
+// optima are the positive roots.
+func (p Params) StationaryPoints() []float64 {
+	if p.ClockGated {
+		return p.GatedDerivativeQuartic().RealRoots()
+	}
+	return p.DerivativeQuartic().RealRoots()
+}
+
+// Root6a returns the paper's Eq. 6a, p = −t_p/t_o, an exact
+// (non-physical) root of the quartic Eq. 5.
+func (p Params) Root6a() float64 { return -p.TP / p.TO }
+
+// Root6b returns the paper's Eq. 6b,
+// p = −t_p·P_l/(f_cg·P_d + t_o·P_l), an approximate root of Eq. 5
+// accurate to within ~5%.
+func (p Params) Root6b() float64 {
+	d := p.Fcg*p.Pd + p.TO*p.Pl
+	if d == 0 {
+		return 0
+	}
+	return -p.TP * p.Pl / d
+}
+
+// QuadraticCoeffs returns the paper's Eq. 8 coefficients (B₂, B₁, B₀)
+// of the residual quadratic B₂p² + B₁p + B₀ = 0 for the non-gated
+// model:
+//
+//	B₂ = (β + m)·γ'·t_o
+//	B₁ = β·γ'·t_p + β·t_o/α + γ'·t_p·η
+//	B₀ = (β − m)·t_p/α + (t_p/α)·η,   η = f_cg·P_d/(f_cg·P_d + t_o·P_l)
+//
+// A positive root requires B₀ < 0, i.e. m > β + η — the paper's
+// refinement of the necessary condition m > β.
+func (p Params) QuadraticCoeffs() (b2, b1, b0 float64) {
+	gp := p.GammaPrime()
+	eta := p.dynamicShare()
+	b2 = (p.Beta + p.M) * gp * p.TO
+	b1 = p.Beta*gp*p.TP + p.Beta*p.TO/p.Alpha + gp*p.TP*eta
+	b0 = (p.Beta-p.M)*p.TP/p.Alpha + p.TP/p.Alpha*eta
+	return b2, b1, b0
+}
+
+// dynamicShare returns η = f_cg·P_d/(f_cg·P_d + t_o·P_l) ∈ (0, 1],
+// the weight of dynamic power in the B-coefficients.
+func (p Params) dynamicShare() float64 {
+	d := p.Fcg*p.Pd + p.TO*p.Pl
+	if d == 0 {
+		return 0
+	}
+	return p.Fcg * p.Pd / d
+}
+
+// GatedQuadraticCoeffs returns the residual quadratic coefficients for
+// the clock-gated model in the zero-leakage approximation:
+//
+//	B₂ = (β + m − 1)·γ'·t_o
+//	B₁ = β·(t_o/α + γ'·t_p)
+//	B₀ = (β + 1 − m)·t_p/α
+//
+// Clock gating effectively lowers the metric exponent seen by the
+// power term from m to m−1, which is why gating pushes the optimum to
+// deeper pipelines.
+func (p Params) GatedQuadraticCoeffs() (b2, b1, b0 float64) {
+	gp := p.GammaPrime()
+	b2 = (p.Beta + p.M - 1) * gp * p.TO
+	b1 = p.Beta * (p.TO/p.Alpha + gp*p.TP)
+	b0 = (p.Beta + 1 - p.M) * p.TP / p.Alpha
+	return b2, b1, b0
+}
+
+// OptimumQuadratic returns the positive root of the model's residual
+// quadratic — the paper's closed-form approximation to the optimum
+// depth — and whether such a root exists. For the gated model the
+// zero-leakage quadratic is used.
+func (p Params) OptimumQuadratic() (float64, bool) {
+	var b2, b1, b0 float64
+	if p.ClockGated {
+		b2, b1, b0 = p.GatedQuadraticCoeffs()
+	} else {
+		b2, b1, b0 = p.QuadraticCoeffs()
+	}
+	roots := mathx.NewPoly(b0, b1, b2).RealRoots()
+	for i := len(roots) - 1; i >= 0; i-- {
+		if roots[i] > 0 {
+			return roots[i], true
+		}
+	}
+	return 0, false
+}
+
+// MExistenceThreshold returns the smallest metric exponent m for which
+// the residual quadratic admits a positive root (B₀ < 0):
+// β + η for the non-gated model, β + 1 for the gated zero-leakage
+// approximation. Metrics with m at or below the threshold optimize at
+// a single-stage (non-pipelined) design.
+func (p Params) MExistenceThreshold() float64 {
+	if p.ClockGated {
+		return p.Beta + 1
+	}
+	return p.Beta + p.dynamicShare()
+}

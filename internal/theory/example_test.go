@@ -1,0 +1,62 @@
+package theory_test
+
+import (
+	"fmt"
+
+	"repro/internal/theory"
+)
+
+// The shortest path to the paper's headline: where does each metric
+// put the optimum pipeline depth?
+func Example() {
+	p := theory.Default()
+	for _, m := range []float64{1, 2, 3} {
+		opt := p.WithMetricExponent(m).OptimumExact()
+		if opt.AtMin {
+			fmt.Printf("BIPS^%.0f/W: single-stage design\n", m)
+			continue
+		}
+		fmt.Printf("BIPS^%.0f/W: %.1f stages (%.1f FO4)\n", m, opt.Depth, opt.FO4)
+	}
+	fmt.Printf("performance only: %.1f stages\n", p.PerfOnlyOptimum())
+	// Output:
+	// BIPS^1/W: single-stage design
+	// BIPS^2/W: single-stage design
+	// BIPS^3/W: 6.0 stages (25.8 FO4)
+	// performance only: 37.4 stages
+}
+
+// The quartic stationarity condition (paper Eq. 5) carries the exact
+// root −t_p/t_o and exactly one positive, physical root.
+func ExampleParams_DerivativeQuartic() {
+	p := theory.Default()
+	roots := p.DerivativeQuartic().RealRoots()
+	fmt.Printf("%d real roots\n", len(roots))
+	fmt.Printf("most negative: %.0f (= −t_p/t_o)\n", roots[0])
+	fmt.Printf("positive: %.2f\n", roots[len(roots)-1])
+	// Output:
+	// 4 real roots
+	// most negative: -56 (= −t_p/t_o)
+	// positive: 6.02
+}
+
+// Clock gating and leakage both push the optimum to deeper pipelines.
+func ExampleParams_WithClockGating() {
+	p := theory.Default()
+	gated := p.WithClockGating(1).
+		WithLeakageFraction(theory.DefaultLeakageFraction, theory.DefaultLeakageRefDepth)
+	fmt.Printf("non-gated: %.1f stages\n", p.OptimumExact().Depth)
+	fmt.Printf("gated:     %.1f stages\n", gated.OptimumExact().Depth)
+	// Output:
+	// non-gated: 6.0 stages
+	// gated:     8.2 stages
+}
+
+// The existence condition: below the threshold exponent, no pipelined
+// design beats a single stage.
+func ExampleParams_MExistenceThreshold() {
+	p := theory.Default()
+	fmt.Printf("pipelined optima require m > %.2f\n", p.MExistenceThreshold())
+	// Output:
+	// pipelined optima require m > 2.29
+}

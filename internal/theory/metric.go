@@ -1,0 +1,43 @@
+package theory
+
+import "math"
+
+// Metric returns the general power/performance metric (paper Eq. 4):
+//
+//	Metric = ((T/N_I)^m · P_T)⁻¹ ∝ BIPS^m / W
+//
+// m = 1, 2, 3 select BIPS/W, BIPS²/W, BIPS³/W; the m → ∞ limit
+// recovers performance-only optimization. Values are comparable only
+// within one parameter set (absolute scale is arbitrary).
+func (p Params) Metric(depth float64) float64 {
+	tau := p.TimePerInstruction(depth)
+	return 1 / (math.Pow(tau, p.M) * p.TotalPower(depth))
+}
+
+// MetricCurve evaluates the metric at each depth.
+func (p Params) MetricCurve(depths []float64) []float64 {
+	out := make([]float64, len(depths))
+	for i, d := range depths {
+		out[i] = p.Metric(d)
+	}
+	return out
+}
+
+// NormalizedMetricCurve evaluates the metric at each depth and scales
+// the curve so its maximum is 1, matching the paper's normalized
+// figures (8 and 9).
+func (p Params) NormalizedMetricCurve(depths []float64) []float64 {
+	out := p.MetricCurve(depths)
+	max := 0.0
+	for _, v := range out {
+		if v > max {
+			max = v
+		}
+	}
+	if max > 0 {
+		for i := range out {
+			out[i] /= max
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package theory
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Depth search range used by the numeric optimizer. The paper
+// simulates depths 2–25; the theory is evaluated on a wider range so
+// that deep optima (FP workloads, high leakage) are still interior.
+const (
+	MinDepth = 1
+	MaxDepth = 60
+)
+
+// Optimum describes where a metric attains its maximum over the
+// physical depth range.
+type Optimum struct {
+	Depth    float64 // optimum pipeline depth p*
+	FO4      float64 // per-stage delay t_o + t_p/p* at the optimum
+	Metric   float64 // metric value at the optimum
+	Interior bool    // true if the optimum is strictly inside [MinDepth, MaxDepth]
+	AtMin    bool    // optimum pinned at MinDepth: a non-pipelined design is best
+	AtMax    bool    // optimum pinned at MaxDepth: deeper is always better in range
+}
+
+// OptimumExact maximizes the metric numerically over
+// [MinDepth, MaxDepth] and classifies the result. This is the ground
+// truth against which the paper's closed-form approximations are
+// compared.
+func (p Params) OptimumExact() Optimum {
+	r := mathx.Maximize(p.Metric, MinDepth, MaxDepth, 400, 1e-9)
+	return Optimum{
+		Depth:    r.X,
+		FO4:      p.CycleTime(r.X),
+		Metric:   r.F,
+		Interior: r.Inner,
+		AtMin:    r.AtLo,
+		AtMax:    r.AtHi,
+	}
+}
+
+// OptimumFromPolynomial locates the optimum via the closed-form
+// stationarity polynomial (the paper's Eq. 5 route): it takes the
+// positive real root that maximizes the metric. ok is false when no
+// positive stationary point exists (the optimum is then a single-stage
+// design).
+func (p Params) OptimumFromPolynomial() (Optimum, bool) {
+	best := Optimum{}
+	found := false
+	for _, r := range p.StationaryPoints() {
+		if r <= 0 {
+			continue
+		}
+		if v := p.Metric(r); !found || v > best.Metric {
+			best = Optimum{Depth: r, FO4: p.CycleTime(r), Metric: v, Interior: true}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// OptimumDepthRounded returns the integer stage count nearest the
+// exact optimum ("one could not design a pipeline with 6.25 stages").
+func (p Params) OptimumDepthRounded() int {
+	return int(math.Round(p.OptimumExact().Depth))
+}
+
+// LeakageSweep evaluates the normalized metric over depths for each
+// leakage fraction (paper Fig. 8: 0%–90% leakage, dynamic power held
+// constant, optimum moves deeper with leakage). refDepth anchors the
+// fraction definition. It returns one curve per fraction.
+func (p Params) LeakageSweep(fractions []float64, refDepth float64, depths []float64) [][]float64 {
+	out := make([][]float64, len(fractions))
+	for i, f := range fractions {
+		out[i] = p.WithLeakageFraction(f, refDepth).NormalizedMetricCurve(depths)
+	}
+	return out
+}
+
+// BetaSweep evaluates the normalized metric over depths for each latch
+// growth exponent (paper Fig. 9: β ∈ {1.0, 1.3, 1.5, 1.8}; the
+// optimum shrinks as β grows and collapses to a single stage for
+// β > 2).
+func (p Params) BetaSweep(betas []float64, depths []float64) [][]float64 {
+	out := make([][]float64, len(betas))
+	for i, b := range betas {
+		out[i] = p.WithBeta(b).NormalizedMetricCurve(depths)
+	}
+	return out
+}

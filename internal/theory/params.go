@@ -1,0 +1,221 @@
+// Package theory implements the analytical power/performance
+// pipeline-depth model of Hartstein & Puzak (MICRO 2003), combining the
+// Hartstein–Puzak performance model (ISCA 2002) with the Srinivasan et
+// al. power model (MICRO 2002).
+//
+// The model expresses the time per instruction for a pipeline of depth
+// p as
+//
+//	T/N_I = τ(p) = (1/α)(t_o + t_p/p) + γ(N_H/N_I)(t_o·p + t_p)
+//
+// and total power as
+//
+//	P_T(p) = (f_cg·f_s·P_d + P_l)·N_L·p^β,   f_s = 1/(t_o + t_p/p)
+//
+// and optimizes the general power/performance metric
+//
+//	Metric = (τ^m · P_T)⁻¹  ∝  BIPS^m / W.
+//
+// Setting the derivative to zero yields the paper's quartic (Eq. 5),
+// with the exact negative root p = −t_p/t_o (Eq. 6a), the approximate
+// negative root p = −t_p·P_l/(f_cg·P_d + t_o·P_l) (Eq. 6b), and a
+// residual quadratic (Eqs. 7–8) whose positive root approximates the
+// optimum depth. The package provides both the exact numeric optimum
+// and every one of the paper's closed-form approximations, for gated
+// and non-gated power models.
+package theory
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default technology constants from the paper (§4): the total logic
+// delay and per-stage latch overhead, both in FO4 inverter delays.
+const (
+	DefaultTP = 140 // t_p: total logic delay of the processor, FO4
+	DefaultTO = 2.5 // t_o: latch overhead per stage, FO4
+)
+
+// Default model exponents from the paper: m = 3 selects the BIPS³/W
+// metric; β = 1.3 is the per-unit latch-growth exponent observed in the
+// paper's simulator (yielding ≈ p^1.1 overall).
+const (
+	DefaultM    = 3
+	DefaultBeta = 1.3
+)
+
+// Params holds every parameter of the combined power/performance
+// model. The zero value is not usable; start from Default() or fill
+// all fields and call Validate.
+type Params struct {
+	// Technology.
+	TP float64 // t_p: total logic delay, FO4
+	TO float64 // t_o: latch overhead per stage, FO4
+
+	// Workload characterization (extracted from one simulation run).
+	Alpha      float64 // α: average degree of superscalar processing (≥ 1 utilization)
+	Gamma      float64 // γ: weighted average fraction of the pipeline stalled per hazard
+	HazardRate float64 // N_H/N_I: hazards per instruction
+
+	// Metric and latch growth.
+	M    float64 // m: metric exponent in BIPS^m/W
+	Beta float64 // β: latch count per unit grows as depth^β
+
+	// Power.
+	NL  float64 // N_L: latches per pipeline stage (scale only)
+	Pd  float64 // P_d: dynamic power per latch per unit frequency
+	Pl  float64 // P_l: leakage power per latch
+	Fcg float64 // f_cg: clock-gating factor for the non-gated model (1 = no gating)
+
+	// Clock-gated variant: when ClockGated is true the dynamic power
+	// uses the paper's fine-grained-gating approximation
+	// f_cg·f_s → κ·(T/N_I)⁻¹, so per-latch dynamic power is κ·P_d/τ.
+	ClockGated bool
+	Kappa      float64 // κ: proportionality constant of the gating approximation
+}
+
+// DefaultLeakageRefDepth is the reference depth at which the default
+// 15% leakage fraction is anchored. Depth 3 yields P_d/P_l ≈ 278,
+// which reproduces the paper's Figure 1 root structure exactly (the
+// small negative root of the quartic sits at ≈ −0.5, which requires
+// P_d/P_l ≈ 277 via Eq. 6b); the paper's "15% of the power usage" is
+// therefore quoted relative to a shallow base design.
+const DefaultLeakageRefDepth = 3
+
+// DefaultLeakageFraction is the paper's assumed leakage share (§4).
+const DefaultLeakageFraction = 0.15
+
+// Default returns the paper's baseline parameter set: technology
+// constants t_p = 140 FO4, t_o = 2.5 FO4; the BIPS³/W metric; β = 1.3;
+// a representative workload (α, γ, N_H/N_I chosen so the clock-gated
+// BIPS³/W optimum lands at the paper's ≈7-stage / 22.5 FO4 design
+// point); non-gated power with 15% leakage at the reference depth.
+func Default() Params {
+	p := Params{
+		TP:         DefaultTP,
+		TO:         DefaultTO,
+		Alpha:      2.0,
+		Gamma:      0.40,
+		HazardRate: 0.05,
+		M:          DefaultM,
+		Beta:       DefaultBeta,
+		NL:         100,
+		Pd:         1,
+		Fcg:        1,
+		Kappa:      1,
+	}
+	return p.WithLeakageFraction(DefaultLeakageFraction, DefaultLeakageRefDepth)
+}
+
+// Validate reports whether the parameters define a physically
+// meaningful model.
+func (p Params) Validate() error {
+	switch {
+	case p.TP <= 0:
+		return errors.New("theory: TP (logic delay) must be positive")
+	case p.TO <= 0:
+		return errors.New("theory: TO (latch overhead) must be positive")
+	case p.Alpha <= 0:
+		return errors.New("theory: Alpha must be positive")
+	case p.Gamma < 0 || p.Gamma > 1:
+		return errors.New("theory: Gamma must be in [0, 1]")
+	case p.HazardRate < 0:
+		return errors.New("theory: HazardRate must be non-negative")
+	case p.M <= 0:
+		return errors.New("theory: M must be positive")
+	case p.Beta <= 0:
+		return errors.New("theory: Beta must be positive")
+	case p.NL <= 0:
+		return errors.New("theory: NL must be positive")
+	case p.Pd < 0 || p.Pl < 0:
+		return errors.New("theory: power factors must be non-negative")
+	case p.Pd == 0 && p.Pl == 0:
+		return errors.New("theory: Pd and Pl cannot both be zero")
+	case p.Fcg < 0 || p.Fcg > 1:
+		return errors.New("theory: Fcg must be in [0, 1]")
+	case p.ClockGated && p.Kappa <= 0:
+		return errors.New("theory: Kappa must be positive when clock gated")
+	}
+	return nil
+}
+
+// GammaPrime returns γ' = γ·N_H/N_I, the combined hazard-cost rate
+// that appears throughout the closed-form solutions.
+func (p Params) GammaPrime() float64 { return p.Gamma * p.HazardRate }
+
+// WithMetricExponent returns a copy of p with metric exponent m.
+func (p Params) WithMetricExponent(m float64) Params {
+	p.M = m
+	return p
+}
+
+// WithBeta returns a copy of p with latch-growth exponent β.
+func (p Params) WithBeta(beta float64) Params {
+	p.Beta = beta
+	return p
+}
+
+// WithClockGating returns a copy of p using the fine-grained
+// clock-gating approximation with constant κ.
+func (p Params) WithClockGating(kappa float64) Params {
+	p.ClockGated = true
+	p.Kappa = kappa
+	return p
+}
+
+// WithoutClockGating returns a copy of p using the non-gated power
+// model with clock-gating factor fcg (1 = all latches switch every
+// cycle; fractional values model partial gating).
+func (p Params) WithoutClockGating(fcg float64) Params {
+	p.ClockGated = false
+	p.Fcg = fcg
+	return p
+}
+
+// WithLeakageFraction returns a copy of p whose leakage power P_l is
+// set so that leakage accounts for the given fraction of total power
+// at the reference depth atDepth (paper §4 assumes 15%). The dynamic
+// power P_d is left unchanged. Fraction 0 clears leakage.
+func (p Params) WithLeakageFraction(fraction, atDepth float64) Params {
+	if fraction <= 0 {
+		p.Pl = 0
+		return p
+	}
+	if fraction >= 1 {
+		fraction = 0.999999
+	}
+	dyn := p.dynamicPerLatch(atDepth)
+	p.Pl = fraction / (1 - fraction) * dyn
+	return p
+}
+
+// LeakageFraction returns the fraction of total power due to leakage
+// at the given depth.
+func (p Params) LeakageFraction(depth float64) float64 {
+	dyn := p.dynamicPerLatch(depth)
+	if dyn+p.Pl == 0 {
+		return 0
+	}
+	return p.Pl / (dyn + p.Pl)
+}
+
+// dynamicPerLatch returns the per-latch dynamic power at the given
+// depth under the active gating model.
+func (p Params) dynamicPerLatch(depth float64) float64 {
+	if p.ClockGated {
+		return p.Kappa * p.Pd / p.TimePerInstruction(depth)
+	}
+	return p.Fcg * p.Pd * p.Frequency(depth)
+}
+
+// String summarizes the parameter set.
+func (p Params) String() string {
+	gate := fmt.Sprintf("fcg=%.3g", p.Fcg)
+	if p.ClockGated {
+		gate = fmt.Sprintf("gated κ=%.3g", p.Kappa)
+	}
+	return fmt.Sprintf(
+		"theory.Params{tp=%.4g to=%.4g α=%.3g γ=%.3g NH/NI=%.4g m=%.3g β=%.3g Pd=%.3g Pl=%.4g %s}",
+		p.TP, p.TO, p.Alpha, p.Gamma, p.HazardRate, p.M, p.Beta, p.Pd, p.Pl, gate)
+}

@@ -1,0 +1,64 @@
+package theory
+
+import "math"
+
+// CycleTime returns the cycle time t_s = t_o + t_p/p in FO4 for a
+// pipeline of the given depth. This is also the per-stage FO4 figure
+// quoted throughout the paper ("a 22.5 FO4 design point").
+func (p Params) CycleTime(depth float64) float64 {
+	return p.TO + p.TP/depth
+}
+
+// Frequency returns the clock frequency f_s = 1/t_s in 1/FO4.
+func (p Params) Frequency(depth float64) float64 {
+	return 1 / p.CycleTime(depth)
+}
+
+// DepthForCycleTime inverts CycleTime: it returns the depth whose
+// per-stage delay equals fo4 (e.g. 22.5 FO4 → 7 stages for the default
+// technology). It returns +Inf if fo4 ≤ t_o.
+func (p Params) DepthForCycleTime(fo4 float64) float64 {
+	if fo4 <= p.TO {
+		return math.Inf(1)
+	}
+	return p.TP / (fo4 - p.TO)
+}
+
+// TimePerInstruction returns τ(p) = T/N_I, the average time per
+// instruction in FO4 (paper Eq. 1):
+//
+//	τ(p) = (1/α)(t_o + t_p/p) + γ(N_H/N_I)(t_o·p + t_p)
+//
+// The first term is the busy (issue-limited) component; the second is
+// the hazard-stall component, which grows with depth because each
+// hazard stalls a fraction γ of an ever-longer pipeline.
+func (p Params) TimePerInstruction(depth float64) float64 {
+	return p.CycleTime(depth)/p.Alpha + p.GammaPrime()*(p.TO*depth+p.TP)
+}
+
+// BIPS returns the performance (T/N_I)⁻¹ in instructions per FO4.
+// Absolute units are immaterial: every result in the paper is either a
+// normalized metric or an optimum abscissa.
+func (p Params) BIPS(depth float64) float64 {
+	return 1 / p.TimePerInstruction(depth)
+}
+
+// CPI returns cycles per instruction at the given depth: τ/t_s.
+func (p Params) CPI(depth float64) float64 {
+	return p.TimePerInstruction(depth) / p.CycleTime(depth)
+}
+
+// PerfOnlyOptimum returns the paper's Eq. 2, the optimum depth when
+// optimizing performance alone:
+//
+//	p_opt² = N_I·t_p / (α·γ·N_H·t_o) = t_p / (α·γ'·t_o)
+//
+// It returns +Inf when the workload has no hazards (γ' = 0), in which
+// case deeper is always better.
+func (p Params) PerfOnlyOptimum() float64 {
+	gp := p.GammaPrime()
+	if gp == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(p.TP / (p.Alpha * gp * p.TO))
+}

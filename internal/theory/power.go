@@ -1,0 +1,34 @@
+package theory
+
+import "math"
+
+// Latches returns the latch count N_L·p^β at the given depth
+// (paper Eq. 3's latch term).
+func (p Params) Latches(depth float64) float64 {
+	return p.NL * math.Pow(depth, p.Beta)
+}
+
+// TotalPower returns P_T(p) (paper Eq. 3):
+//
+//	non-gated:  P_T = (f_cg·f_s·P_d + P_l)·N_L·p^β
+//	gated:      P_T = (κ·P_d/τ + P_l)·N_L·p^β
+//
+// The gated form is the paper's fine-grained clock-gating
+// approximation f_cg·f_s → κ·(T/N_I)⁻¹: latches switch only when work
+// flows, so switching activity is proportional to instruction
+// throughput rather than to raw clock frequency.
+func (p Params) TotalPower(depth float64) float64 {
+	return (p.dynamicPerLatch(depth) + p.Pl) * p.Latches(depth)
+}
+
+// DynamicPower returns the dynamic component of P_T at the given
+// depth.
+func (p Params) DynamicPower(depth float64) float64 {
+	return p.dynamicPerLatch(depth) * p.Latches(depth)
+}
+
+// LeakagePower returns the leakage component of P_T at the given
+// depth.
+func (p Params) LeakagePower(depth float64) float64 {
+	return p.Pl * p.Latches(depth)
+}

@@ -1,0 +1,165 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomParams draws a physically plausible parameter set: the bands
+// cover every workload class the study calibrates (DESIGN.md §8).
+func randomParams(rng *rand.Rand) Params {
+	p := Default()
+	p.Alpha = 0.3 + rng.Float64()*3.2 // FP-serialized … wide integer
+	p.Gamma = 0.1 + rng.Float64()*0.9 // fraction of the pipeline per hazard
+	p.HazardRate = 0.005 + rng.Float64()*0.25
+	p.M = 2.5 + rng.Float64()*2.5
+	p.Beta = 0.9 + rng.Float64()*0.9
+	return p.WithLeakageFraction(rng.Float64()*0.8, DefaultLeakageRefDepth)
+}
+
+// TestQuarticRootsAreStationaryProperty: every positive real root of
+// the stationarity polynomial must zero the metric's numeric gradient,
+// for random parameter sets and both gating disciplines.
+func TestQuarticRootsAreStationaryProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(41))}
+	f := func(seed int64, gated bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		if gated {
+			p = p.WithClockGating(1)
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("seed %d: invalid params: %v", seed, err)
+			return false
+		}
+		for _, root := range p.StationaryPoints() {
+			if root < MinDepth*1.05 || root > MaxDepth*0.95 {
+				continue
+			}
+			h := root * 1e-6
+			grad := (p.Metric(root+h) - p.Metric(root-h)) / (2 * h)
+			scale := p.Metric(root) / root
+			if math.Abs(grad) > 1e-3*scale {
+				t.Logf("seed %d gated %v: root %g gradient %g (scale %g)",
+					seed, gated, root, grad, scale)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimumMonotoneInHazardsProperty: for random parameter sets,
+// scaling up the hazard rate never deepens the optimum (§2.2).
+func TestOptimumMonotoneInHazardsProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(43))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		base := p.OptimumExact().Depth
+		q := p
+		q.HazardRate *= 1.5
+		if more := q.OptimumExact().Depth; more > base+1e-6 {
+			t.Logf("seed %d: hazards ×1.5 deepened %g → %g (%s)", seed, base, more, p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimumMonotoneInBetaProperty: raising the latch growth exponent
+// never deepens the optimum (Fig. 9).
+func TestOptimumMonotoneInBetaProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(47))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		base := p.OptimumExact().Depth
+		if more := p.WithBeta(p.Beta + 0.3).OptimumExact().Depth; more > base+1e-6 {
+			t.Logf("seed %d: β+0.3 deepened %g → %g", seed, base, more)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimumMonotoneInMProperty: a larger metric exponent (more
+// weight on performance) never shortens the optimum.
+func TestOptimumMonotoneInMProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(53))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		base := p.OptimumExact().Depth
+		if less := p.WithMetricExponent(p.M + 0.5).OptimumExact().Depth; less < base-1e-6 {
+			t.Logf("seed %d: m+0.5 shortened %g → %g", seed, base, less)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeakageCalibrationProperty: WithLeakageFraction must reproduce
+// the requested fraction at the anchor depth for random fractions and
+// parameter sets, in both gating disciplines.
+func TestLeakageCalibrationProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(59))}
+	f := func(seed int64, gated bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		if gated {
+			p = p.WithClockGating(0.5 + rng.Float64())
+		}
+		frac := rng.Float64() * 0.95
+		at := 2 + rng.Float64()*20
+		q := p.WithLeakageFraction(frac, at)
+		got := q.LeakageFraction(at)
+		if frac <= 0 {
+			return got == 0
+		}
+		return math.Abs(got-frac) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricScaleInvarianceProperty: scaling P_d and P_l together
+// rescales the metric but never moves the optimum (the paper plots
+// are normalized for exactly this reason).
+func TestMetricScaleInvarianceProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(61))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomParams(rng)
+		k := 0.1 + rng.Float64()*50
+		q := p
+		q.Pd *= k
+		q.Pl *= k
+		a, b := p.OptimumExact(), q.OptimumExact()
+		if a.Interior != b.Interior {
+			return false
+		}
+		if !a.Interior {
+			return true
+		}
+		return math.Abs(a.Depth-b.Depth) < 1e-4*(1+a.Depth)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

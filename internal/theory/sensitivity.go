@@ -1,0 +1,106 @@
+package theory
+
+// Sensitivity studies beyond the paper's figures, implementing the
+// dependencies its §2.2 derives from the quadratic's coefficients:
+// "as the ratio t_p/t_o increases, there is more opportunity for
+// pipelining", and the existence boundary in the (m, β) plane.
+
+// RatioSweep evaluates the BIPS^m/W optimum as the logic-to-overhead
+// ratio t_p/t_o varies, holding t_o fixed at the current value. The
+// optimum depth grows with the ratio.
+func (p Params) RatioSweep(ratios []float64) []Optimum {
+	out := make([]Optimum, len(ratios))
+	for i, r := range ratios {
+		q := p
+		q.TP = r * p.TO
+		out[i] = q.OptimumExact()
+	}
+	return out
+}
+
+// ExistenceThresholdFor returns the smallest metric exponent m that
+// yields an interior optimum for the given latch-growth exponent β,
+// found numerically by bisection on the exact optimizer. It returns
+// the threshold in (lo, hi); callers pick a bracketing range such as
+// (β, β+2).
+func (p Params) ExistenceThresholdFor(beta, lo, hi float64) float64 {
+	q := p.WithBeta(beta)
+	interior := func(m float64) bool {
+		return q.WithMetricExponent(m).OptimumExact().Interior
+	}
+	// Bisect the boundary between "pinned at a single stage" and
+	// "pipelined optimum exists".
+	if interior(lo) {
+		return lo
+	}
+	if !interior(hi) {
+		return hi
+	}
+	for i := 0; i < 50 && hi-lo > 1e-4; i++ {
+		mid := lo + (hi-lo)/2
+		if interior(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// ExistenceBoundary maps the (β → minimal m) boundary of pipelined
+// optima: below the returned m, a single-stage design is optimal.
+// This is the phase diagram behind the paper's statements that
+// BIPS/W and BIPS²/W admit no pipelined optimum while BIPS³/W does,
+// and that β > 2 forbids pipelining even at m = 3.
+func (p Params) ExistenceBoundary(betas []float64) []float64 {
+	out := make([]float64, len(betas))
+	for i, b := range betas {
+		out[i] = p.ExistenceThresholdFor(b, b, b+2.5)
+	}
+	return out
+}
+
+// OptimumVsAlpha evaluates the optimum as superscalar utilization
+// varies (§2.2: higher α shortens the optimum).
+func (p Params) OptimumVsAlpha(alphas []float64) []Optimum {
+	out := make([]Optimum, len(alphas))
+	for i, a := range alphas {
+		q := p
+		q.Alpha = a
+		out[i] = q.OptimumExact()
+	}
+	return out
+}
+
+// OptimumVsHazardRate evaluates the optimum as the hazard rate
+// N_H/N_I varies (§2.2: more hazards shorten the optimum).
+func (p Params) OptimumVsHazardRate(rates []float64) []Optimum {
+	out := make([]Optimum, len(rates))
+	for i, h := range rates {
+		q := p
+		q.HazardRate = h
+		out[i] = q.OptimumExact()
+	}
+	return out
+}
+
+// FrontierDepths extracts the depth series from a ratio/alpha/hazard
+// sweep for fitting or display.
+func FrontierDepths(opts []Optimum) []float64 {
+	out := make([]float64, len(opts))
+	for i, o := range opts {
+		out[i] = o.Depth
+	}
+	return out
+}
+
+// RatioTrendIncreasing reports whether optimum depth is non-decreasing
+// across the sweep — the paper's qualitative claim for t_p/t_o.
+func RatioTrendIncreasing(opts []Optimum) bool {
+	for i := 1; i < len(opts); i++ {
+		if opts[i].Depth < opts[i-1].Depth-1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Binary trace format ("trace tape"):
+//
+//	header:  4-byte magic "PDT1", uvarint instruction count
+//	record:  1 flags byte:
+//	           bits 0..2  instruction class
+//	           bit  3     branch taken
+//	           bit  4     has destination register
+//	           bit  5     has source 1
+//	           bit  6     has source 2
+//	         zigzag-varint PC delta from previous PC
+//	         register bytes for each present operand
+//	         memory ops:  zigzag-varint address delta from previous address
+//	         branches:    zigzag-varint target delta from own PC
+//	         FP ops:      1 latency byte
+//
+// Deltas make typical traces ≈3–5 bytes per instruction.
+
+const magic = "PDT1"
+
+// Writer encodes instructions to the binary trace format.
+type Writer struct {
+	w        *bufio.Writer
+	lastPC   uint64
+	lastAddr uint64
+	count    uint64
+	header   bool
+	declared uint64
+}
+
+// NewWriter returns a Writer that will declare the given instruction
+// count in the header. The count must match the number of Write calls
+// before Flush.
+func NewWriter(w io.Writer, count int) *Writer {
+	return &Writer{w: bufio.NewWriter(w), declared: uint64(count)}
+}
+
+func (w *Writer) writeHeader() error {
+	if w.header {
+		return nil
+	}
+	w.header = true
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], w.declared)
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Write appends one instruction to the trace.
+func (w *Writer) Write(in isa.Instruction) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	flags := byte(in.Class)
+	if in.Taken {
+		flags |= 1 << 3
+	}
+	if in.Dst != isa.RegNone {
+		flags |= 1 << 4
+	}
+	if in.Src1 != isa.RegNone {
+		flags |= 1 << 5
+	}
+	if in.Src2 != isa.RegNone {
+		flags |= 1 << 6
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := w.putZigzag(int64(in.PC) - int64(w.lastPC)); err != nil {
+		return err
+	}
+	w.lastPC = in.PC
+	for _, r := range []isa.Reg{in.Dst, in.Src1, in.Src2} {
+		if r != isa.RegNone {
+			if err := w.w.WriteByte(byte(r)); err != nil {
+				return err
+			}
+		}
+	}
+	if in.HasMemory() {
+		if err := w.putZigzag(int64(in.Addr) - int64(w.lastAddr)); err != nil {
+			return err
+		}
+		w.lastAddr = in.Addr
+	}
+	if in.Class == isa.Branch {
+		if err := w.putZigzag(int64(in.Target) - int64(in.PC)); err != nil {
+			return err
+		}
+	}
+	if in.Class == isa.FP {
+		if err := w.w.WriteByte(in.FPLat); err != nil {
+			return err
+		}
+	}
+	w.count++
+	return nil
+}
+
+func (w *Writer) putZigzag(v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Flush completes the trace, verifying the declared count.
+func (w *Writer) Flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if w.count != w.declared {
+		return fmt.Errorf("trace: wrote %d instructions, header declared %d", w.count, w.declared)
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a binary trace and implements Stream.
+type Reader struct {
+	r        *bufio.Reader
+	lastPC   uint64
+	lastAddr uint64
+	remain   uint64
+	err      error
+	started  bool
+}
+
+// NewReader returns a streaming Reader over the encoded trace in r.
+// Gzip-compressed traces (written by NewCompressedWriter) are detected
+// and decompressed transparently. The header is validated lazily on
+// the first Next call.
+func NewReader(r io.Reader) *Reader {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err == nil {
+			return &Reader{r: bufio.NewReader(gz)}
+		}
+		// Fall through: the plain reader will report the bad magic.
+	}
+	return &Reader{r: br}
+}
+
+func (r *Reader) start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		r.err = fmt.Errorf("trace: reading header: %w", err)
+		return
+	}
+	if string(head) != magic {
+		r.err = fmt.Errorf("trace: bad magic %q", head)
+		return
+	}
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: reading count: %w", err)
+		return
+	}
+	r.remain = n
+}
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of instructions remaining, or 0 before the
+// header has been read.
+func (r *Reader) Len() int { return int(r.remain) }
+
+// Next implements Stream. Decoding errors terminate the stream; check
+// Err afterwards.
+func (r *Reader) Next() (isa.Instruction, bool) {
+	r.start()
+	if r.err != nil || r.remain == 0 {
+		return isa.Instruction{}, false
+	}
+	in, err := r.decode()
+	if err != nil {
+		r.err = err
+		return isa.Instruction{}, false
+	}
+	r.remain--
+	return in, true
+}
+
+func (r *Reader) decode() (isa.Instruction, error) {
+	var in isa.Instruction
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return in, fmt.Errorf("trace: reading flags: %w", err)
+	}
+	in.Class = isa.Class(flags & 0x7)
+	if !in.Class.Valid() {
+		return in, fmt.Errorf("trace: invalid class %d", flags&0x7)
+	}
+	in.Taken = flags&(1<<3) != 0
+	in.Dst, in.Src1, in.Src2 = isa.RegNone, isa.RegNone, isa.RegNone
+
+	d, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return in, fmt.Errorf("trace: reading pc: %w", err)
+	}
+	in.PC = uint64(int64(r.lastPC) + d)
+	r.lastPC = in.PC
+
+	read := func(dst *isa.Reg, bit byte) error {
+		if flags&(1<<bit) == 0 {
+			return nil
+		}
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: reading register: %w", err)
+		}
+		*dst = isa.Reg(b)
+		return nil
+	}
+	if err := read(&in.Dst, 4); err != nil {
+		return in, err
+	}
+	if err := read(&in.Src1, 5); err != nil {
+		return in, err
+	}
+	if err := read(&in.Src2, 6); err != nil {
+		return in, err
+	}
+
+	if in.HasMemory() {
+		d, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return in, fmt.Errorf("trace: reading address: %w", err)
+		}
+		in.Addr = uint64(int64(r.lastAddr) + d)
+		r.lastAddr = in.Addr
+	}
+	if in.Class == isa.Branch {
+		d, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return in, fmt.Errorf("trace: reading target: %w", err)
+		}
+		in.Target = uint64(int64(in.PC) + d)
+	}
+	if in.Class == isa.FP {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return in, fmt.Errorf("trace: reading fp latency: %w", err)
+		}
+		in.FPLat = b
+	}
+	if err := in.Validate(); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// CompressedWriter wraps a Writer whose output is gzip-compressed;
+// Close must be called to flush both layers.
+type CompressedWriter struct {
+	*Writer
+	gz *gzip.Writer
+}
+
+// NewCompressedWriter returns a trace writer producing a
+// gzip-compressed tape readable by NewReader.
+func NewCompressedWriter(w io.Writer, count int) *CompressedWriter {
+	gz := gzip.NewWriter(w)
+	return &CompressedWriter{Writer: NewWriter(gz, count), gz: gz}
+}
+
+// Close flushes the trace and the compression layer.
+func (c *CompressedWriter) Close() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.gz.Close()
+}
+
+// WriteAll encodes every instruction in ins to w in trace format.
+func WriteAll(w io.Writer, ins []isa.Instruction) error {
+	tw := NewWriter(w, len(ins))
+	for i := range ins {
+		if err := tw.Write(ins[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadAll decodes an entire trace from r.
+func ReadAll(r io.Reader) ([]isa.Instruction, error) {
+	tr := NewReader(r)
+	out := Collect(tr, 0)
+	if tr.Err() != nil {
+		return nil, tr.Err()
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Stats summarizes the instruction mix and control/memory behaviour of
+// a trace. The paper selected its 55 traces "to accurately reflect the
+// instruction mix, module mix and branch prediction characteristics"
+// of each application; Stats is the tool for checking that property on
+// generated traces.
+type Stats struct {
+	Total      int
+	ByClass    [isa.NumClasses]int
+	Branches   int
+	Taken      int
+	UniquePCs  int
+	UniqueAddr int
+}
+
+// Gather computes Stats over ins.
+func Gather(ins []isa.Instruction) Stats {
+	var s Stats
+	pcs := make(map[uint64]struct{})
+	addrs := make(map[uint64]struct{})
+	for i := range ins {
+		in := &ins[i]
+		s.Total++
+		s.ByClass[in.Class]++
+		if in.Class == isa.Branch {
+			s.Branches++
+			if in.Taken {
+				s.Taken++
+			}
+		}
+		pcs[in.PC] = struct{}{}
+		if in.HasMemory() {
+			addrs[in.Addr&^63] = struct{}{} // by 64-byte line
+		}
+	}
+	s.UniquePCs = len(pcs)
+	s.UniqueAddr = len(addrs)
+	return s
+}
+
+// Fraction returns the share of instructions in the given class.
+func (s Stats) Fraction(c isa.Class) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.ByClass[c]) / float64(s.Total)
+}
+
+// TakenRate returns the fraction of branches that were taken.
+func (s Stats) TakenRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Branches)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d", s.Total)
+	for c := 0; c < isa.NumClasses; c++ {
+		fmt.Fprintf(&b, " %s=%.1f%%", isa.Class(c), 100*s.Fraction(isa.Class(c)))
+	}
+	fmt.Fprintf(&b, " taken=%.1f%% pcs=%d lines=%d", 100*s.TakenRate(), s.UniquePCs, s.UniqueAddr)
+	return b.String()
+}

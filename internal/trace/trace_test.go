@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func sampleTrace() []isa.Instruction {
+	return []isa.Instruction{
+		{PC: 0x1000, Class: isa.RR, Dst: 1, Src1: 2, Src2: 3},
+		{PC: 0x1004, Class: isa.Load, Dst: 4, Src1: 1, Src2: isa.RegNone, Addr: 0x2000_0000},
+		{PC: 0x1008, Class: isa.Store, Dst: isa.RegNone, Src1: 4, Src2: 1, Addr: 0x2000_0040},
+		{PC: 0x100C, Class: isa.Branch, Dst: isa.RegNone, Src1: 4, Src2: isa.RegNone, Target: 0x0800, Taken: true},
+		{PC: 0x0800, Class: isa.FP, Dst: 20, Src1: 21, Src2: 22, FPLat: 12},
+		{PC: 0x0804, Class: isa.RX, Dst: 5, Src1: 5, Src2: 6, Addr: 0x2000_0080},
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	ins := sampleTrace()
+	s := NewSliceStream(ins)
+	if s.Len() != len(ins) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := Collect(s, 0)
+	if len(got) != len(ins) {
+		t.Fatalf("collected %d", len(got))
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream still yielding")
+	}
+	s.Reset()
+	if in, ok := s.Next(); !ok || in.PC != ins[0].PC {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestLimitStream(t *testing.T) {
+	ins := sampleTrace()
+	l := NewLimitStream(NewSliceStream(ins), 2)
+	got := Collect(l, 0)
+	if len(got) != 2 {
+		t.Fatalf("limited to %d, want 2", len(got))
+	}
+	if got := Collect(NewLimitStream(NewSliceStream(ins), 0), 0); len(got) != 0 {
+		t.Fatalf("zero-limit yielded %d", len(got))
+	}
+	// Collect's own limit also applies.
+	if got := Collect(NewSliceStream(ins), 3); len(got) != 3 {
+		t.Fatalf("Collect limit yielded %d", len(got))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ins := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("decoded %d, want %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], ins[i])
+		}
+	}
+}
+
+func TestCodecHeaderValidation(t *testing.T) {
+	// Bad magic.
+	r := NewReader(bytes.NewReader([]byte("XXXX\x00")))
+	if _, ok := r.Next(); ok || r.Err() == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream.
+	ins := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r = NewReader(bytes.NewReader(trunc))
+	n := len(Collect(r, 0))
+	if r.Err() == nil {
+		t.Errorf("truncated trace decoded cleanly (%d records)", n)
+	}
+	// Count mismatch on write.
+	w := NewWriter(&bytes.Buffer{}, 3)
+	if err := w.Write(ins[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("count mismatch not reported")
+	}
+	// Invalid instruction rejected at write time.
+	w = NewWriter(&bytes.Buffer{}, 1)
+	if err := w.Write(isa.Instruction{Class: isa.Class(9)}); err == nil {
+		t.Error("invalid instruction accepted")
+	}
+}
+
+func TestReaderLen(t *testing.T) {
+	ins := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, ok := r.Next(); !ok {
+		t.Fatal("empty read")
+	}
+	if r.Len() != len(ins)-1 {
+		t.Fatalf("Len after one read = %d, want %d", r.Len(), len(ins)-1)
+	}
+}
+
+// TestCodecRoundTripProperty round-trips randomized instruction
+// sequences through the binary codec.
+func TestCodecRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		ins := make([]isa.Instruction, 0, count)
+		pc := uint64(0x1000)
+		for len(ins) < count {
+			var in isa.Instruction
+			in.PC = pc
+			pc += uint64(rng.Intn(16)) * 4
+			switch rng.Intn(6) {
+			case 0:
+				in.Class = isa.RR
+				in.Dst = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Src1 = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Src2 = isa.Reg(rng.Intn(isa.NumGPR))
+			case 1:
+				in.Class = isa.Load
+				in.Dst = isa.Reg(rng.Intn(isa.NumRegs))
+				in.Src1 = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Src2 = isa.RegNone
+				in.Addr = uint64(rng.Intn(1<<30) + 64)
+			case 2:
+				in.Class = isa.Store
+				in.Dst = isa.RegNone
+				in.Src1 = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Src2 = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Addr = uint64(rng.Intn(1<<30) + 64)
+			case 3:
+				in.Class = isa.Branch
+				in.Dst, in.Src1, in.Src2 = isa.RegNone, isa.Reg(rng.Intn(isa.NumGPR)), isa.RegNone
+				in.Target = uint64(rng.Intn(1 << 24))
+				in.Taken = rng.Intn(2) == 0
+			case 4:
+				in.Class = isa.FP
+				in.Dst = isa.FirstFPR + isa.Reg(rng.Intn(isa.NumFPR))
+				in.Src1 = isa.FirstFPR + isa.Reg(rng.Intn(isa.NumFPR))
+				in.Src2 = isa.FirstFPR + isa.Reg(rng.Intn(isa.NumFPR))
+				in.FPLat = uint8(rng.Intn(30) + 1)
+			case 5:
+				in.Class = isa.RX
+				in.Dst = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Src1 = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Src2 = isa.Reg(rng.Intn(isa.NumGPR))
+				in.Addr = uint64(rng.Intn(1<<30) + 64)
+			}
+			ins = append(ins, in)
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, ins); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(ins) {
+			return false
+		}
+		for i := range ins {
+			if got[i] != ins[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Gather(sampleTrace())
+	if s.Total != 6 {
+		t.Fatalf("Total = %d", s.Total)
+	}
+	if s.ByClass[isa.RR] != 1 || s.ByClass[isa.Branch] != 1 || s.ByClass[isa.RX] != 1 {
+		t.Errorf("class counts = %v", s.ByClass)
+	}
+	if s.TakenRate() != 1 {
+		t.Errorf("TakenRate = %g", s.TakenRate())
+	}
+	if s.Fraction(isa.Load) != 1.0/6 {
+		t.Errorf("load fraction = %g", s.Fraction(isa.Load))
+	}
+	if s.UniqueAddr != 3 {
+		t.Errorf("unique lines = %d", s.UniqueAddr)
+	}
+	if len(s.String()) == 0 {
+		t.Error("empty String()")
+	}
+	empty := Gather(nil)
+	if empty.TakenRate() != 0 || empty.Fraction(isa.RR) != 0 {
+		t.Error("empty stats not zero")
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	ins := sampleTrace()
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf, len(ins))
+	for _, in := range ins {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Gzip magic present.
+	if b := buf.Bytes(); b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("not gzip: % x", b[:2])
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ins) {
+		t.Fatalf("decoded %d of %d", len(got), len(ins))
+	}
+	for i := range ins {
+		if got[i] != ins[i] {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestCompressedSmallerOnRealTrace(t *testing.T) {
+	// A realistic trace must compress: repeated PC deltas and classes
+	// give gzip plenty to chew on.
+	var ins []isa.Instruction
+	for i := 0; i < 3000; i++ {
+		ins = append(ins, isa.Instruction{
+			PC: uint64(0x1000 + 4*(i%64)), Class: isa.RR,
+			Dst: isa.Reg(i % 8), Src1: isa.Reg((i + 1) % 8), Src2: isa.Reg((i + 2) % 8),
+		})
+	}
+	var plain, packed bytes.Buffer
+	if err := WriteAll(&plain, ins); err != nil {
+		t.Fatal(err)
+	}
+	w := NewCompressedWriter(&packed, len(ins))
+	for _, in := range ins {
+		if err := w.Write(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= plain.Len()/2 {
+		t.Errorf("compressed %d not well below plain %d", packed.Len(), plain.Len())
+	}
+}
+
+// TestReaderRobustToCorruption: arbitrary byte mutations of a valid
+// tape must never panic or loop; the reader either errors out or ends
+// the stream, and every instruction it does deliver is valid.
+func TestReaderRobustToCorruption(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(67))}
+	base := func() []byte {
+		var buf bytes.Buffer
+		var ins []isa.Instruction
+		for i := 0; i < 50; i++ {
+			ins = append(ins, isa.Instruction{
+				PC: uint64(0x1000 + 4*i), Class: isa.RR,
+				Dst: isa.Reg(i % 8), Src1: isa.Reg((i + 1) % 8), Src2: isa.Reg((i + 2) % 8),
+			})
+		}
+		if err := WriteAll(&buf, ins); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tape := append([]byte(nil), base...)
+		// 1–8 random byte mutations anywhere in the tape.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			tape[rng.Intn(len(tape))] = byte(rng.Intn(256))
+		}
+		r := NewReader(bytes.NewReader(tape))
+		n := 0
+		for {
+			in, ok := r.Next()
+			if !ok {
+				break
+			}
+			if err := in.Validate(); err != nil {
+				t.Logf("seed %d: invalid instruction delivered: %v", seed, err)
+				return false
+			}
+			n++
+			if n > 10*50 {
+				t.Logf("seed %d: runaway stream", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReaderRobustToTruncation: every prefix of a valid tape must be
+// handled cleanly.
+func TestReaderRobustToTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		if cut < len(full) && r.Err() == nil && r.Len() != 0 {
+			t.Errorf("cut at %d: stream ended claiming %d remaining without error", cut, r.Len())
+		}
+	}
+}

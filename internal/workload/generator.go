@@ -1,0 +1,412 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Memory layout constants for generated traces.
+const (
+	codeBase   = 0x0040_0000 // branch-site region
+	dataBase   = 0x1000_0000 // working-set base
+	hotBase    = 0x7000_0000 // hot-region (stack/locals) base
+	lineBytes  = 64
+	maxBlockPC = 0x7FFF_FFFF
+
+	// strideRegionLines bounds the strided-walk footprint (cache
+	// blocking, as tiled numeric codes do).
+	strideRegionLines = 256
+
+	// loadScheduleDistance models compiler scheduling: consumers of
+	// load results are placed at least this many instructions after
+	// the load, hiding the address/cache pipeline latency the way
+	// optimized code does.
+	loadScheduleDistance = 8
+)
+
+type siteKind uint8
+
+const (
+	siteLoop siteKind = iota
+	siteBiased
+	siteRandom
+)
+
+// branchSite is one static branch with persistent behaviour, so that
+// history-based predictors observe realistic per-PC statistics.
+type branchSite struct {
+	pc      uint64
+	target  uint64
+	kind    siteKind
+	tripLen int // loop sites: taken tripLen−1 times out of tripLen
+	tripPos int
+	biasP   float64
+}
+
+// Generator produces the deterministic instruction stream of one
+// workload. It implements trace.Resettable: Reset replays the
+// identical stream, which is how one workload is simulated across all
+// pipeline depths.
+type Generator struct {
+	prof Profile
+	r    *rng
+
+	cum   [isa.NumClasses]float64
+	sites []branchSite
+
+	pc        uint64
+	lastSite  int
+	repeatP   float64
+	seqCursor uint64
+	strCursor uint64
+
+	recentGPR [32]isa.Reg // ring of recently written general registers
+	recentFPR [32]isa.Reg
+	gprIsLoad [32]bool // whether the ring entry was produced by a load
+	gprPos    int
+	fprPos    int
+
+	fpLoadFrac float64
+	emitted    uint64
+}
+
+// NewGenerator builds a generator for the profile. It returns an
+// error if the profile does not validate.
+func NewGenerator(p Profile) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{prof: p}
+	g.initDerived()
+	g.Reset()
+	return g, nil
+}
+
+// MustGenerator is NewGenerator for known-good (catalog) profiles.
+func MustGenerator(p Profile) *Generator {
+	g, err := NewGenerator(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Generator) initDerived() {
+	sum := 0.0
+	for i, f := range g.prof.Mix {
+		sum += f
+		g.cum[i] = sum
+	}
+	g.cum[len(g.cum)-1] = 1 // absorb rounding
+	g.repeatP = 0.6 * g.prof.LoopFrac
+	if g.prof.Mix[isa.FP] > 0 {
+		g.fpLoadFrac = 0.3
+	}
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Reset restarts the stream from the beginning; the regenerated
+// stream is bit-identical.
+func (g *Generator) Reset() {
+	g.r = newRNG(g.prof.Seed)
+	g.pc = codeBase
+	g.lastSite = 0
+	g.seqCursor = 0
+	g.strCursor = 0
+	g.gprPos, g.fprPos = 0, 0
+	g.emitted = 0
+	for i := range g.recentGPR {
+		g.recentGPR[i] = isa.Reg(i % isa.NumGPR)
+		g.gprIsLoad[i] = false
+	}
+	for i := range g.recentFPR {
+		g.recentFPR[i] = isa.FirstFPR + isa.Reg(i%isa.NumFPR)
+	}
+	g.buildSites()
+}
+
+func (g *Generator) buildSites() {
+	n := g.prof.BranchSites
+	g.sites = make([]branchSite, n)
+	loopN := int(float64(n)*g.prof.LoopFrac + 0.5)
+	biasN := int(float64(n)*g.prof.BiasedFrac + 0.5)
+	if loopN+biasN > n {
+		biasN = n - loopN
+	}
+	for i := range g.sites {
+		s := &g.sites[i]
+		// Site spacing is a word stride coprime to power-of-two
+		// predictor table sizes, so sites never resonate into the
+		// same counters (a regular 0x80 grid aliases catastrophically
+		// in 4096-entry tables).
+		s.pc = codeBase + uint64(i)*37*4
+		switch {
+		case i < loopN:
+			s.kind = siteLoop
+			lo := g.prof.AvgLoopLen / 2
+			if lo < 2 {
+				lo = 2
+			}
+			s.tripLen = g.r.IntBetween(lo, g.prof.AvgLoopLen*3/2)
+			// Loop-closing branches jump backward.
+			s.target = s.pc - uint64(g.r.IntBetween(2, 32))*4
+		case i < loopN+biasN:
+			s.kind = siteBiased
+			// Alternate the bias direction: real code mixes
+			// taken-biased (error checks that fail rarely) with
+			// not-taken-biased branches in roughly equal measure, so
+			// static always-taken prediction cannot match a dynamic
+			// predictor.
+			if i%2 == 0 {
+				s.biasP = g.prof.BiasP
+			} else {
+				s.biasP = 1 - g.prof.BiasP
+			}
+			s.target = s.pc + uint64(g.r.IntBetween(2, 64))*4
+		default:
+			s.kind = siteRandom
+			s.target = s.pc + uint64(g.r.IntBetween(2, 128))*4
+		}
+	}
+}
+
+// Next implements trace.Stream; the stream is unbounded, so callers
+// wrap it with trace.NewLimitStream or use Materialize.
+func (g *Generator) Next() (isa.Instruction, bool) {
+	cls := g.drawClass()
+	var in isa.Instruction
+	switch cls {
+	case isa.RR:
+		in = g.genRR()
+	case isa.Load:
+		in = g.genLoad()
+	case isa.Store:
+		in = g.genStore()
+	case isa.Branch:
+		in = g.genBranch()
+	case isa.FP:
+		in = g.genFP()
+	case isa.RX:
+		in = g.genRX()
+	}
+	g.emitted++
+	return in, true
+}
+
+func (g *Generator) drawClass() isa.Class {
+	x := g.r.Float64()
+	for i, c := range g.cum {
+		if x < c {
+			return isa.Class(i)
+		}
+	}
+	return isa.Class(len(g.cum) - 1)
+}
+
+func (g *Generator) nextPC() uint64 {
+	pc := g.pc
+	g.pc += 4
+	if g.pc > maxBlockPC {
+		g.pc = codeBase
+	}
+	return pc
+}
+
+// pickSrc selects a source register: a recent producer at geometric
+// distance with probability DepP, otherwise a uniformly random
+// register in the bank (long-distance dependence, almost surely
+// ready).
+func (g *Generator) pickSrc(fp bool) isa.Reg {
+	if g.r.Float64() < g.prof.DepP {
+		d := 1 + g.r.Geometric(g.prof.DepGeoP)
+		if d > len(g.recentGPR) {
+			d = len(g.recentGPR)
+		}
+		if fp {
+			return g.recentFPR[(g.fprPos-d+2*len(g.recentFPR))%len(g.recentFPR)]
+		}
+		// Compiler (or hand) scheduling: if the chosen producer is a
+		// nearby load, the consumer was hoisted out of range with
+		// probability LoadHoistP; otherwise it was pushed
+		// loadScheduleDistance further away.
+		if d < loadScheduleDistance && g.gprIsLoad[(g.gprPos-d+2*len(g.recentGPR))%len(g.recentGPR)] {
+			if g.r.Float64() < g.prof.LoadHoistP {
+				return isa.Reg(g.r.Intn(isa.NumGPR))
+			}
+			d += loadScheduleDistance
+			if d > len(g.recentGPR) {
+				d = len(g.recentGPR)
+			}
+		}
+		return g.recentGPR[(g.gprPos-d+2*len(g.recentGPR))%len(g.recentGPR)]
+	}
+	if fp {
+		return isa.FirstFPR + isa.Reg(g.r.Intn(isa.NumFPR))
+	}
+	return isa.Reg(g.r.Intn(isa.NumGPR))
+}
+
+func (g *Generator) pickDst(fp, isLoad bool) isa.Reg {
+	var r isa.Reg
+	if fp {
+		r = isa.FirstFPR + isa.Reg(g.r.Intn(isa.NumFPR))
+		g.recentFPR[g.fprPos%len(g.recentFPR)] = r
+		g.fprPos++
+	} else {
+		r = isa.Reg(g.r.Intn(isa.NumGPR))
+		g.recentGPR[g.gprPos%len(g.recentGPR)] = r
+		g.gprIsLoad[g.gprPos%len(g.recentGPR)] = isLoad
+		g.gprPos++
+	}
+	return r
+}
+
+func (g *Generator) genRR() isa.Instruction {
+	return isa.Instruction{
+		PC:    g.nextPC(),
+		Class: isa.RR,
+		Src1:  g.pickSrc(false),
+		Src2:  g.pickSrc(false),
+		Dst:   g.pickDst(false, false),
+	}
+}
+
+func (g *Generator) genLoad() isa.Instruction {
+	fp := g.r.Float64() < g.fpLoadFrac
+	return isa.Instruction{
+		PC:    g.nextPC(),
+		Class: isa.Load,
+		Src1:  g.pickSrc(false), // base register
+		Src2:  isa.RegNone,
+		Dst:   g.pickDst(fp, true),
+		Addr:  g.genAddr(),
+	}
+}
+
+func (g *Generator) genStore() isa.Instruction {
+	return isa.Instruction{
+		PC:    g.nextPC(),
+		Class: isa.Store,
+		Src1:  g.pickSrc(false), // data
+		Src2:  g.pickSrc(false), // base
+		Dst:   isa.RegNone,
+		Addr:  g.genAddr(),
+	}
+}
+
+func (g *Generator) genFP() isa.Instruction {
+	return isa.Instruction{
+		PC:    g.nextPC(),
+		Class: isa.FP,
+		Src1:  g.pickSrc(true),
+		Src2:  g.pickSrc(true),
+		Dst:   g.pickDst(true, false),
+		FPLat: uint8(g.r.IntBetween(g.prof.FPLatMin, g.prof.FPLatMax)),
+	}
+}
+
+// genRX emits a zSeries register/memory compute: a register operand
+// (scheduled like a load consumer), a base register, and a memory
+// operand. Its result behaves like a load result for scheduling.
+func (g *Generator) genRX() isa.Instruction {
+	return isa.Instruction{
+		PC:    g.nextPC(),
+		Class: isa.RX,
+		Src1:  g.pickSrc(false), // register operand
+		Src2:  g.pickSrc(false), // base register
+		Dst:   g.pickDst(false, true),
+		Addr:  g.genAddr(),
+	}
+}
+
+// genAddr draws an effective address from the profile's locality
+// mixture.
+func (g *Generator) genAddr() uint64 {
+	ws := uint64(g.prof.WorkingSetLines)
+	x := g.r.Float64()
+	switch {
+	case x < g.prof.HotFrac:
+		line := uint64(g.r.Intn(g.prof.HotLines))
+		return hotBase + line*lineBytes + uint64(g.r.Intn(lineBytes/8))*8
+	case x < g.prof.HotFrac+g.prof.SeqFrac:
+		// Streaming: advance a few words at a time through the
+		// working set, wrapping around.
+		g.seqCursor += uint64(g.r.IntBetween(1, 4))
+		off := (g.seqCursor * 8) % (ws * lineBytes)
+		return dataBase + off
+	case x < g.prof.HotFrac+g.prof.SeqFrac+g.prof.RandFrac:
+		line := uint64(g.r.Intn(g.prof.WorkingSetLines))
+		return dataBase + line*lineBytes + uint64(g.r.Intn(lineBytes/8))*8
+	default:
+		// Strided walk over a cache-blocked array region: real codes
+		// tile their sweeps, so the region is bounded and re-walked.
+		region := ws
+		if region > strideRegionLines {
+			region = strideRegionLines
+		}
+		g.strCursor += uint64(g.prof.StrideBytes)
+		off := g.strCursor % (region * lineBytes)
+		return dataBase + off
+	}
+}
+
+// genBranch selects a branch site (with inner-loop repetition bias),
+// evaluates its persistent behaviour, and redirects the PC cursor on
+// taken branches so basic-block PCs recur.
+func (g *Generator) genBranch() isa.Instruction {
+	idx := g.lastSite
+	if len(g.sites) > 1 && g.r.Float64() >= g.repeatP {
+		idx = g.r.Intn(len(g.sites))
+	}
+	g.lastSite = idx
+	s := &g.sites[idx]
+
+	var taken bool
+	switch s.kind {
+	case siteLoop:
+		s.tripPos++
+		taken = s.tripPos%s.tripLen != 0
+	case siteBiased:
+		taken = g.r.Float64() < s.biasP
+	case siteRandom:
+		taken = g.r.Float64() < 0.5
+	}
+
+	in := isa.Instruction{
+		PC:     s.pc,
+		Class:  isa.Branch,
+		Src1:   g.pickSrc(false), // condition register
+		Src2:   isa.RegNone,
+		Dst:    isa.RegNone,
+		Target: s.target,
+		Taken:  taken,
+	}
+	if taken {
+		g.pc = s.target
+	} else {
+		g.pc = s.pc + 4
+	}
+	return in
+}
+
+// Materialize generates n instructions into a resettable slice
+// stream.
+func (g *Generator) Materialize(n int) *trace.SliceStream {
+	ins := make([]isa.Instruction, 0, n)
+	for len(ins) < n {
+		in, _ := g.Next()
+		ins = append(ins, in)
+	}
+	return trace.NewSliceStream(ins)
+}
+
+var _ trace.Resettable = (*Generator)(nil)
+
+// String identifies the generator.
+func (g *Generator) String() string {
+	return fmt.Sprintf("workload %s (%s, seed %#x)", g.prof.Name, g.prof.Class, g.prof.Seed)
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// JSON profile support: downstream users can define their own
+// workloads without recompiling — the mix is keyed by mnemonic, and
+// everything else mirrors Profile.
+
+// profileJSON is the on-disk schema.
+type profileJSON struct {
+	Name  string             `json:"name"`
+	Class string             `json:"class"`
+	Seed  *uint64            `json:"seed,omitempty"`
+	Mix   map[string]float64 `json:"mix"`
+
+	BranchSites int     `json:"branchSites"`
+	LoopFrac    float64 `json:"loopFrac"`
+	BiasedFrac  float64 `json:"biasedFrac"`
+	AvgLoopLen  int     `json:"avgLoopLen"`
+	BiasP       float64 `json:"biasP"`
+
+	WorkingSetLines int     `json:"workingSetLines"`
+	HotFrac         float64 `json:"hotFrac"`
+	HotLines        int     `json:"hotLines"`
+	SeqFrac         float64 `json:"seqFrac"`
+	RandFrac        float64 `json:"randFrac"`
+	StrideBytes     int64   `json:"strideBytes"`
+
+	DepP       float64 `json:"depP"`
+	DepGeoP    float64 `json:"depGeoP"`
+	LoadHoistP float64 `json:"loadHoistP"`
+
+	FPLatMin int `json:"fpLatMin,omitempty"`
+	FPLatMax int `json:"fpLatMax,omitempty"`
+}
+
+// classNames maps the serialized class labels.
+var classNames = map[string]Class{
+	"Legacy": Legacy, "Modern": Modern, "SPECint": SPECInt, "SPECfp": SPECFP,
+}
+
+// mixNames maps mix keys to instruction classes.
+var mixNames = map[string]isa.Class{
+	"rr": isa.RR, "rx": isa.RX, "load": isa.Load, "store": isa.Store,
+	"branch": isa.Branch, "fp": isa.FP,
+}
+
+// ReadProfile decodes and validates one JSON workload profile. A
+// missing seed defaults to the hash of the name, matching the catalog.
+func ReadProfile(r io.Reader) (Profile, error) {
+	var pj profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return Profile{}, fmt.Errorf("workload: decoding profile: %w", err)
+	}
+	cls, ok := classNames[pj.Class]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown class %q (want Legacy/Modern/SPECint/SPECfp)", pj.Class)
+	}
+	p := Profile{
+		Name:            pj.Name,
+		Class:           cls,
+		BranchSites:     pj.BranchSites,
+		LoopFrac:        pj.LoopFrac,
+		BiasedFrac:      pj.BiasedFrac,
+		AvgLoopLen:      pj.AvgLoopLen,
+		BiasP:           pj.BiasP,
+		WorkingSetLines: pj.WorkingSetLines,
+		HotFrac:         pj.HotFrac,
+		HotLines:        pj.HotLines,
+		SeqFrac:         pj.SeqFrac,
+		RandFrac:        pj.RandFrac,
+		StrideBytes:     pj.StrideBytes,
+		DepP:            pj.DepP,
+		DepGeoP:         pj.DepGeoP,
+		LoadHoistP:      pj.LoadHoistP,
+		FPLatMin:        pj.FPLatMin,
+		FPLatMax:        pj.FPLatMax,
+	}
+	if pj.Seed != nil {
+		p.Seed = *pj.Seed
+	} else {
+		p.Seed = hashString(pj.Name)
+	}
+	for key, frac := range pj.Mix {
+		cls, ok := mixNames[key]
+		if !ok {
+			return Profile{}, fmt.Errorf("workload: unknown mix key %q (want rr/rx/load/store/branch/fp)", key)
+		}
+		p.Mix[cls] = frac
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// WriteProfile encodes a profile to the JSON schema (the inverse of
+// ReadProfile; catalog profiles can be exported as starting points).
+func WriteProfile(w io.Writer, p Profile) error {
+	pj := profileJSON{
+		Name:            p.Name,
+		Class:           p.Class.String(),
+		Seed:            &p.Seed,
+		Mix:             map[string]float64{},
+		BranchSites:     p.BranchSites,
+		LoopFrac:        p.LoopFrac,
+		BiasedFrac:      p.BiasedFrac,
+		AvgLoopLen:      p.AvgLoopLen,
+		BiasP:           p.BiasP,
+		WorkingSetLines: p.WorkingSetLines,
+		HotFrac:         p.HotFrac,
+		HotLines:        p.HotLines,
+		SeqFrac:         p.SeqFrac,
+		RandFrac:        p.RandFrac,
+		StrideBytes:     p.StrideBytes,
+		DepP:            p.DepP,
+		DepGeoP:         p.DepGeoP,
+		LoadHoistP:      p.LoadHoistP,
+		FPLatMin:        p.FPLatMin,
+		FPLatMax:        p.FPLatMax,
+	}
+	for key, cls := range mixNames {
+		if p.Mix[cls] > 0 {
+			pj.Mix[key] = p.Mix[cls]
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pj)
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, cls := range []Class{Legacy, Modern, SPECInt, SPECFP} {
+		orig := Representative(cls)
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if got != orig {
+			t.Errorf("%s: round trip changed the profile:\n got %+v\nwant %+v",
+				orig.Name, got, orig)
+		}
+		// The round-tripped profile generates the identical stream.
+		a := MustGenerator(orig).Materialize(500)
+		b := MustGenerator(got).Materialize(500)
+		for i := 0; i < 500; i++ {
+			x, _ := a.Next()
+			y, _ := b.Next()
+			if x != y {
+				t.Fatalf("%s: stream diverged at %d", orig.Name, i)
+			}
+		}
+	}
+}
+
+func TestReadProfileDefaultsSeed(t *testing.T) {
+	js := `{
+		"name": "custom-db", "class": "Legacy",
+		"mix": {"rr": 0.4, "load": 0.3, "store": 0.1, "branch": 0.2},
+		"branchSites": 100, "loopFrac": 0.4, "biasedFrac": 0.5,
+		"avgLoopLen": 10, "biasP": 0.9,
+		"workingSetLines": 1024, "hotFrac": 0.6, "hotLines": 64,
+		"seqFrac": 0.1, "randFrac": 0.1, "strideBytes": 64,
+		"depP": 0.5, "depGeoP": 0.3, "loadHoistP": 0.7
+	}`
+	p, err := ReadProfile(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != hashString("custom-db") {
+		t.Errorf("default seed = %#x", p.Seed)
+	}
+	if _, err := NewGenerator(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadProfileRejections(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     `{`,
+		"bad class":   `{"name":"x","class":"Vector","mix":{"rr":1}}`,
+		"bad mix key": `{"name":"x","class":"Modern","mix":{"simd":1}}`,
+		"unknown field": `{"name":"x","class":"Modern","mix":{"rr":1},
+			"bogusKnob":3}`,
+		"invalid profile": `{"name":"x","class":"Modern","mix":{"rr":0.5}}`,
+	}
+	for name, js := range cases {
+		if _, err := ReadProfile(strings.NewReader(js)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

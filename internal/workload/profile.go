@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Class partitions workloads the way the paper's Figure 7 does.
+type Class int
+
+const (
+	// Legacy covers the traditional database and on-line transaction
+	// processing applications (programmed in Assembler): low ILP,
+	// large working sets, frequent hard-to-predict branches.
+	Legacy Class = iota
+	// Modern covers "real, substantial" C++/Java applications: deeper
+	// call chains, moderate ILP, mixed locality.
+	Modern
+	// SPECInt covers SPECint95 and SPECint2000: cache-friendly,
+	// loopy, higher ILP — "less stressful of the processor than real
+	// workloads" (§6).
+	SPECInt
+	// SPECFP covers SPEC floating-point workloads: few hazards but
+	// multi-cycle unpipelined FP execution, which depresses α and
+	// stretches the optimum pipeline depth over a wide range.
+	SPECFP
+
+	numClasses = iota
+)
+
+// NumClasses is the number of workload classes.
+const NumClasses = int(numClasses)
+
+// String names the class as the paper's Figure 7 legend does.
+func (c Class) String() string {
+	switch c {
+	case Legacy:
+		return "Legacy"
+	case Modern:
+		return "Modern"
+	case SPECInt:
+		return "SPECint"
+	case SPECFP:
+		return "SPECfp"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Profile is the complete behavioural specification of one synthetic
+// workload: everything the trace generator needs to produce its
+// instruction stream.
+type Profile struct {
+	Name  string
+	Class Class
+	Seed  uint64
+
+	// Mix gives the fraction of instructions in each isa.Class.
+	// Entries must be non-negative and sum to 1 (±1e-9).
+	Mix [isa.NumClasses]float64
+
+	// Branch-site behaviour. A workload's static branches are split
+	// into loop sites (taken n−1 times out of n, highly predictable),
+	// biased sites (taken with probability BiasP), and random sites
+	// (taken with probability 0.5, essentially unpredictable).
+	BranchSites int
+	LoopFrac    float64
+	BiasedFrac  float64 // RandomFrac = 1 − LoopFrac − BiasedFrac
+	AvgLoopLen  int     // mean loop trip count
+	BiasP       float64 // taken probability of biased sites
+
+	// Memory behaviour. Data accesses fall in a working set of
+	// WorkingSetLines cache lines. HotFrac of accesses hit a small
+	// hot region of HotLines lines (stack/locals); SeqFrac stream
+	// sequentially; RandFrac are uniform over the working set; the
+	// remainder walk arrays with the given stride (in bytes).
+	WorkingSetLines int
+	HotFrac         float64
+	HotLines        int
+	SeqFrac         float64
+	RandFrac        float64
+	StrideBytes     int64
+
+	// Dependency structure. Each source register depends on a recent
+	// producer with probability DepP; the producer distance is
+	// 1 + Geometric(DepGeoP) instructions back. Short distances mean
+	// tight dependency chains and low ILP.
+	DepP    float64
+	DepGeoP float64
+
+	// LoadHoistP is the probability that a would-be nearby consumer
+	// of a load result was scheduled (hoisted) out of the load's
+	// shadow by the compiler — or by hand, for legacy assembler code.
+	LoadHoistP float64
+
+	// FP latency range in cycles (FP instructions execute
+	// individually, unpipelined).
+	FPLatMin int
+	FPLatMax int
+}
+
+// Validate reports whether the profile is internally consistent.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return errors.New("workload: empty name")
+	}
+	sum := 0.0
+	for i, f := range p.Mix {
+		if f < 0 {
+			return fmt.Errorf("workload %s: negative mix for %s", p.Name, isa.Class(i))
+		}
+		sum += f
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("workload %s: mix sums to %g, want 1", p.Name, sum)
+	}
+	if p.BranchSites <= 0 && p.Mix[isa.Branch] > 0 {
+		return fmt.Errorf("workload %s: branches present but no branch sites", p.Name)
+	}
+	if p.LoopFrac < 0 || p.BiasedFrac < 0 || p.LoopFrac+p.BiasedFrac > 1+1e-9 {
+		return fmt.Errorf("workload %s: invalid branch behaviour fractions", p.Name)
+	}
+	if p.Mix[isa.Branch] > 0 && p.AvgLoopLen < 2 {
+		return fmt.Errorf("workload %s: AvgLoopLen must be ≥ 2", p.Name)
+	}
+	if p.BiasP < 0 || p.BiasP > 1 {
+		return fmt.Errorf("workload %s: BiasP out of range", p.Name)
+	}
+	memFrac := p.Mix[isa.Load] + p.Mix[isa.Store]
+	if memFrac > 0 {
+		if p.WorkingSetLines <= 0 {
+			return fmt.Errorf("workload %s: memory ops but empty working set", p.Name)
+		}
+		if p.HotFrac < 0 || p.SeqFrac < 0 || p.RandFrac < 0 ||
+			p.HotFrac+p.SeqFrac+p.RandFrac > 1+1e-9 {
+			return fmt.Errorf("workload %s: invalid memory behaviour fractions", p.Name)
+		}
+		if p.HotFrac > 0 && (p.HotLines <= 0 || p.HotLines > p.WorkingSetLines) {
+			return fmt.Errorf("workload %s: invalid hot region", p.Name)
+		}
+	}
+	if p.DepP < 0 || p.DepP > 1 || (p.DepP > 0 && (p.DepGeoP <= 0 || p.DepGeoP > 1)) {
+		return fmt.Errorf("workload %s: invalid dependency parameters", p.Name)
+	}
+	if p.LoadHoistP < 0 || p.LoadHoistP > 1 {
+		return fmt.Errorf("workload %s: LoadHoistP out of range", p.Name)
+	}
+	if p.Mix[isa.FP] > 0 {
+		if p.FPLatMin < 1 || p.FPLatMax < p.FPLatMin || p.FPLatMax > 255 {
+			return fmt.Errorf("workload %s: invalid FP latency range", p.Name)
+		}
+	}
+	return nil
+}
+
+// RandomFrac returns the fraction of branch sites with random
+// (unpredictable) behaviour.
+func (p *Profile) RandomFrac() float64 {
+	f := 1 - p.LoopFrac - p.BiasedFrac
+	if f < 0 {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,105 @@
+// Package workload defines the 55 synthetic workloads that stand in
+// for the paper's proprietary trace tapes. Each workload belongs to
+// one of the paper's four classes (legacy database/OLTP, modern
+// C++/Java, SPEC integer, SPEC floating point) and is generated
+// deterministically from a per-workload seed, with class-calibrated
+// instruction mix, branch behaviour, memory locality and dependency
+// structure.
+package workload
+
+// rng is a xoshiro256** pseudo-random generator seeded via splitmix64.
+// It is small, fast, and deterministic across platforms, which keeps
+// every experiment in the repository reproducible bit-for-bit.
+type rng struct {
+	s [4]uint64
+}
+
+// newRNG returns a generator seeded from the given 64-bit seed using
+// splitmix64 state expansion (the reference seeding procedure).
+func newRNG(seed uint64) *rng {
+	r := &rng{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// Avoid the all-zero state, which is a fixed point.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *rng) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Geometric returns a sample from a geometric distribution with
+// success probability p, counting the number of failures before the
+// first success (support {0, 1, 2, …}, mean (1−p)/p).
+func (r *rng) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("workload: Geometric with non-positive p")
+	}
+	n := 0
+	for r.Float64() >= p && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// IntBetween returns a uniform value in [lo, hi] inclusive.
+func (r *rng) IntBetween(lo, hi int) int {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// hashString folds a string into a 64-bit seed (FNV-1a). It gives
+// each named workload a stable, distinct seed.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
