@@ -12,6 +12,7 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/theory"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -95,6 +96,51 @@ func BenchmarkSimulatorDeep(b *testing.B) {
 		gen.Reset()
 		if _, err := pipeline.Run(pipeline.MustDefaultConfig(25), trace.NewLimitStream(gen, n)); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "instrs/op")
+}
+
+// BenchmarkRunTelemetryDisabled is the baseline for the telemetry
+// overhead pair: the simulator with no tracer and no metrics registry
+// attached, exactly as every existing caller runs it. Compare with
+// BenchmarkRunTelemetryEnabled; the disabled path must stay within
+// noise (<2%) of the pre-telemetry engine since its only cost is one
+// nil check per cycle.
+func BenchmarkRunTelemetryDisabled(b *testing.B) {
+	prof := workload.Representative(workload.SPECInt)
+	gen := workload.MustGenerator(prof)
+	const n = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Reset()
+		if _, err := pipeline.Run(pipeline.MustDefaultConfig(10), trace.NewLimitStream(gen, n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "instrs/op")
+}
+
+// BenchmarkRunTelemetryEnabled runs the identical workload with a
+// full event tracer and metrics registry attached, measuring the cost
+// of cycle-level event capture.
+func BenchmarkRunTelemetryEnabled(b *testing.B) {
+	prof := workload.Representative(workload.SPECInt)
+	gen := workload.MustGenerator(prof)
+	const n = 10000
+	reg := telemetry.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Reset()
+		cfg := pipeline.MustDefaultConfig(10)
+		cfg.Tracer = pipeline.NewTracer(0)
+		cfg.Metrics = reg
+		r, err := pipeline.Run(cfg, trace.NewLimitStream(gen, n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cfg.Tracer.Len() == 0 || r.Manifest.ConfigHash == "" {
+			b.Fatal("telemetry not recorded")
 		}
 	}
 	b.ReportMetric(float64(n), "instrs/op")

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -64,6 +66,9 @@ func main() {
 		md      = flag.String("md", "", "run every experiment and write a Markdown report to this file")
 		par     = flag.Int("parallel", 0, "concurrent workload sweeps (default NumCPU)")
 		timings = flag.Bool("time", false, "print per-experiment wall time")
+
+		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics dump (manifest + per-experiment timing and row counts) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -73,6 +78,21 @@ func main() {
 		}
 		return
 	}
+
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug server at http://%s/debug/pprof/\n", addr)
+	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("repro_metrics")
+	}
+	runStart := time.Now()
 
 	opt := experiments.Options{
 		Instructions: *n,
@@ -137,7 +157,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			exit = 1
+			if reg != nil {
+				reg.Counter("experiments.failed").Add(1)
+			}
 			continue
+		}
+		if reg != nil {
+			reg.Counter("experiments.completed").Add(1)
+			reg.Counter("experiments.rows").Add(uint64(len(rep.Rows)))
+			reg.Gauge("experiments.seconds." + id).Set(time.Since(start).Seconds())
 		}
 		render := rep.Render
 		if *plot {
@@ -162,6 +190,30 @@ func main() {
 				exit = 1
 			}
 		}
+	}
+
+	if *metricsOut != "" {
+		man := telemetry.NewManifest("experiments")
+		man.SetParam("figures", strings.Join(ids, ","))
+		if *n != 0 {
+			man.SetParam("instructions", strconv.Itoa(*n))
+		}
+		man.ConfigHash = telemetry.Fingerprint(ids...)
+		man.Finish(runStart)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", err)
+			os.Exit(1)
+		}
+		werr := reg.WriteJSONL(f, &man)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "metrics-out:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote metrics to %s\n", *metricsOut)
 	}
 	os.Exit(exit)
 }

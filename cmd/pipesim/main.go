@@ -6,38 +6,55 @@
 //
 //	pipesim -workload si95-gcc -depth 10
 //	pipesim -workload oltp-bank -depth 20 -n 50000 -predictor gshare
-//	pipesim -trace trace.bin -depth 12      # binary trace tape input
-//	pipesim -workloads                      # list catalog workloads
+//	pipesim -tape trace.bin -depth 12        # binary trace tape input
+//	pipesim -workloads                       # list catalog workloads
+//
+// Observability:
+//
+//	pipesim -trace out.json                  # Chrome trace_event file
+//	                                         # (chrome://tracing, perfetto)
+//	pipesim -trace-jsonl events.jsonl        # event trace as JSON Lines
+//	pipesim -metrics-out metrics.jsonl       # counters + run manifest
+//	pipesim -pprof localhost:6060            # /debug/pprof + /debug/vars
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/branch"
 	"repro/internal/fit"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		name      = flag.String("workload", "si95-gcc", "catalog workload name")
-		tracePath = flag.String("trace", "", "binary trace file (overrides -workload)")
-		profile   = flag.String("profile", "", "JSON workload profile file (overrides -workload)")
-		depth     = flag.Int("depth", 10, "pipeline depth (decode..execute stages)")
-		n         = flag.Int("n", 30000, "instructions to simulate")
-		warm      = flag.Int("warmup", 30000, "cache/predictor warm-up instructions (generator input only)")
-		pred      = flag.String("predictor", "tournament", "branch predictor: static|bimodal|gshare|tournament")
-		ooo       = flag.Bool("ooo", false, "out-of-order execution with register renaming")
-		machine   = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
-		sample    = flag.Uint64("power-trace", 0, "sample interval in cycles for a power-over-time trace (0 = off)")
-		units     = flag.Bool("units", false, "print the per-unit utilization table")
-		list      = flag.Bool("workloads", false, "list catalog workloads and exit")
+		name     = flag.String("workload", "si95-gcc", "catalog workload name")
+		tapePath = flag.String("tape", "", "binary trace tape file (overrides -workload)")
+		profile  = flag.String("profile", "", "JSON workload profile file (overrides -workload)")
+		depth    = flag.Int("depth", 10, "pipeline depth (decode..execute stages)")
+		n        = flag.Int("n", 30000, "instructions to simulate")
+		warm     = flag.Int("warmup", 30000, "cache/predictor warm-up instructions (generator input only)")
+		pred     = flag.String("predictor", "tournament", "branch predictor: static|bimodal|gshare|tournament")
+		ooo      = flag.Bool("ooo", false, "out-of-order execution with register renaming")
+		machine  = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+		sample   = flag.Uint64("power-trace", 0, "sample interval in cycles for a power-over-time trace (0 = off)")
+		units    = flag.Bool("units", false, "print the per-unit utilization table")
+		list     = flag.Bool("workloads", false, "list catalog workloads and exit")
+
+		tracePath   = flag.String("trace", "", "write the cycle-level event trace in Chrome trace_event format to this file")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the cycle-level event trace as JSON Lines to this file")
+		traceEvents = flag.Int("trace-events", 0, "event-trace ring capacity (0 = default 262144; oldest events are evicted)")
+		traceSample = flag.Uint64("trace-sample", 0, "record only every Nth cycle of the event trace (0 or 1 = every cycle)")
+		metricsOut  = flag.String("metrics-out", "", "write a JSONL metrics dump (run manifest + counters) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -46,6 +63,14 @@ func main() {
 			fmt.Printf("%-16s %s\n", p.Name, p.Class)
 		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipesim: debug server at http://%s/debug/pprof/\n", addr)
 	}
 
 	cfg, err := pipeline.PresetConfig(pipeline.Preset(*machine), *depth)
@@ -66,15 +91,30 @@ func main() {
 	}
 	cfg.SampleInterval = *sample
 
+	var tracer *telemetry.Tracer
+	if *tracePath != "" || *traceJSONL != "" {
+		tracer = pipeline.NewTracer(*traceEvents)
+		tracer.SetSampling(*traceSample)
+		cfg.Tracer = tracer
+	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("repro_metrics")
+		cfg.Metrics = reg
+	}
+
 	var src trace.Stream
+	wlName, wlSeed := "", uint64(0)
 	switch {
-	case *tracePath != "":
-		f, err := os.Open(*tracePath)
+	case *tapePath != "":
+		f, err := os.Open(*tapePath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
 		src = trace.NewLimitStream(trace.NewReader(f), *n)
+		wlName = "tape:" + *tapePath
 	default:
 		var prof workload.Profile
 		if *profile != "" {
@@ -94,6 +134,7 @@ func main() {
 				fatal(fmt.Errorf("unknown workload %q (use -workloads)", *name))
 			}
 		}
+		wlName, wlSeed = prof.Name, prof.Seed
 		gen, err := workload.NewGenerator(prof)
 		if err != nil {
 			fatal(err)
@@ -156,6 +197,62 @@ func main() {
 		fmt.Printf("  BIPS=%.5f BIPS/W=%.4g BIPS^2/W=%.4g BIPS^3/W=%.4g\n",
 			bips, bips/b.Total(), bips*bips/b.Total(), bips*bips*bips/b.Total())
 	}
+
+	// The run manifest stamped by pipeline.Run, enriched with what
+	// only the CLI knows, travels with every exported artifact.
+	man := res.Manifest
+	man.Tool = "pipesim"
+	man.SetParam("workload", wlName)
+	if wlSeed != 0 {
+		man.SetParam("seed", fmt.Sprintf("%#x", wlSeed))
+	}
+	man.SetParam("instructions", strconv.Itoa(*n))
+	man.SetParam("warmup", strconv.Itoa(*warm))
+
+	if reg != nil {
+		pm.Evaluate(res, true).Publish(reg, "power.gated")
+		pm.Evaluate(res, false).Publish(reg, "power.plain")
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, func(f *os.File) error {
+			return reg.WriteJSONL(f, &man)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipesim: wrote metrics to %s\n", *metricsOut)
+	}
+	if *tracePath != "" {
+		if err := writeTo(*tracePath, func(f *os.File) error {
+			return tracer.WriteChromeTrace(f, &man)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipesim: wrote Chrome trace (%d events, %d evicted) to %s\n",
+			tracer.Len(), tracer.Dropped(), *tracePath)
+	}
+	if *traceJSONL != "" {
+		if err := writeTo(*traceJSONL, func(f *os.File) error {
+			return tracer.WriteJSONL(f, &man)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipesim: wrote JSONL trace (%d events) to %s\n",
+			tracer.Len(), *traceJSONL)
+	}
+}
+
+// writeTo creates path, runs fn on the file, and closes it, reporting
+// the first error.
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -7,40 +7,73 @@
 //
 //	sweep -workload si95-gcc
 //	sweep -workload sf-swim -min 2 -max 30 -n 50000
+//
+// Observability:
+//
+//	sweep -metrics-out metrics.jsonl         # aggregated counters + manifest
+//	sweep -trace out.json -trace-depth 10    # Chrome trace of one depth's run
+//	sweep -pprof localhost:6060              # /debug/pprof + /debug/vars
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		name = flag.String("workload", "si95-gcc", "catalog workload name")
-		min  = flag.Int("min", 2, "minimum depth")
-		max  = flag.Int("max", 25, "maximum depth")
-		n    = flag.Int("n", 30000, "instructions per run")
-		warm = flag.Int("warmup", 30000, "warm-up instructions (-1 for none)")
-		ooo  = flag.Bool("ooo", false, "out-of-order execution with register renaming")
-		mach = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+		name     = flag.String("workload", "si95-gcc", "catalog workload name")
+		minDepth = flag.Int("min", 2, "minimum depth")
+		maxDepth = flag.Int("max", 25, "maximum depth")
+		n        = flag.Int("n", 30000, "instructions per run")
+		warm     = flag.Int("warmup", 30000, "warm-up instructions (-1 for none)")
+		ooo      = flag.Bool("ooo", false, "out-of-order execution with register renaming")
+		mach     = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event file of the -trace-depth run to this file")
+		traceDepth = flag.Int("trace-depth", core.DefaultRefDepth, "pipeline depth whose run the -trace file records")
+		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics dump (manifest + counters aggregated over the sweep) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: debug server at http://%s/debug/pprof/\n", addr)
+	}
+
 	prof, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *name)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown workload %q", *name))
 	}
 	var depths []int
-	for d := *min; d <= *max; d++ {
+	for d := *minDepth; d <= *maxDepth; d++ {
 		depths = append(depths, d)
 	}
+
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = pipeline.NewTracer(0)
+	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("repro_metrics")
+	}
+
+	start := time.Now()
 	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm}
 	cfg.Machine = func(d int) (pipeline.Config, error) {
 		mc, err := pipeline.PresetConfig(pipeline.Preset(*mach), d)
@@ -50,12 +83,16 @@ func main() {
 		if *ooo {
 			mc.OutOfOrder = true
 		}
+		// One depth of the sweep can carry the event tracer; attaching
+		// it to every depth would interleave runs in a single ring.
+		if tracer != nil && d == *traceDepth {
+			mc.Tracer = tracer
+		}
 		return mc, nil
 	}
 	s, err := core.RunSweep(cfg, prof)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	fmt.Printf("workload %s (%s), %d instructions/run\n\n", prof.Name, prof.Class, *n)
@@ -97,4 +134,67 @@ func main() {
 		o := tp.OptimumExact()
 		fmt.Printf("analytic BIPS^3/W optimum (clock gated): %.1f stages (%.1f FO4)\n", o.Depth, o.FO4)
 	}
+
+	// One manifest describes the whole sweep; the per-depth config hash
+	// is taken from the traced (or nearest-to-reference) point.
+	man := telemetry.NewManifest("sweep")
+	man.SetParam("workload", prof.Name)
+	man.SetParam("seed", fmt.Sprintf("%#x", prof.Seed))
+	man.SetParam("instructions", strconv.Itoa(*n))
+	man.SetParam("depth_min", strconv.Itoa(*minDepth))
+	man.SetParam("depth_max", strconv.Itoa(*maxDepth))
+	man.SetParam("machine", *mach)
+	if p, ok := s.PointAt(*traceDepth); ok {
+		man.ConfigHash = p.Result.Config.Fingerprint()
+	} else if len(s.Points) > 0 {
+		man.ConfigHash = s.Points[0].Result.Config.Fingerprint()
+	}
+	man.Finish(start)
+
+	if reg != nil {
+		for _, p := range s.Points {
+			p.Result.PublishMetrics(reg)
+		}
+		reg.Gauge("sweep.depth_points").Set(float64(len(s.Points)))
+		if p, ok := s.PointAt(*traceDepth); ok {
+			p.GatedPower.Publish(reg, "power.gated")
+			p.PlainPower.Publish(reg, "power.plain")
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, func(f *os.File) error {
+			return reg.WriteJSONL(f, &man)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote metrics to %s\n", *metricsOut)
+	}
+	if *tracePath != "" {
+		if err := writeTo(*tracePath, func(f *os.File) error {
+			return tracer.WriteChromeTrace(f, &man)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote Chrome trace of depth %d (%d events, %d evicted) to %s\n",
+			*traceDepth, tracer.Len(), tracer.Dropped(), *tracePath)
+	}
+}
+
+// writeTo creates path, runs fn on the file, and closes it, reporting
+// the first error.
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -1,6 +1,10 @@
 package branch
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
 
 // BTB is a set-associative branch target buffer with true-LRU
 // replacement. The front end needs the target of a predicted-taken
@@ -98,6 +102,13 @@ func (b *BTB) Update(pc, target uint64) {
 	b.tags[lru] = tag
 	b.targets[lru] = target
 	b.age[lru] = b.clock
+}
+
+// PublishMetrics registers the BTB's lookup/hit counters into the
+// telemetry registry under the btb.* namespace.
+func (b *BTB) PublishMetrics(reg *telemetry.Registry) {
+	reg.Counter("btb.lookups").Add(b.lookups)
+	reg.Counter("btb.hits").Add(b.hits)
 }
 
 // HitRate returns hits per lookup (0 for an idle BTB).

@@ -534,7 +534,7 @@ func Headline(opt Options) (*Report, error) {
 func minOf(xs []float64) float64 {
 	m := math.Inf(1)
 	for _, x := range xs {
-		m = math.Min(m, x)
+		m = min(m, x)
 	}
 	return m
 }

@@ -126,10 +126,3 @@ func (r *Report) RenderWithChart(w io.Writer) error {
 	}
 	return nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

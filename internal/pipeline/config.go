@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/cache"
+	"repro/internal/telemetry"
 )
 
 // Config specifies one simulation: the machine geometry, depth plan,
@@ -75,6 +76,17 @@ type Config struct {
 	// a real machine fetches down the wrong path while the branch
 	// resolves, burning energy the freeze model otherwise omits.
 	WrongPathActivity bool
+
+	// Tracer, when non-nil, records cycle-level fetch/issue/retire/
+	// stall events and per-unit clock-gate activity into its ring
+	// buffer (see pipeline.NewTracer for a schema-matched tracer).
+	// Nil disables event tracing at zero per-cycle cost.
+	Tracer *telemetry.Tracer
+
+	// Metrics, when non-nil, receives the run's counters (instruction,
+	// cycle, stall and per-unit totals, plus cache and BTB statistics)
+	// after simulation, for aggregation across runs and export.
+	Metrics *telemetry.Registry
 
 	// SampleInterval, when positive, records per-unit activity and
 	// instruction counts every SampleInterval cycles, producing the

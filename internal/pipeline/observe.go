@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
+
+// UnitNames returns the unit name table in Unit order, for telemetry
+// schemas (tracer unit bitmasks) and metric naming.
+func UnitNames() []string {
+	out := make([]string, NumUnits)
+	for u := 0; u < NumUnits; u++ {
+		out[u] = Unit(u).String()
+	}
+	return out
+}
+
+// StallCauseNames returns the stall-cause name table in StallCause
+// order, for telemetry schemas.
+func StallCauseNames() []string {
+	out := make([]string, NumStallCauses)
+	for c := 0; c < NumStallCauses; c++ {
+		out[c] = StallCause(c).String()
+	}
+	return out
+}
+
+// classNames returns the instruction-class name table in isa.Class
+// order.
+func classNames() []string {
+	out := make([]string, isa.NumClasses)
+	for c := 0; c < isa.NumClasses; c++ {
+		out[c] = isa.Class(c).String()
+	}
+	return out
+}
+
+// NewTracer builds a tracer whose schema (unit, stall-cause and
+// instruction-class names) matches this simulator, holding up to
+// capacity events (telemetry.DefaultTraceEvents if ≤ 0). Assign it to
+// Config.Tracer to record a run.
+func NewTracer(capacity int) *telemetry.Tracer {
+	tr := telemetry.NewTracer(capacity)
+	tr.SetSchema(UnitNames(), StallCauseNames(), classNames())
+	return tr
+}
+
+// Fingerprint renders the configuration's identity — every field that
+// changes simulated behavior — into a stable hash for run manifests.
+// Attached models are identified by their configuration, not their
+// transient state.
+func (c *Config) Fingerprint() string {
+	pred := "none"
+	if c.Predictor != nil {
+		pred = fmt.Sprintf("%T", c.Predictor)
+	}
+	btb := "none"
+	if c.BTB != nil {
+		btb = "btb"
+	}
+	hier := "none"
+	if c.Hierarchy != nil {
+		hier = fmt.Sprintf("%+v", c.Hierarchy.Config())
+	}
+	icache := "none"
+	if c.ICache != nil {
+		icache = fmt.Sprintf("icache:%g", c.ICacheMissFO4)
+	}
+	return telemetry.Fingerprint(
+		fmt.Sprintf("geom:%d/%d/%d/%d q:%d/%d/%d ooo:%t",
+			c.Width, c.AgenWidth, c.CachePorts, c.BranchWidth,
+			c.AgenQCap, c.ExecQCap, c.WindowCap, c.OutOfOrder),
+		fmt.Sprintf("plan:%+v", c.Plan),
+		fmt.Sprintf("tech:tp=%g,to=%g", c.TP, c.TO),
+		pred, btb, hier, icache,
+		fmt.Sprintf("btbmiss:%d nonblock:%t redirect:%t wrongpath:%t",
+			c.BTBMissBubbles, c.NonBlockingCache, c.RedirectBubble,
+			c.WrongPathActivity),
+	)
+}
+
+// manifest builds the run manifest stamped onto every Result.
+func (c *Config) manifest() telemetry.Manifest {
+	m := telemetry.NewManifest("pipeline.Run")
+	m.ConfigHash = c.Fingerprint()
+	m.SetParam("depth", strconv.Itoa(c.Plan.Depth))
+	m.SetParam("width", strconv.Itoa(c.Width))
+	m.SetParam("cycle_time_fo4", fmt.Sprintf("%.3f", c.CycleTime()))
+	if c.OutOfOrder {
+		m.SetParam("ooo", "true")
+	}
+	return m
+}
+
+// PublishMetrics registers the run's outcome into the registry: one
+// namespaced counter per figure the power monitor and stall
+// accounting track, plus the attached cache hierarchy's and BTB's
+// traffic counters. Counters aggregate across runs published into the
+// same registry; gauges (ipc, bips) reflect the latest run.
+func (r *Result) PublishMetrics(reg *telemetry.Registry) {
+	reg.Counter("pipeline.instructions").Add(r.Instructions)
+	reg.Counter("pipeline.cycles").Add(r.Cycles)
+	reg.Counter("pipeline.issue_cycles").Add(r.IssueCycles)
+	reg.Counter("pipeline.branches").Add(r.Branches)
+	reg.Counter("pipeline.branch_mispredicts").Add(r.Hazards.BranchMispredicts)
+	reg.Counter("pipeline.l1_misses").Add(r.L1Misses)
+	reg.Counter("pipeline.hazards").Add(r.Hazards.Total())
+	for c := 0; c < NumStallCauses; c++ {
+		reg.Counter("pipeline.stall_cycles." + StallCause(c).String()).Add(r.StallCycles[c])
+	}
+	for u := 0; u < NumUnits; u++ {
+		un := Unit(u).String()
+		reg.Counter("pipeline.unit_ops." + un).Add(r.UnitOps[u])
+		reg.Counter("pipeline.unit_active." + un).Add(r.UnitActive[u])
+	}
+	h := reg.Histogram("pipeline.issue_width")
+	for width, cycles := range r.IssueHist {
+		h.ObserveN(uint64(width), cycles)
+	}
+	reg.Gauge("pipeline.ipc").Set(r.IPC())
+	reg.Gauge("pipeline.bips").Set(r.BIPS())
+	if r.Config.Hierarchy != nil {
+		r.Config.Hierarchy.PublishMetrics(reg)
+	}
+	if r.Config.BTB != nil {
+		r.Config.BTB.PublishMetrics(reg)
+	}
+}
+
+// traceGate emits the per-cycle clock-gate event: a bitmask of the
+// units whose latches switched this cycle.
+func (s *sim) traceGate() {
+	var mask uint64
+	for u := 0; u < NumUnits; u++ {
+		if s.unitMoved[u] {
+			mask |= 1 << u
+		}
+	}
+	s.tel.Emit(telemetry.Event{Cycle: s.cycle, Kind: telemetry.KindGate, Arg: mask})
+}
+
+// traceInstr emits one instruction-lifecycle event (fetch, issue or
+// retire).
+func (s *sim) traceInstr(kind telemetry.EventKind, seq uint64, in *isa.Instruction) {
+	s.tel.Emit(telemetry.Event{
+		Cycle:  s.cycle,
+		Kind:   kind,
+		Arg:    seq,
+		PC:     in.PC,
+		Detail: uint8(in.Class),
+	})
+}

@@ -129,7 +129,7 @@ func (p DepthPlan) UnitStages(u Unit) int {
 	case UnitExec:
 		return p.Exec
 	case UnitFPU:
-		return maxIntp(1, p.Exec)
+		return max(1, p.Exec)
 	default:
 		return 1
 	}
@@ -152,11 +152,4 @@ func (p DepthPlan) MergedWith(u Unit) []Unit {
 		}
 	}
 	return nil
-}
-
-func maxIntp(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // StallCause classifies why the issue stage made no progress on a
@@ -85,6 +87,11 @@ type ActivitySample struct {
 // Result is the outcome of one simulation run.
 type Result struct {
 	Config Config
+
+	// Manifest records the run's provenance: configuration hash, key
+	// parameters, wall time and toolchain, stamped by Run on every
+	// result for reproducibility.
+	Manifest telemetry.Manifest
 
 	Instructions uint64 // retired instructions N_I
 	Cycles       uint64 // total cycles T (in cycles)

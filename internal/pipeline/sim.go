@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -142,6 +144,12 @@ type sim struct {
 	traceDone    bool
 	lastProgress uint64
 
+	// Telemetry: tel mirrors cfg.Tracer; traceCycle caches whether the
+	// current cycle is recorded (nil tracer or sampled-out cycles make
+	// every emission site a single predictable branch).
+	tel        *telemetry.Tracer
+	traceCycle bool
+
 	// Interval-sampling state: the cumulative counters at the last
 	// sample boundary.
 	lastSampleActive [NumUnits]uint64
@@ -165,18 +173,20 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	s := &sim{
 		cfg:         cfg,
 		src:         src,
 		rob:         make([]robEntry, cfg.WindowCap),
-		decodePipe:  newFIFO(maxIntp(1, cfg.Plan.Decode) * cfg.Width),
+		decodePipe:  newFIFO(max(1, cfg.Plan.Decode) * cfg.Width),
 		agenQ:       newFIFO(cfg.AgenQCap),
-		agenPipe:    newFIFO(maxIntp(1, cfg.Plan.Agen) * cfg.AgenWidth),
-		cachePipe:   newFIFO(maxIntp(1, cfg.Plan.Cache) * cfg.CachePorts),
+		agenPipe:    newFIFO(max(1, cfg.Plan.Agen) * cfg.AgenWidth),
+		cachePipe:   newFIFO(max(1, cfg.Plan.Cache) * cfg.CachePorts),
 		decTransit:  uint64(cfg.Plan.Decode + renameStages(cfg)),
 		agenTransit: uint64(cfg.Plan.Agen),
 		cacheT:      uint64(cfg.Plan.Cache),
-		execLat:     uint64(maxIntp(1, cfg.Plan.Exec)),
+		execLat:     uint64(max(1, cfg.Plan.Exec)),
+		tel:         cfg.Tracer,
 	}
 	s.res.Config = cfg
 	s.res.IssueHist = make([]uint64, cfg.Width+1)
@@ -198,12 +208,18 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 		s.step()
 	}
 	s.res.Cycles = s.cycle
+	s.res.Manifest = cfg.manifest()
+	s.res.Manifest.Finish(start)
+	if cfg.Metrics != nil {
+		s.res.PublishMetrics(cfg.Metrics)
+	}
 	return &s.res, nil
 }
 
 // step advances the machine one cycle, processing stages back to
 // front so an instruction traverses at most one stage per cycle.
 func (s *sim) step() {
+	s.traceCycle = s.tel.CycleEnabled(s.cycle)
 	for i := range s.unitMoved {
 		s.unitMoved[i] = false
 	}
@@ -260,6 +276,9 @@ func (s *sim) stepRetire() {
 		e := s.entry(s.retired)
 		if e.issuedAt == never || e.complete >= s.cycle {
 			break
+		}
+		if s.traceCycle {
+			s.traceInstr(telemetry.KindRetire, s.retired, &e.in)
 		}
 		s.retired++
 		s.retiredNow++
@@ -343,6 +362,11 @@ func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) 
 		}
 	}
 	s.res.StallCycles[cause]++
+	if s.traceCycle {
+		s.tel.Emit(telemetry.Event{
+			Cycle: s.cycle, Kind: telemetry.KindStall, Detail: uint8(cause),
+		})
+	}
 	// Episode counting: a maximal run of equal-cause stall cycles is
 	// one hazard event for the causes whose events are not counted
 	// elsewhere (mispredicts and misses are counted at occurrence).
@@ -550,6 +574,9 @@ func (s *sim) classifyDep(r isa.Reg) StallCause {
 func (s *sim) issue(seq uint64, e *robEntry) {
 	in := &e.in
 	e.issuedAt = s.cycle
+	if s.traceCycle {
+		s.traceInstr(telemetry.KindIssue, seq, in)
+	}
 	switch in.Class {
 	case isa.FP:
 		// Unpipelined: the FPU is occupied for the full latency (at
@@ -569,8 +596,8 @@ func (s *sim) issue(seq uint64, e *robEntry) {
 		if e.dataReady == never {
 			e.complete = never
 		} else {
-			e.complete = maxU64(s.cycle+intLat, e.dataReady)
-			s.execActiveUntil = maxU64(s.execActiveUntil, s.cycle+intLat)
+			e.complete = max(s.cycle+intLat, e.dataReady)
+			s.execActiveUntil = max(s.execActiveUntil, s.cycle+intLat)
 		}
 		s.regReady[in.Dst] = e.dataReady
 		s.lastWriter[in.Dst] = seq
@@ -579,9 +606,9 @@ func (s *sim) issue(seq uint64, e *robEntry) {
 		if e.dataReady == never {
 			e.complete = never
 		} else {
-			e.complete = maxU64(s.cycle+intLat, e.dataReady)
+			e.complete = max(s.cycle+intLat, e.dataReady)
 		}
-		s.execActiveUntil = maxU64(s.execActiveUntil, s.cycle+intLat)
+		s.execActiveUntil = max(s.execActiveUntil, s.cycle+intLat)
 	case isa.RX:
 		// Operands arrived (memory at dataReady, register checked at
 		// issue): the compute itself is a one-cycle ALU pass.
@@ -589,12 +616,12 @@ func (s *sim) issue(seq uint64, e *robEntry) {
 		s.regReady[in.Dst] = e.complete
 		s.lastWriter[in.Dst] = seq
 		s.haveWriter[in.Dst] = true
-		s.execActiveUntil = maxU64(s.execActiveUntil, e.complete)
+		s.execActiveUntil = max(s.execActiveUntil, e.complete)
 	case isa.Branch:
 		// Branches resolve at the end of the E-unit pipe: the
 		// misprediction penalty grows with the pipeline depth.
 		e.complete = s.cycle + s.execLat
-		s.execActiveUntil = maxU64(s.execActiveUntil, e.complete)
+		s.execActiveUntil = max(s.execActiveUntil, e.complete)
 	default: // RR
 		// Simple ALU results forward in one cycle independent of the
 		// E-pipe depth — deep real designs keep the common ALU loop
@@ -604,7 +631,7 @@ func (s *sim) issue(seq uint64, e *robEntry) {
 		s.regReady[in.Dst] = e.complete
 		s.lastWriter[in.Dst] = seq
 		s.haveWriter[in.Dst] = true
-		s.execActiveUntil = maxU64(s.execActiveUntil, e.complete)
+		s.execActiveUntil = max(s.execActiveUntil, e.complete)
 	}
 }
 
@@ -663,7 +690,7 @@ func (s *sim) stepCacheExit() {
 		// arrived: completion and (for loads that are still the
 		// youngest writer of their register) consumer visibility.
 		if e.issuedAt != never {
-			e.complete = maxU64(e.issuedAt+intLat, e.dataReady)
+			e.complete = max(e.issuedAt+intLat, e.dataReady)
 		}
 		if e.in.Class == isa.Load &&
 			s.haveWriter[e.in.Dst] && s.lastWriter[e.in.Dst] == pe.seq {
@@ -785,6 +812,9 @@ func (s *sim) stepFetch() {
 		s.next++
 		s.lastProgress = s.cycle
 		*s.entry(seq) = robEntry{in: in, seq: seq, dataReady: never, issuedAt: never, complete: never}
+		if s.traceCycle {
+			s.traceInstr(telemetry.KindFetch, seq, &s.entry(seq).in)
+		}
 		s.decodePipe.push(pipeEntry{seq: seq, at: s.cycle})
 		s.fetchedNow++
 		s.res.UnitOps[UnitFetch]++
@@ -877,6 +907,9 @@ func (s *sim) recordActivity() {
 			s.res.UnitActive[u]++
 		}
 	}
+	if s.traceCycle {
+		s.traceGate()
+	}
 }
 
 // rename records producers in the decode-time writer table. In both
@@ -929,11 +962,4 @@ func (s *sim) writerReady(seq uint64) uint64 {
 		return e.dataReady
 	}
 	return e.complete
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 )
 
 // DefaultBetaUnit is the per-unit latch growth exponent observed in
@@ -177,6 +178,22 @@ type Breakdown struct {
 
 // Total returns dynamic + leakage power.
 func (b Breakdown) Total() float64 { return b.Dynamic + b.Leakage }
+
+// Publish registers the breakdown's figures as gauges in the
+// telemetry registry under the given prefix (e.g. "power.gated"):
+// total, dynamic and leakage power, latch count, and the per-unit
+// group powers.
+func (b Breakdown) Publish(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix + ".total").Set(b.Total())
+	reg.Gauge(prefix + ".dynamic").Set(b.Dynamic)
+	reg.Gauge(prefix + ".leakage").Set(b.Leakage)
+	reg.Gauge(prefix + ".latches").Set(b.Latches)
+	for u := 0; u < pipeline.NumUnits; u++ {
+		if b.PerUnit[u] > 0 {
+			reg.Gauge(prefix + ".unit." + pipeline.Unit(u).String()).Set(b.PerUnit[u])
+		}
+	}
+}
 
 // LeakageFraction returns leakage / total.
 func (b Breakdown) LeakageFraction() float64 {

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: the buffered events render as one JSON
+// object loadable by chrome://tracing and https://ui.perfetto.dev.
+// Cycles map to microseconds of trace time (1 cycle = 1 µs). Three
+// tracks are emitted under one process: instruction instants
+// (fetch/issue/retire), stall spans (consecutive same-cause stall
+// cycles merged into one duration event), and per-unit clock-gate
+// counters.
+
+const (
+	chromePID       = 1
+	chromeTIDPipe   = 1
+	chromeTIDStalls = 2
+)
+
+// chromeEvent is one trace_event entry. Fields follow the Trace Event
+// Format spec (ph = phase, ts = timestamp µs, dur = duration µs).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object form of the format, which
+// allows attaching metadata (the run manifest) alongside the events.
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace writes the buffered events in Chrome trace_event
+// format. The manifest, when non-nil, is embedded as trace metadata.
+func (t *Tracer) WriteChromeTrace(w io.Writer, m *Manifest) error {
+	if t == nil {
+		return errors.New("telemetry: nil tracer")
+	}
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events)+16)
+	out = append(out,
+		chromeEvent{Name: "process_name", Phase: "M", PID: chromePID,
+			Args: map[string]any{"name": "pipesim"}},
+		chromeEvent{Name: "thread_name", Phase: "M", PID: chromePID,
+			TID: chromeTIDPipe, Args: map[string]any{"name": "instructions"}},
+		chromeEvent{Name: "thread_name", Phase: "M", PID: chromePID,
+			TID: chromeTIDStalls, Args: map[string]any{"name": "stalls"}},
+	)
+
+	// Stall-span state: a run of consecutive stall cycles with the
+	// same cause flushes as one X (complete) event.
+	var stallStart, stallLen uint64
+	var stallCause uint8
+	inStall := false
+	flushStall := func() {
+		if !inStall {
+			return
+		}
+		out = append(out, chromeEvent{
+			Name:  "stall:" + name(t.causeNames, "cause", int(stallCause)),
+			Cat:   "stall",
+			Phase: "X",
+			TS:    stallStart,
+			Dur:   stallLen,
+			PID:   chromePID,
+			TID:   chromeTIDStalls,
+		})
+		inStall = false
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindFetch, KindIssue, KindRetire:
+			out = append(out, chromeEvent{
+				Name:  ev.Kind.String(),
+				Cat:   "pipe",
+				Phase: "i",
+				Scope: "t",
+				TS:    ev.Cycle,
+				PID:   chromePID,
+				TID:   chromeTIDPipe,
+				Args: map[string]any{
+					"seq":   ev.Arg,
+					"pc":    fmt.Sprintf("%#x", ev.PC),
+					"class": name(t.classNames, "class", int(ev.Detail)),
+				},
+			})
+		case KindStall:
+			if inStall && ev.Detail == stallCause && ev.Cycle == stallStart+stallLen {
+				stallLen++
+				continue
+			}
+			flushStall()
+			stallStart, stallLen, stallCause, inStall = ev.Cycle, 1, ev.Detail, true
+		case KindGate:
+			// One multi-series counter sample per recorded cycle:
+			// Chrome stacks the per-unit 0/1 series into an activity
+			// area chart — the clock-gating duty cycle over time.
+			args := make(map[string]any, len(t.unitNames))
+			for u, un := range t.unitNames {
+				v := 0
+				if ev.Arg&(1<<u) != 0 {
+					v = 1
+				}
+				args[un] = v
+			}
+			out = append(out, chromeEvent{
+				Name:  "clock-gate",
+				Cat:   "power",
+				Phase: "C",
+				TS:    ev.Cycle,
+				PID:   chromePID,
+				Args:  args,
+			})
+		}
+	}
+	flushStall()
+
+	trace := chromeTrace{TraceEvents: out}
+	if m != nil {
+		meta, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		var mm map[string]any
+		if err := json.Unmarshal(meta, &mm); err != nil {
+			return err
+		}
+		trace.Metadata = mm
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards expvar.Publish, which panics on duplicate names
+// (tests and long-lived processes may publish repeatedly).
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the registry's snapshot under the given
+// expvar name (rendered at /debug/vars by ServeDebug). Later snapshots
+// reflect metric updates automatically; repeated calls re-point the
+// published name at the most recent registry.
+func (r *Registry) PublishExpvar(varName string) {
+	current.mu.Lock()
+	current.reg = r
+	current.mu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish(varName, expvar.Func(func() any {
+			current.mu.Lock()
+			reg := current.reg
+			current.mu.Unlock()
+			if reg == nil {
+				return nil
+			}
+			return reg.Snapshot()
+		}))
+	})
+}
+
+// current is the registry most recently published to expvar.
+var current struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// ServeDebug starts an HTTP server on addr exposing the standard
+// debugging surface: /debug/pprof/* (CPU, heap, goroutine profiles)
+// and /debug/vars (expvar, including any registry published with
+// PublishExpvar). It returns the bound address — pass ":0" for an
+// ephemeral port — and serves until the process exits.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	go func() {
+		// The server lives for the process; errors after a successful
+		// bind (shutdown races) are not actionable here.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

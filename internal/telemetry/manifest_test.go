@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestNewManifestEnvironment(t *testing.T) {
+	m := NewManifest("pipesim")
+	if m.Tool != "pipesim" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	if m.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q", m.GoVersion)
+	}
+	if m.OS != runtime.GOOS || m.Arch != runtime.GOARCH {
+		t.Errorf("os/arch = %s/%s", m.OS, m.Arch)
+	}
+	if m.NumCPU < 1 {
+		t.Errorf("num_cpu = %d", m.NumCPU)
+	}
+	if _, err := time.Parse(time.RFC3339, m.StartedAt); err != nil {
+		t.Errorf("started_at %q not RFC3339: %v", m.StartedAt, err)
+	}
+}
+
+func TestManifestParamsAndFinish(t *testing.T) {
+	m := NewManifest("test")
+	m.SetParam("depth", "10")
+	m.SetParam("workload", "si95-gcc")
+	if m.Params["depth"] != "10" || m.Params["workload"] != "si95-gcc" {
+		t.Errorf("params = %v", m.Params)
+	}
+	start := time.Now().Add(-50 * time.Millisecond)
+	m.Finish(start)
+	if m.WallTimeSec < 0.05 || m.WallTimeSec > 10 {
+		t.Errorf("wall_time_sec = %g", m.WallTimeSec)
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	m := NewManifest("sweep")
+	m.ConfigHash = Fingerprint("cfg")
+	m.SetParam("seed", "0xdead")
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ConfigHash != m.ConfigHash || back.Params["seed"] != "0xdead" {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

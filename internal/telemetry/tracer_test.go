@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.CycleEnabled(0) || tr.CycleEnabled(100) {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Cycle: 1}) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer holds state")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(Event{Cycle: i, Kind: KindStall})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (oldest evicted first)", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(100)
+	tr.SetSampling(10)
+	kept := 0
+	for c := uint64(1); c <= 100; c++ {
+		if tr.CycleEnabled(c) {
+			kept++
+			tr.Emit(Event{Cycle: c})
+		}
+	}
+	if kept != 10 {
+		t.Errorf("kept %d cycles of 100 at 1-in-10 sampling", kept)
+	}
+	// Sampling ≤ 1 keeps everything.
+	tr2 := NewTracer(100)
+	tr2.SetSampling(0)
+	if !tr2.CycleEnabled(7) {
+		t.Error("sampling 0 should keep all cycles")
+	}
+}
+
+func TestWriteJSONLEvents(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSchema(
+		[]string{"fetch", "decode", "exec"},
+		[]string{"branch", "dependency"},
+		[]string{"rr", "load"},
+	)
+	tr.Emit(Event{Cycle: 5, Kind: KindFetch, Arg: 1, PC: 0x4000, Detail: 1})
+	tr.Emit(Event{Cycle: 6, Kind: KindStall, Detail: 1})
+	tr.Emit(Event{Cycle: 6, Kind: KindGate, Arg: 0b101})
+	m := NewManifest("test")
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want manifest + 3 events", len(lines))
+	}
+	var fetch jsonlEvent
+	if err := json.Unmarshal([]byte(lines[1]), &fetch); err != nil {
+		t.Fatal(err)
+	}
+	if fetch.Type != "fetch" || fetch.Class != "load" || fetch.PC != "0x4000" {
+		t.Errorf("fetch line = %+v", fetch)
+	}
+	var stall jsonlEvent
+	if err := json.Unmarshal([]byte(lines[2]), &stall); err != nil {
+		t.Fatal(err)
+	}
+	if stall.Cause != "dependency" {
+		t.Errorf("stall cause = %q", stall.Cause)
+	}
+	var gate jsonlEvent
+	if err := json.Unmarshal([]byte(lines[3]), &gate); err != nil {
+		t.Fatal(err)
+	}
+	if len(gate.Units) != 2 || gate.Units[0] != "fetch" || gate.Units[1] != "exec" {
+		t.Errorf("gate units = %v", gate.Units)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSchema(
+		[]string{"fetch", "decode"},
+		[]string{"branch", "dependency"},
+		[]string{"rr"},
+	)
+	tr.Emit(Event{Cycle: 1, Kind: KindFetch, Arg: 0, PC: 0x100})
+	// Three consecutive dependency stalls and one branch stall: the
+	// exporter must merge the run into one span.
+	tr.Emit(Event{Cycle: 2, Kind: KindStall, Detail: 1})
+	tr.Emit(Event{Cycle: 3, Kind: KindStall, Detail: 1})
+	tr.Emit(Event{Cycle: 4, Kind: KindStall, Detail: 1})
+	tr.Emit(Event{Cycle: 5, Kind: KindStall, Detail: 0})
+	tr.Emit(Event{Cycle: 5, Kind: KindGate, Arg: 0b11})
+	m := NewManifest("test")
+	m.ConfigHash = "deadbeef"
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if out.Metadata["config_hash"] != "deadbeef" {
+		t.Errorf("metadata = %v", out.Metadata)
+	}
+	var stallSpans, gateCounters, instants int
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			stallSpans++
+			if ev["name"] == "stall:dependency" {
+				if dur, _ := ev["dur"].(float64); dur != 3 {
+					t.Errorf("merged dependency span dur = %v, want 3", ev["dur"])
+				}
+			}
+		case "C":
+			gateCounters++
+			args := ev["args"].(map[string]any)
+			if args["fetch"] != float64(1) || args["decode"] != float64(1) {
+				t.Errorf("gate args = %v", args)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if stallSpans != 2 {
+		t.Errorf("stall spans = %d, want 2 (merged run + branch)", stallSpans)
+	}
+	if gateCounters != 1 || instants != 1 {
+		t.Errorf("counters = %d instants = %d", gateCounters, instants)
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	want := []string{"fetch", "issue", "retire", "stall", "gate"}
+	for i, w := range want {
+		if got := EventKind(i).String(); got != w {
+			t.Errorf("kind %d = %q, want %q", i, got, w)
+		}
+	}
+	if NumEventKinds != len(want) {
+		t.Errorf("NumEventKinds = %d", NumEventKinds)
+	}
+}

@@ -153,16 +153,16 @@ func derive(name string, c Class) Profile {
 	// Control behaviour.
 	p.BranchSites = int(jit(float64(p.BranchSites), 0.3))
 	p.LoopFrac = clamp01(jit(p.LoopFrac, 0.2))
-	p.BiasedFrac = clamp01(min64(jit(p.BiasedFrac, 0.2), 1-p.LoopFrac))
-	p.AvgLoopLen = maxInt(3, int(jit(float64(p.AvgLoopLen), 0.4)))
+	p.BiasedFrac = clamp01(min(jit(p.BiasedFrac, 0.2), 1-p.LoopFrac))
+	p.AvgLoopLen = max(3, int(jit(float64(p.AvgLoopLen), 0.4)))
 	p.BiasP = clamp01(jit(p.BiasP, 0.06))
 
 	// Memory behaviour.
-	p.WorkingSetLines = maxInt(256, int(jit(float64(p.WorkingSetLines), 0.7)))
-	p.HotFrac = clamp01(min64(jit(p.HotFrac, 0.12), 0.88))
-	p.SeqFrac = clamp01(min64(jit(p.SeqFrac, 0.4), 1-p.HotFrac))
-	p.RandFrac = clamp01(min64(jit(p.RandFrac, 0.5), 1-p.HotFrac-p.SeqFrac))
-	p.StrideBytes = int64(maxInt(8, int(jit(float64(p.StrideBytes), 0.4))))
+	p.WorkingSetLines = max(256, int(jit(float64(p.WorkingSetLines), 0.7)))
+	p.HotFrac = clamp01(min(jit(p.HotFrac, 0.12), 0.88))
+	p.SeqFrac = clamp01(min(jit(p.SeqFrac, 0.4), 1-p.HotFrac))
+	p.RandFrac = clamp01(min(jit(p.RandFrac, 0.5), 1-p.HotFrac-p.SeqFrac))
+	p.StrideBytes = int64(max(8, int(jit(float64(p.StrideBytes), 0.4))))
 
 	// Dependency structure: the main ILP lever, spread generously so
 	// the per-class optimum distributions have the paper's width.
@@ -174,8 +174,8 @@ func derive(name string, c Class) Profile {
 	}
 
 	if p.Mix[isa.FP] > 0 {
-		p.FPLatMin = maxInt(2, int(jit(float64(p.FPLatMin), 0.4)))
-		p.FPLatMax = maxInt(p.FPLatMin, int(jit(float64(p.FPLatMax), 0.4)))
+		p.FPLatMin = max(2, int(jit(float64(p.FPLatMin), 0.4)))
+		p.FPLatMax = max(p.FPLatMin, int(jit(float64(p.FPLatMax), 0.4)))
 	}
 	return p
 }
@@ -188,20 +188,6 @@ func clamp01(x float64) float64 {
 		return 1
 	}
 	return x
-}
-
-func min64(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // All returns the full 55-workload catalog in a stable order
