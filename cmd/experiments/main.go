@@ -7,12 +7,14 @@
 //	experiments -fig fig6,fig7           # selected experiments
 //	experiments -fig fig4b -n 10000      # shorter traces
 //	experiments -fig all -csv out/       # also dump CSV data files
+//	experiments -fig all -cache-dir d    # memoize simulated design points
 //	experiments -list                    # list experiment ids
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -21,17 +23,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/resultcache"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
 // writeSummaries sweeps the catalog and saves JSON digests for reuse.
-func writeSummaries(path string, opt experiments.Options) error {
+func writeSummaries(path string, opt experiments.Options, stdout io.Writer) error {
 	cfg := core.StudyConfig{
 		Instructions: opt.Instructions,
 		Warmup:       opt.Warmup,
 		Depths:       opt.Depths,
 		Parallelism:  opt.Parallelism,
+		Cache:        opt.Cache,
 	}
 	sweeps, err := core.RunCatalog(cfg, workload.All())
 	if err != nil {
@@ -49,43 +57,79 @@ func writeSummaries(path string, opt experiments.Options) error {
 	if err := core.WriteSummaries(f, sums); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d workload summaries to %s\n", len(sums), path)
+	fmt.Fprintf(stdout, "wrote %d workload summaries to %s\n", len(sums), path)
 	return nil
 }
 
-func main() {
-	var (
-		fig     = flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
-		n       = flag.Int("n", 0, "instructions per simulation run (default 30000)")
-		warm    = flag.Int("warmup", 0, "warm-up instructions (default 30000, -1 for none)")
-		nwl     = flag.Int("workloads", 0, "cap the workload catalog size (0 = all 55)")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV data files")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		plot    = flag.Bool("plot", false, "render ASCII charts under each figure")
-		summary = flag.String("summary", "", "write JSON sweep summaries of the full catalog to this file and exit")
-		md      = flag.String("md", "", "run every experiment and write a Markdown report to this file")
-		par     = flag.Int("parallel", 0, "concurrent workload sweeps (default NumCPU)")
-		timings = flag.Bool("time", false, "print per-experiment wall time")
+// openCache opens the result cache named by the CLI flags; a nil
+// cache (empty dir) disables memoization entirely.
+func openCache(dir string, readonly, clear bool, reg *telemetry.Registry) (*resultcache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	c, err := resultcache.Open(resultcache.Options{Dir: dir, ReadOnly: readonly, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	if clear {
+		if err := c.Clear(); err != nil {
+			return nil, fmt.Errorf("clear cache: %w", err)
+		}
+	}
+	return c, nil
+}
 
-		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics dump (manifest + per-experiment timing and row counts) to this file")
-		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+// cacheSummary reports cache effectiveness for the run.
+func cacheSummary(w io.Writer, prog string, c *resultcache.Cache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	fmt.Fprintf(w, "%s: cache %d hits / %d misses (%.0f%% hit rate), %d stored\n",
+		prog, st.Hits, st.Misses, 100*st.HitRate(), st.Stores)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig     = fs.String("fig", "all", "comma-separated experiment ids, or 'all'")
+		n       = fs.Int("n", 0, "instructions per simulation run (default 30000)")
+		warm    = fs.Int("warmup", 0, "warm-up instructions (default 30000, -1 for none)")
+		nwl     = fs.Int("workloads", 0, "cap the workload catalog size (0 = all 55)")
+		csvDir  = fs.String("csv", "", "directory to write per-figure CSV data files")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		plot    = fs.Bool("plot", false, "render ASCII charts under each figure")
+		summary = fs.String("summary", "", "write JSON sweep summaries of the full catalog to this file and exit")
+		md      = fs.String("md", "", "run every experiment and write a Markdown report to this file")
+		par     = fs.Int("parallel", 0, "concurrent workload sweeps (default NumCPU)")
+		timings = fs.Bool("time", false, "print per-experiment wall time")
+
+		cacheDir   = fs.String("cache-dir", "", "directory for the on-disk result cache (empty = no caching)")
+		cacheRO    = fs.Bool("cache-readonly", false, "read cached results but never write new ones")
+		cacheClear = fs.Bool("cache-clear", false, "drop all cached results before running")
+
+		metricsOut = fs.String("metrics-out", "", "write a JSONL metrics dump (manifest + per-experiment timing and row counts) to this file")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-9s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	if *pprofAddr != "" {
 		addr, err := telemetry.ServeDebug(*pprofAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pprof:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pprof:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "experiments: debug server at http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "experiments: debug server at http://%s/debug/pprof/\n", addr)
 	}
 	var reg *telemetry.Registry
 	if *metricsOut != "" || *pprofAddr != "" {
@@ -94,46 +138,58 @@ func main() {
 	}
 	runStart := time.Now()
 
+	cache, err := openCache(*cacheDir, *cacheRO, *cacheClear, reg)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+
 	opt := experiments.Options{
 		Instructions: *n,
 		Warmup:       *warm,
 		Workloads:    *nwl,
 		Parallelism:  *par,
+		Cache:        cache,
 	}
 
 	if *summary != "" {
-		if err := writeSummaries(*summary, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "summary:", err)
-			os.Exit(1)
+		if err := writeSummaries(*summary, opt, stdout); err != nil {
+			fmt.Fprintln(stderr, "summary:", err)
+			return 1
 		}
-		return
+		cacheSummary(stderr, "experiments", cache)
+		return 0
 	}
 
 	if *md != "" {
 		results := experiments.RunAll(opt)
 		f, err := os.Create(*md)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "md:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "md:", err)
+			return 1
 		}
-		defer f.Close()
-		if err := experiments.WriteMarkdown(f, results); err != nil {
-			fmt.Fprintln(os.Stderr, "md:", err)
-			os.Exit(1)
+		werr := experiments.WriteMarkdown(f, results)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "md:", werr)
+			return 1
 		}
 		bad := 0
 		for _, r := range results {
 			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", r.Experiment.ID, r.Err)
+				fmt.Fprintf(stderr, "%s: %v\n", r.Experiment.ID, r.Err)
 				bad++
 			}
 		}
-		fmt.Printf("wrote %d experiment reports to %s (%d failed)\n",
+		fmt.Fprintf(stdout, "wrote %d experiment reports to %s (%d failed)\n",
 			len(results), *md, bad)
+		cacheSummary(stderr, "experiments", cache)
 		if bad > 0 {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var ids []string
@@ -148,14 +204,14 @@ func main() {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
 			exit = 2
 			continue
 		}
 		start := time.Now()
 		rep, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintf(stderr, "%s: %v\n", id, err)
 			exit = 1
 			if reg != nil {
 				reg.Counter("experiments.failed").Add(1)
@@ -171,22 +227,22 @@ func main() {
 		if *plot {
 			render = rep.RenderWithChart
 		}
-		if err := render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: render: %v\n", id, err)
+		if err := render(stdout); err != nil {
+			fmt.Fprintf(stderr, "%s: render: %v\n", id, err)
 			exit = 1
 		}
 		if *timings {
-			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "csv dir: %v\n", err)
+				fmt.Fprintf(stderr, "csv dir: %v\n", err)
 				exit = 1
 				continue
 			}
 			path := filepath.Join(*csvDir, id+".csv")
 			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: write csv: %v\n", id, err)
+				fmt.Fprintf(stderr, "%s: write csv: %v\n", id, err)
 				exit = 1
 			}
 		}
@@ -202,18 +258,19 @@ func main() {
 		man.Finish(runStart)
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metrics-out:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "metrics-out:", err)
+			return 1
 		}
 		werr := reg.WriteJSONL(f, &man)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintln(os.Stderr, "metrics-out:", werr)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "metrics-out:", werr)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "experiments: wrote metrics to %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "experiments: wrote metrics to %s\n", *metricsOut)
 	}
-	os.Exit(exit)
+	cacheSummary(stderr, "experiments", cache)
+	return exit
 }

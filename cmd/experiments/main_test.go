@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, stderr := runCLI(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, id := range []string{"fig1", "fig6", "headline", "validate"} {
+		if !strings.Contains(stdout, id) {
+			t.Fatalf("-list output missing %s:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestRunTheoryFigure(t *testing.T) {
+	code, stdout, stderr := runCLI(t, []string{"-fig", "fig3"})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== fig3:") {
+		t.Fatalf("missing report header:\n%s", stdout)
+	}
+}
+
+func TestRunUnknownFigureExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, []string{"-fig", "fig99"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, []string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatal("bad flag must exit 2")
+	}
+}
+
+// TestRunWarmCacheByteIdentical repeats a simulation-backed figure
+// against one cache directory: the warm run reuses every design point
+// and reproduces the report byte for byte.
+func TestRunWarmCacheByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-fig", "fig4a",
+		"-n", "2000", "-warmup", "-1",
+		"-cache-dir", dir,
+	}
+
+	code, out1, err1 := runCLI(t, args)
+	if code != 0 {
+		t.Fatalf("cold run exit %d, stderr:\n%s", code, err1)
+	}
+	if !strings.Contains(err1, " 0 hits / ") {
+		t.Fatalf("cold run cache summary unexpected:\n%s", err1)
+	}
+
+	code, out2, err2 := runCLI(t, args)
+	if code != 0 {
+		t.Fatalf("warm run exit %d, stderr:\n%s", code, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("warm-cache output differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", out1, out2)
+	}
+	if !strings.Contains(err2, " 0 misses (100% hit rate)") {
+		t.Fatalf("warm run cache summary unexpected:\n%s", err2)
+	}
+}

@@ -8,6 +8,12 @@
 //	sweep -workload si95-gcc
 //	sweep -workload sf-swim -min 2 -max 30 -n 50000
 //
+// Caching:
+//
+//	sweep -cache-dir ~/.cache/repro        # memoize design points on disk
+//	sweep -cache-dir d -cache-readonly     # reuse but never write
+//	sweep -cache-dir d -cache-clear        # drop stale entries first
+//
 // Observability:
 //
 //	sweep -metrics-out metrics.jsonl         # aggregated counters + manifest
@@ -18,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
@@ -25,38 +32,84 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/resultcache"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		name     = flag.String("workload", "si95-gcc", "catalog workload name")
-		minDepth = flag.Int("min", 2, "minimum depth")
-		maxDepth = flag.Int("max", 25, "maximum depth")
-		n        = flag.Int("n", 30000, "instructions per run")
-		warm     = flag.Int("warmup", 30000, "warm-up instructions (-1 for none)")
-		ooo      = flag.Bool("ooo", false, "out-of-order execution with register renaming")
-		mach     = flag.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		tracePath  = flag.String("trace", "", "write a Chrome trace_event file of the -trace-depth run to this file")
-		traceDepth = flag.Int("trace-depth", core.DefaultRefDepth, "pipeline depth whose run the -trace file records")
-		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics dump (manifest + counters aggregated over the sweep) to this file")
-		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+// openCache opens the result cache named by the CLI flags; a nil
+// cache (empty dir) disables memoization entirely.
+func openCache(dir string, readonly, clear bool, reg *telemetry.Registry) (*resultcache.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	c, err := resultcache.Open(resultcache.Options{Dir: dir, ReadOnly: readonly, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	if clear {
+		if err := c.Clear(); err != nil {
+			return nil, fmt.Errorf("clear cache: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// cacheSummary reports cache effectiveness for the run.
+func cacheSummary(w io.Writer, prog string, c *resultcache.Cache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	fmt.Fprintf(w, "%s: cache %d hits / %d misses (%.0f%% hit rate), %d stored\n",
+		prog, st.Hits, st.Misses, 100*st.HitRate(), st.Stores)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name     = fs.String("workload", "si95-gcc", "catalog workload name")
+		minDepth = fs.Int("min", 2, "minimum depth")
+		maxDepth = fs.Int("max", 25, "maximum depth")
+		n        = fs.Int("n", 30000, "instructions per run")
+		warm     = fs.Int("warmup", 30000, "warm-up instructions (-1 for none)")
+		ooo      = fs.Bool("ooo", false, "out-of-order execution with register renaming")
+		mach     = fs.String("machine", "zseries", "machine preset: zseries|zseries-ooo|narrow|wide")
+
+		cacheDir   = fs.String("cache-dir", "", "directory for the on-disk result cache (empty = no caching)")
+		cacheRO    = fs.Bool("cache-readonly", false, "read cached results but never write new ones")
+		cacheClear = fs.Bool("cache-clear", false, "drop all cached results before running")
+
+		tracePath  = fs.String("trace", "", "write a Chrome trace_event file of the -trace-depth run to this file")
+		traceDepth = fs.Int("trace-depth", core.DefaultRefDepth, "pipeline depth whose run the -trace file records")
+		metricsOut = fs.String("metrics-out", "", "write a JSONL metrics dump (manifest + counters aggregated over the sweep) to this file")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sweep:", err)
+		return 1
+	}
 
 	if *pprofAddr != "" {
 		addr, err := telemetry.ServeDebug(*pprofAddr)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: debug server at http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "sweep: debug server at http://%s/debug/pprof/\n", addr)
 	}
 
 	prof, ok := workload.ByName(*name)
 	if !ok {
-		fatal(fmt.Errorf("unknown workload %q", *name))
+		return fail(fmt.Errorf("unknown workload %q", *name))
 	}
 	var depths []int
 	for d := *minDepth; d <= *maxDepth; d++ {
@@ -73,8 +126,13 @@ func main() {
 		reg.PublishExpvar("repro_metrics")
 	}
 
+	cache, err := openCache(*cacheDir, *cacheRO, *cacheClear, reg)
+	if err != nil {
+		return fail(err)
+	}
+
 	start := time.Now()
-	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm}
+	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm, Cache: cache}
 	cfg.Machine = func(d int) (pipeline.Config, error) {
 		mc, err := pipeline.PresetConfig(pipeline.Preset(*mach), d)
 		if err != nil {
@@ -92,26 +150,27 @@ func main() {
 	}
 	s, err := core.RunSweep(cfg, prof)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("workload %s (%s), %d instructions/run\n\n", prof.Name, prof.Class, *n)
-	fmt.Printf("%5s %6s %7s %9s %10s %10s %12s %12s\n",
+	fmt.Fprintf(stdout, "workload %s (%s), %d instructions/run\n\n", prof.Name, prof.Class, *n)
+	fmt.Fprintf(stdout, "%5s %6s %7s %9s %10s %10s %12s %12s\n",
 		"depth", "FO4", "IPC", "BIPS", "W(gated)", "W(plain)", "BIPS^3/W g", "BIPS^3/W n")
 	for _, p := range s.Points {
 		bips := p.Result.BIPS()
-		fmt.Printf("%5d %6.2f %7.3f %9.5f %10.4g %10.4g %12.4g %12.4g\n",
+		fmt.Fprintf(stdout, "%5d %6.2f %7.3f %9.5f %10.4g %10.4g %12.4g %12.4g\n",
 			p.Depth, p.FO4, p.Result.IPC(), bips,
 			p.GatedPower.Total(), p.PlainPower.Total(),
 			metrics.BIPS3PerWatt.Value(bips, p.GatedPower.Total()),
 			metrics.BIPS3PerWatt.Value(bips, p.PlainPower.Total()))
 	}
 
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, k := range metrics.Kinds {
 		for _, gated := range []bool{true, false} {
 			o, err := s.FindOptimum(k, gated)
 			if err != nil {
+				fmt.Fprintf(stderr, "sweep: optimum %s (gated=%v): %v\n", k, gated, err)
 				continue
 			}
 			mode := "non-gated"
@@ -122,17 +181,21 @@ func main() {
 			if !o.Interior {
 				pos = "edge"
 			}
-			fmt.Printf("optimum %-9s %-9s: %5.1f stages (%5.1f FO4, %s)\n",
+			fmt.Fprintf(stdout, "optimum %-9s %-9s: %5.1f stages (%5.1f FO4, %s)\n",
 				k, mode, o.Depth, o.FO4, pos)
 		}
 	}
 
 	if ex, err := s.CurveExtraction(core.DefaultRefDepth); err == nil {
-		fmt.Printf("\ncurve-fitted parameters: %s\n", ex)
+		fmt.Fprintf(stdout, "\ncurve-fitted parameters: %s\n", ex)
+	} else {
+		fmt.Fprintf(stderr, "sweep: curve extraction: %v\n", err)
 	}
 	if tp, err := s.FittedTheoryParams(core.DefaultRefDepth, 3, true); err == nil {
 		o := tp.OptimumExact()
-		fmt.Printf("analytic BIPS^3/W optimum (clock gated): %.1f stages (%.1f FO4)\n", o.Depth, o.FO4)
+		fmt.Fprintf(stdout, "analytic BIPS^3/W optimum (clock gated): %.1f stages (%.1f FO4)\n", o.Depth, o.FO4)
+	} else {
+		fmt.Fprintf(stderr, "sweep: theory fit: %v\n", err)
 	}
 
 	// One manifest describes the whole sweep; the per-depth config hash
@@ -165,19 +228,21 @@ func main() {
 		if err := writeTo(*metricsOut, func(f *os.File) error {
 			return reg.WriteJSONL(f, &man)
 		}); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: wrote metrics to %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "sweep: wrote metrics to %s\n", *metricsOut)
 	}
 	if *tracePath != "" {
 		if err := writeTo(*tracePath, func(f *os.File) error {
 			return tracer.WriteChromeTrace(f, &man)
 		}); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "sweep: wrote Chrome trace of depth %d (%d events, %d evicted) to %s\n",
+		fmt.Fprintf(stderr, "sweep: wrote Chrome trace of depth %d (%d events, %d evicted) to %s\n",
 			*traceDepth, tracer.Len(), tracer.Dropped(), *tracePath)
 	}
+	cacheSummary(stderr, "sweep", cache)
+	return 0
 }
 
 // writeTo creates path, runs fn on the file, and closes it, reporting
@@ -192,9 +257,4 @@ func writeTo(path string, fn func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastArgs keeps CLI tests quick: few depths, short seeded runs.
+func fastArgs(extra ...string) []string {
+	args := []string{
+		"-workload", "si95-gcc",
+		"-min", "4", "-max", "8",
+		"-n", "2000", "-warmup", "-1",
+	}
+	return append(args, extra...)
+}
+
+func runCLI(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestRunSucceeds(t *testing.T) {
+	code, stdout, stderr := runCLI(t, fastArgs())
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "workload si95-gcc") {
+		t.Fatalf("missing header in output:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "optimum") {
+		t.Fatalf("missing optimum lines in output:\n%s", stdout)
+	}
+}
+
+func TestRunUnknownWorkloadExitsNonZero(t *testing.T) {
+	code, _, stderr := runCLI(t, []string{"-workload", "no-such-workload"})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown workload") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	code, _, _ := runCLI(t, []string{"-definitely-not-a-flag"})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestRunWarmCacheByteIdentical runs the same sweep twice against one
+// cache directory: the second run must serve every design point from
+// the cache and print byte-identical results.
+func TestRunWarmCacheByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	args := fastArgs("-cache-dir", dir)
+
+	code, out1, err1 := runCLI(t, args)
+	if code != 0 {
+		t.Fatalf("cold run exit %d, stderr:\n%s", code, err1)
+	}
+	if !strings.Contains(err1, "0 hits / 5 misses") {
+		t.Fatalf("cold run cache summary unexpected:\n%s", err1)
+	}
+
+	code, out2, err2 := runCLI(t, args)
+	if code != 0 {
+		t.Fatalf("warm run exit %d, stderr:\n%s", code, err2)
+	}
+	if out1 != out2 {
+		t.Fatalf("warm-cache output differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", out1, out2)
+	}
+	if !strings.Contains(err2, "5 hits / 0 misses (100% hit rate)") {
+		t.Fatalf("warm run cache summary unexpected:\n%s", err2)
+	}
+}
+
+// TestRunCacheReadonlyAndClear: -cache-readonly must not populate the
+// cache; -cache-clear must force re-simulation.
+func TestRunCacheReadonlyAndClear(t *testing.T) {
+	dir := t.TempDir()
+
+	_, _, stderr := runCLI(t, fastArgs("-cache-dir", dir, "-cache-readonly"))
+	if !strings.Contains(stderr, "0 stored") {
+		t.Fatalf("readonly run stored entries:\n%s", stderr)
+	}
+
+	// Populate, then clear: the cleared run must miss everything again.
+	if code, _, _ := runCLI(t, fastArgs("-cache-dir", dir)); code != 0 {
+		t.Fatal("populate run failed")
+	}
+	_, _, stderr = runCLI(t, fastArgs("-cache-dir", dir, "-cache-clear"))
+	if !strings.Contains(stderr, "0 hits / 5 misses") {
+		t.Fatalf("cleared cache still produced hits:\n%s", stderr)
+	}
+}

@@ -18,6 +18,14 @@ type Predictor interface {
 	Name() string
 }
 
+// Fingerprinter is implemented by predictors that can describe their
+// full configuration (kind and geometry, not transient counter state)
+// for run manifests and cache keys. Two predictors with equal
+// fingerprints must behave identically on identical streams.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
 // twoBit is a saturating two-bit counter: 0,1 predict not-taken;
 // 2,3 predict taken.
 type twoBit uint8
@@ -55,6 +63,9 @@ func (*Static) Update(uint64, bool) {}
 // Name implements Predictor.
 func (*Static) Name() string { return "static" }
 
+// Fingerprint implements Fingerprinter.
+func (*Static) Fingerprint() string { return "static" }
+
 // Bimodal is a classic per-PC two-bit-counter predictor.
 type Bimodal struct {
 	table []twoBit
@@ -88,6 +99,9 @@ func (b *Bimodal) Update(pc uint64, taken bool) {
 
 // Name implements Predictor.
 func (b *Bimodal) Name() string { return "bimodal" }
+
+// Fingerprint implements Fingerprinter.
+func (b *Bimodal) Fingerprint() string { return fmt.Sprintf("bimodal/%d", len(b.table)) }
 
 // GShare XORs a global history register with the PC to index a
 // two-bit-counter table, capturing correlated branch behaviour.
@@ -131,6 +145,9 @@ func (g *GShare) Update(pc uint64, taken bool) {
 
 // Name implements Predictor.
 func (g *GShare) Name() string { return "gshare" }
+
+// Fingerprint implements Fingerprinter.
+func (g *GShare) Fingerprint() string { return fmt.Sprintf("gshare/%d", len(g.table)) }
 
 // Tournament selects per-PC between a bimodal and a gshare component
 // using a chooser table of two-bit counters (0,1 favour bimodal;
@@ -181,6 +198,9 @@ func (t *Tournament) Update(pc uint64, taken bool) {
 
 // Name implements Predictor.
 func (t *Tournament) Name() string { return "tournament" }
+
+// Fingerprint implements Fingerprinter.
+func (t *Tournament) Fingerprint() string { return fmt.Sprintf("tournament/%d", len(t.chooser)) }
 
 // Kind selects a predictor implementation by name.
 type Kind string

@@ -49,6 +49,12 @@ func NewBTB(entries, ways int) (*BTB, error) {
 	}, nil
 }
 
+// Fingerprint describes the BTB geometry (not its transient contents)
+// for run manifests and cache keys.
+func (b *BTB) Fingerprint() string {
+	return fmt.Sprintf("btb/%d/%d", b.sets*b.ways, b.ways)
+}
+
 // MustBTB is NewBTB for known-good geometries.
 func MustBTB(entries, ways int) *BTB {
 	b, err := NewBTB(entries, ways)

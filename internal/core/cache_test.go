@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/resultcache"
+	"repro/internal/workload"
+)
+
+// cachedCfg is quickCfg with a cache attached.
+func cachedCfg(t *testing.T, opts resultcache.Options) (StudyConfig, *resultcache.Cache) {
+	t.Helper()
+	c, err := resultcache.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Warmup = -1
+	cfg.Instructions = 3000
+	cfg.Cache = c
+	return cfg, c
+}
+
+// summaryBytes digests a sweep to its serialized form, the
+// byte-identity witness for cached re-runs.
+func summaryBytes(t *testing.T, s *Sweep) []byte {
+	t.Helper()
+	sum, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteSummaries(&b, []*Summary{sum}); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestRunSweepWarmCacheSkipsSimulation is the acceptance criterion: a
+// repeated sweep against a warm cache must serve ≥ 90% of design
+// points from the cache (here: all of them) and reproduce the cold
+// run's results byte-identically.
+func TestRunSweepWarmCacheSkipsSimulation(t *testing.T) {
+	cfg, cache := cachedCfg(t, resultcache.Options{Dir: t.TempDir()})
+	prof := workload.Representative(workload.SPECInt)
+
+	cold, err := RunSweep(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != uint64(len(cfg.Depths)) || st.Stores != uint64(len(cfg.Depths)) {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	warm, err := RunSweep(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	points := uint64(len(cfg.Depths))
+	if st.Hits < points*9/10 {
+		t.Fatalf("warm run hit %d of %d points, want ≥ 90%%", st.Hits, points)
+	}
+	if st.Misses != points {
+		t.Fatalf("warm run re-simulated: %+v", st)
+	}
+	if got, want := summaryBytes(t, warm), summaryBytes(t, cold); !bytes.Equal(got, want) {
+		t.Fatal("warm-cache sweep not byte-identical to cold sweep")
+	}
+	// The derived analyses (fit, theory) run on restored results too.
+	ce1, err1 := cold.CurveExtraction(DefaultRefDepth)
+	ce2, err2 := warm.CurveExtraction(DefaultRefDepth)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("curve extraction: %v / %v", err1, err2)
+	}
+	if ce1 != ce2 {
+		t.Fatalf("curve extraction diverged: %+v vs %+v", ce1, ce2)
+	}
+}
+
+// TestRunSweepResumable: an interrupted or extended sweep recomputes
+// only the missing cells.
+func TestRunSweepResumable(t *testing.T) {
+	cfg, cache := cachedCfg(t, resultcache.Options{Dir: t.TempDir()})
+	prof := workload.Representative(workload.Modern)
+
+	cfg.Depths = []int{4, 8, 12}
+	if _, err := RunSweep(cfg, prof); err != nil {
+		t.Fatal(err)
+	}
+
+	// Extend the sweep: three old depths plus two new ones.
+	cfg.Depths = []int{4, 8, 12, 16, 20}
+	ext, err := RunSweep(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3 (resumed cells)", st.Hits)
+	}
+	if st.Misses != 5 { // 3 cold + 2 new
+		t.Fatalf("misses = %d, want 5", st.Misses)
+	}
+	if len(ext.Points) != 5 {
+		t.Fatalf("points = %d", len(ext.Points))
+	}
+	for _, p := range ext.Points {
+		if p.Result.Instructions != uint64(cfg.Instructions) {
+			t.Fatalf("depth %d: %d instructions", p.Depth, p.Result.Instructions)
+		}
+	}
+}
+
+// TestCacheKeyedByStudyParameters: changing any study input must route
+// around stale entries.
+func TestCacheKeyedByStudyParameters(t *testing.T) {
+	cfg, cache := cachedCfg(t, resultcache.Options{Dir: t.TempDir()})
+	cfg.Depths = []int{6, 10}
+	prof := workload.Representative(workload.SPECInt)
+	if _, err := RunSweep(cfg, prof); err != nil {
+		t.Fatal(err)
+	}
+	base := cache.Stats()
+
+	for _, tc := range []struct {
+		name string
+		mod  func(StudyConfig) StudyConfig
+	}{
+		{"instructions", func(c StudyConfig) StudyConfig { c.Instructions = 2500; return c }},
+		{"warmup", func(c StudyConfig) StudyConfig { c.Warmup = 500; return c }},
+		{"power", func(c StudyConfig) StudyConfig {
+			c.Power = power.DefaultModel().WithBetaUnit(1.5)
+			return c
+		}},
+		{"machine", func(c StudyConfig) StudyConfig {
+			c.Machine = func(d int) (pipeline.Config, error) {
+				mc, err := pipeline.DefaultConfig(d)
+				mc.Width = 2
+				return mc, err
+			}
+			return c
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := cache.Stats()
+			if _, err := RunSweep(tc.mod(cfg), prof); err != nil {
+				t.Fatal(err)
+			}
+			after := cache.Stats()
+			if after.Hits != before.Hits {
+				t.Fatalf("stale cache hit under changed %s", tc.name)
+			}
+		})
+	}
+	// Power defaults flow through withDefaults: the unmodified config
+	// still hits.
+	if _, err := RunSweep(cfg, prof); err != nil {
+		t.Fatal(err)
+	}
+	if after := cache.Stats(); after.Hits != base.Hits+2 {
+		t.Fatalf("baseline config no longer hits: %+v", after)
+	}
+	// A changed workload profile (same name, same seed) must miss.
+	edited := prof
+	edited.DepP *= 0.5
+	before := cache.Stats()
+	if _, err := RunSweep(cfg, edited); err != nil {
+		t.Fatal(err)
+	}
+	if after := cache.Stats(); after.Hits != before.Hits {
+		t.Fatal("stale cache hit for edited workload profile")
+	}
+}
+
+// TestTracerBypassesCache: a design point carrying an event tracer
+// must simulate even when the cell is cached, and must not poison the
+// cache with a duplicate store.
+func TestTracerBypassesCache(t *testing.T) {
+	cfg, cache := cachedCfg(t, resultcache.Options{Dir: t.TempDir()})
+	cfg.Depths = []int{6}
+	prof := workload.Representative(workload.SPECInt)
+	if _, err := RunSweep(cfg, prof); err != nil {
+		t.Fatal(err)
+	}
+	tracer := pipeline.NewTracer(64)
+	cfg.Machine = func(d int) (pipeline.Config, error) {
+		mc, err := pipeline.DefaultConfig(d)
+		mc.Tracer = tracer
+		return mc, err
+	}
+	before := cache.Stats()
+	if _, err := RunSweep(cfg, prof); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses || after.Stores != before.Stores {
+		t.Fatalf("traced run touched the cache: %+v → %+v", before, after)
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+}
+
+// TestRunCatalogSchedulesAgree exercises RunCatalog under different
+// parallelism degrees against one shared warm cache, asserting
+// schedule-independent, bit-identical results. Runs under -race in CI:
+// concurrent sweeps hit the same cache entries simultaneously.
+func TestRunCatalogSchedulesAgree(t *testing.T) {
+	profs := []workload.Profile{
+		workload.Representative(workload.Legacy),
+		workload.Representative(workload.Modern),
+		workload.Representative(workload.SPECInt),
+		workload.Representative(workload.SPECFP),
+	}
+	cache, err := resultcache.Open(resultcache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StudyConfig{
+		Depths:       []int{4, 7, 10, 14, 18, 22},
+		Instructions: 2000,
+		Warmup:       -1,
+		Cache:        cache,
+	}
+
+	var want [][]byte
+	for _, par := range []int{1, 2, runtime.NumCPU()} {
+		cfg.Parallelism = par
+		sweeps, err := RunCatalog(cfg, profs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got := make([][]byte, len(sweeps))
+		for i, s := range sweeps {
+			got[i] = summaryBytes(t, s)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("parallelism %d: workload %s diverged from serial run",
+					par, profs[i].Name)
+			}
+		}
+	}
+	// After the cold serial run, both parallel runs were fully cached.
+	st := cache.Stats()
+	cells := uint64(len(profs) * len(cfg.Depths))
+	if st.Misses != cells {
+		t.Fatalf("misses = %d, want %d (only the cold run simulates)", st.Misses, cells)
+	}
+	if st.Hits != 2*cells {
+		t.Fatalf("hits = %d, want %d", st.Hits, 2*cells)
+	}
+}

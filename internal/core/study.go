@@ -18,6 +18,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/power"
+	"repro/internal/resultcache"
+	"repro/internal/telemetry"
 	"repro/internal/theory"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -55,6 +57,13 @@ type StudyConfig struct {
 	// Parallelism bounds concurrent workload sweeps in RunCatalog;
 	// runtime.NumCPU() if 0.
 	Parallelism int
+	// Cache, when non-nil, memoizes design points: every (machine
+	// config, power model, workload, depth, instructions, warmup) cell
+	// already present is served without simulation, making interrupted
+	// or extended sweeps resumable. Design points carrying an event
+	// tracer bypass the cache (a cached hit records no events). A nil
+	// cache means every point simulates.
+	Cache *resultcache.Cache
 }
 
 // DefaultDepths returns the paper's simulated range, 2–25 stages.
@@ -138,15 +147,32 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 }
 
 // runPoint simulates one design point with fresh generator and
-// machine state.
+// machine state, consulting the result cache first when one is
+// configured.
 func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, error) {
-	gen, err := workload.NewGenerator(prof)
-	if err != nil {
-		return DepthPoint{}, err
-	}
 	mc, err := cfg.Machine(depth)
 	if err != nil {
 		return DepthPoint{}, fmt.Errorf("machine: %w", err)
+	}
+	// A tracer-carrying run must actually execute to record events, so
+	// it neither reads nor populates the cache.
+	useCache := cfg.Cache != nil && mc.Tracer == nil
+	var key resultcache.Key
+	if useCache {
+		key = cacheKey(cfg, &mc, prof, depth)
+		if v, ok := cfg.Cache.Get(key); ok {
+			return DepthPoint{
+				Depth:      depth,
+				FO4:        v.FO4,
+				Result:     v.Result.Restore(mc),
+				GatedPower: v.GatedPower,
+				PlainPower: v.PlainPower,
+			}, nil
+		}
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return DepthPoint{}, err
 	}
 	if cfg.Warmup > 0 {
 		warm(&mc, gen, cfg.Warmup)
@@ -155,13 +181,40 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, er
 	if err != nil {
 		return DepthPoint{}, err
 	}
-	return DepthPoint{
+	pt := DepthPoint{
 		Depth:      depth,
 		FO4:        mc.CycleTime(),
 		Result:     res,
 		GatedPower: cfg.Power.Evaluate(res, true),
 		PlainPower: cfg.Power.Evaluate(res, false),
-	}, nil
+	}
+	if useCache {
+		// A failed store is only a lost memoization, not a sweep
+		// failure; the cache has already counted it.
+		_ = cfg.Cache.Put(key, resultcache.Value{
+			FO4:        pt.FO4,
+			Result:     res.Data(),
+			GatedPower: pt.GatedPower,
+			PlainPower: pt.PlainPower,
+		})
+	}
+	return pt, nil
+}
+
+// cacheKey builds the content address of one design point. The
+// machine fingerprint is computed before warm-up mutates the config
+// (warm-up length is part of the key itself).
+func cacheKey(cfg StudyConfig, mc *pipeline.Config, prof workload.Profile, depth int) resultcache.Key {
+	return resultcache.Key{
+		ConfigHash:   mc.Fingerprint(),
+		PowerHash:    cfg.Power.Fingerprint(),
+		Workload:     prof.Name,
+		WorkloadHash: telemetry.Fingerprint(fmt.Sprintf("%+v", prof)),
+		Seed:         prof.Seed,
+		Depth:        depth,
+		Instructions: cfg.Instructions,
+		Warmup:       cfg.Warmup,
+	}
 }
 
 // RunCatalog sweeps every profile concurrently (bounded by

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/resultcache"
 )
 
 // Options configures experiment execution.
@@ -30,6 +31,11 @@ type Options struct {
 	Workloads int
 	// Parallelism for catalog sweeps.
 	Parallelism int
+	// Cache, when non-nil, memoizes simulated design points across
+	// experiments and runs (see resultcache): repeated figures
+	// re-simulate only missing cells and reproduce byte-identical
+	// reports from cached measurements.
+	Cache *resultcache.Cache
 }
 
 func (o Options) study() core.StudyConfig {
@@ -38,6 +44,7 @@ func (o Options) study() core.StudyConfig {
 		Instructions: o.Instructions,
 		Warmup:       o.Warmup,
 		Parallelism:  o.Parallelism,
+		Cache:        o.Cache,
 	}
 }
 

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/resultcache"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenOptions keeps the regression experiments fast and fully
+// deterministic: fixed depths, short seeded runs, no warm-up.
+func goldenOptions() Options {
+	return Options{
+		Instructions: 3000,
+		Warmup:       -1,
+		Depths:       []int{4, 6, 8, 10, 13, 16, 20, 24},
+		Workloads:    6,
+	}
+}
+
+// goldenExperiments are the regression-tested reproductions: fig4a
+// exercises the single-sweep path (RunSweep + theory overlay), fig6
+// the catalog path (RunCatalog over a capped workload set).
+func goldenExperiments() []string { return []string{"fig4a", "fig6"} }
+
+// renderReport produces both serialized forms of a report.
+func renderReport(t *testing.T, r *Report) (text, csv []byte) {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), []byte(r.CSV())
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run with -update after intentional changes)\n got:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenReports pins the full rendered output of representative
+// experiments under fixed seeds. Any behavioral drift in the
+// simulator, theory, fitting, or report formatting shows up as a
+// golden diff.
+func TestGoldenReports(t *testing.T) {
+	for _, id := range goldenExperiments() {
+		t.Run(id, func(t *testing.T) {
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			r, err := exp.Run(goldenOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			text, csv := renderReport(t, r)
+			checkGolden(t, filepath.Join("testdata", "golden", id+".txt"), text)
+			checkGolden(t, filepath.Join("testdata", "golden", id+".csv"), csv)
+		})
+	}
+}
+
+// TestGoldenReportsCached re-runs the golden experiments against a
+// warm result cache and demands byte-identical reports with ≥ 90% of
+// the simulation work served from the cache.
+func TestGoldenReportsCached(t *testing.T) {
+	cache, err := resultcache.Open(resultcache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := goldenOptions()
+	opts.Cache = cache
+
+	type rendered struct{ text, csv []byte }
+	runAll := func() map[string]rendered {
+		out := map[string]rendered{}
+		for _, id := range goldenExperiments() {
+			exp, _ := ByID(id)
+			r, err := exp.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			text, csv := renderReport(t, r)
+			out[id] = rendered{text, csv}
+		}
+		return out
+	}
+
+	cold := runAll()
+	st := cache.Stats()
+	if st.Stores == 0 {
+		t.Fatalf("cold run stored nothing: %+v", st)
+	}
+	warm := runAll()
+	for _, id := range goldenExperiments() {
+		if !bytes.Equal(cold[id].text, warm[id].text) {
+			t.Errorf("%s: cached text report not byte-identical", id)
+		}
+		if !bytes.Equal(cold[id].csv, warm[id].csv) {
+			t.Errorf("%s: cached CSV not byte-identical", id)
+		}
+	}
+	st = cache.Stats()
+	if st.HitRate() < 0.45 { // cold misses + warm hits ≈ 50/50 when fully cached
+		t.Fatalf("overall hit rate %.2f, want ≈ 0.5 (warm run fully cached): %+v",
+			st.HitRate(), st)
+	}
+	if st.Misses != st.Stores {
+		t.Fatalf("warm run re-simulated: misses %d > stores %d", st.Misses, st.Stores)
+	}
+	// The warm pass alone must serve ≥ 90% of points from cache: total
+	// lookups are 2×stores, of which hits must cover ≥ 90% of one pass.
+	if st.Hits*10 < st.Stores*9 {
+		t.Fatalf("warm pass hit %d of %d points, want ≥ 90%%", st.Hits, st.Stores)
+	}
+	// The golden content itself must match the uncached baseline.
+	for _, id := range goldenExperiments() {
+		checkGolden(t, filepath.Join("testdata", "golden", id+".txt"), warm[id].text)
+		checkGolden(t, filepath.Join("testdata", "golden", id+".csv"), warm[id].csv)
+	}
+}

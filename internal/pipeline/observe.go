@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/branch"
 	"repro/internal/isa"
 	"repro/internal/telemetry"
 )
@@ -55,11 +56,17 @@ func NewTracer(capacity int) *telemetry.Tracer {
 func (c *Config) Fingerprint() string {
 	pred := "none"
 	if c.Predictor != nil {
-		pred = fmt.Sprintf("%T", c.Predictor)
+		// Prefer the predictor's own configuration description; the
+		// type name alone cannot distinguish table sizes.
+		if fp, ok := c.Predictor.(branch.Fingerprinter); ok {
+			pred = fp.Fingerprint()
+		} else {
+			pred = fmt.Sprintf("%T", c.Predictor)
+		}
 	}
 	btb := "none"
 	if c.BTB != nil {
-		btb = "btb"
+		btb = c.BTB.Fingerprint()
 	}
 	hier := "none"
 	if c.Hierarchy != nil {
@@ -67,7 +74,7 @@ func (c *Config) Fingerprint() string {
 	}
 	icache := "none"
 	if c.ICache != nil {
-		icache = fmt.Sprintf("icache:%g", c.ICacheMissFO4)
+		icache = fmt.Sprintf("icache:%+v/%g", c.ICache.Config(), c.ICacheMissFO4)
 	}
 	return telemetry.Fingerprint(
 		fmt.Sprintf("geom:%d/%d/%d/%d q:%d/%d/%d ooo:%t",
@@ -79,6 +86,9 @@ func (c *Config) Fingerprint() string {
 		fmt.Sprintf("btbmiss:%d nonblock:%t redirect:%t wrongpath:%t",
 			c.BTBMissBubbles, c.NonBlockingCache, c.RedirectBubble,
 			c.WrongPathActivity),
+		// Sampling and abort limits change the produced Result (the
+		// activity trace, possibly truncation) and so are identity.
+		fmt.Sprintf("sample:%d maxcycles:%d", c.SampleInterval, c.MaxCycles),
 	)
 }
 

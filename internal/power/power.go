@@ -10,6 +10,7 @@ package power
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/pipeline"
@@ -92,6 +93,21 @@ func (m Model) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint renders the model's full parameter set into a stable
+// hash. Two models with equal fingerprints price identical runs
+// identically, so the fingerprint is part of the result-cache key:
+// changing any parameter (β, P_d, P_l, technology, base latches)
+// invalidates cached power figures.
+func (m Model) Fingerprint() string {
+	parts := make([]string, 0, pipeline.NumUnits+1)
+	parts = append(parts, fmt.Sprintf("beta:%g pd:%g pl:%g tp:%g to:%g",
+		m.BetaUnit, m.Pd, m.Pl, m.TP, m.TO))
+	for u, b := range m.BaseLatches {
+		parts = append(parts, fmt.Sprintf("latch:%s=%g", pipeline.Unit(u), b))
+	}
+	return telemetry.Fingerprint(parts...)
 }
 
 // WithLeakageFraction returns a copy of m whose leakage power is set

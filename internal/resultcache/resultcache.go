@@ -1,0 +1,412 @@
+// Package resultcache is a content-addressed cache of simulation
+// results. A design point — one (machine configuration, power model,
+// workload, depth, instruction budget) cell of the paper's sweep — is
+// identified by a fingerprint of everything that determines its
+// outcome; the simulated measurements and power figures are stored
+// under that fingerprint on disk, fronted by an in-memory LRU.
+//
+// Properties:
+//
+//   - Content addressing: the key hashes the full configuration, so a
+//     changed machine, power model or workload can never alias a stale
+//     entry — invalidation is automatic, never explicit.
+//   - Durability: entries are written to a temporary file and then
+//     renamed into place, so readers never observe partial writes and
+//     concurrent writers of the same key are safe (last rename wins
+//     with identical content).
+//   - Corruption detection: each entry carries a CRC-32 checksum and a
+//     schema version; unreadable, truncated, corrupted or
+//     foreign-schema entries are treated as misses, never as errors.
+//   - Observability: hits, misses, stores, evictions and corrupt
+//     entries are counted (Stats) and optionally mirrored into a
+//     telemetry.Registry.
+package resultcache
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/telemetry"
+)
+
+// SchemaVersion identifies the on-disk entry layout. Bump it whenever
+// the envelope or payload schema changes incompatibly: old entries
+// then read as misses and are re-simulated, never misparsed.
+const SchemaVersion = 1
+
+// DefaultMemEntries is the default capacity of the in-memory LRU
+// front (a full 55-workload × 24-depth catalog sweep is 1320 entries).
+const DefaultMemEntries = 4096
+
+// entryMagic leads every cache file: format name + schema version.
+var entryMagic = fmt.Sprintf("RCACHE%d", SchemaVersion)
+
+// Key identifies one simulation cell. Every field participates in the
+// fingerprint; two keys with equal fingerprints must describe runs
+// that produce bit-identical results.
+type Key struct {
+	// ConfigHash is pipeline.Config.Fingerprint(): machine geometry,
+	// depth plan, technology constants and attached-model geometry.
+	ConfigHash string `json:"config_hash"`
+	// PowerHash is power.Model.Fingerprint(): the pricing model.
+	PowerHash string `json:"power_hash"`
+	// Workload and Seed name the input stream; WorkloadHash
+	// fingerprints the full behavioural profile so that an edited
+	// profile with an unchanged name cannot alias old entries.
+	Workload     string `json:"workload"`
+	WorkloadHash string `json:"workload_hash,omitempty"`
+	Seed         uint64 `json:"seed"`
+	// Depth, Instructions and Warmup locate the cell within a study.
+	Depth        int `json:"depth"`
+	Instructions int `json:"instructions"`
+	Warmup       int `json:"warmup"`
+}
+
+// Fingerprint returns the stable content address of the key.
+func (k Key) Fingerprint() string {
+	return telemetry.Fingerprint(
+		"schema:"+entryMagic,
+		"config:"+k.ConfigHash,
+		"power:"+k.PowerHash,
+		"workload:"+k.Workload,
+		"profile:"+k.WorkloadHash,
+		fmt.Sprintf("seed:%#x", k.Seed),
+		fmt.Sprintf("cell:d=%d n=%d w=%d", k.Depth, k.Instructions, k.Warmup),
+	)
+}
+
+// Value is the cached outcome of one design point: the simulator's
+// measurement payload plus the already-evaluated power breakdowns.
+type Value struct {
+	FO4        float64             `json:"fo4"`
+	Result     pipeline.ResultData `json:"result"`
+	GatedPower power.Breakdown     `json:"gated_power"`
+	PlainPower power.Breakdown     `json:"plain_power"`
+}
+
+// envelope is the persisted JSON document.
+type envelope struct {
+	Schema int   `json:"schema"`
+	Key    Key   `json:"key"`
+	Value  Value `json:"value"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the cache root. Entries live under Dir/v<schema>/.
+	// Empty means memory-only: the LRU front works, nothing persists.
+	Dir string
+	// ReadOnly serves hits from disk and memory but never writes
+	// entries to disk (memory caching of values seen via Get/Put still
+	// happens, so a read-only cache stays useful within a process).
+	ReadOnly bool
+	// MaxMemEntries bounds the LRU front; DefaultMemEntries if 0,
+	// negative disables the memory front entirely.
+	MaxMemEntries int
+	// Metrics, when non-nil, mirrors the cache counters as
+	// "resultcache.*" in the registry.
+	Metrics *telemetry.Registry
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64 // Get served from memory or disk
+	Misses    uint64 // Get found nothing usable
+	Stores    uint64 // Put persisted (or, read-only, memoized) an entry
+	Evictions uint64 // LRU front evictions
+	Corrupt   uint64 // entries dropped by checksum/schema/key checks
+	Errors    uint64 // I/O failures (counted, surfaced only by Put)
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a concurrency-safe result cache. The zero value is not
+// usable; call Open. A nil *Cache is legal everywhere and behaves as
+// "always miss, drop stores", so call sites need no guards.
+type Cache struct {
+	dir      string // versioned root, "" when memory-only
+	readonly bool
+	reg      *telemetry.Registry
+
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recent
+	mem   map[string]*list.Element // fingerprint → element
+	stats Stats
+}
+
+// lruEntry is what the LRU list holds.
+type lruEntry struct {
+	fp  string
+	val Value
+}
+
+// Open prepares a cache rooted at opts.Dir, creating the versioned
+// directory unless read-only.
+func Open(opts Options) (*Cache, error) {
+	c := &Cache{
+		readonly: opts.ReadOnly,
+		reg:      opts.Metrics,
+		cap:      opts.MaxMemEntries,
+		order:    list.New(),
+		mem:      make(map[string]*list.Element),
+	}
+	if c.cap == 0 {
+		c.cap = DefaultMemEntries
+	}
+	if opts.Dir != "" {
+		c.dir = filepath.Join(opts.Dir, fmt.Sprintf("v%d", SchemaVersion))
+		if !opts.ReadOnly {
+			if err := os.MkdirAll(c.dir, 0o755); err != nil {
+				return nil, fmt.Errorf("resultcache: %w", err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// entryPath shards entries by the first byte of the fingerprint so no
+// directory grows unboundedly.
+func (c *Cache) entryPath(fp string) string {
+	return filepath.Join(c.dir, fp[:2], fp+".json")
+}
+
+// count bumps a stats field and mirrors it to the registry.
+func (c *Cache) count(field *uint64, name string) {
+	*field++
+	if c.reg != nil {
+		c.reg.Counter("resultcache." + name).Add(1)
+	}
+}
+
+// Get returns the cached value for the key, if present and intact.
+func (c *Cache) Get(key Key) (Value, bool) {
+	if c == nil {
+		return Value{}, false
+	}
+	fp := key.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.mem[fp]; ok {
+		c.order.MoveToFront(el)
+		c.count(&c.stats.Hits, "hits")
+		return el.Value.(*lruEntry).val, true
+	}
+	if c.dir == "" {
+		c.count(&c.stats.Misses, "misses")
+		return Value{}, false
+	}
+	v, ok := c.readEntry(fp, key)
+	if !ok {
+		c.count(&c.stats.Misses, "misses")
+		return Value{}, false
+	}
+	c.memAdd(fp, v)
+	c.count(&c.stats.Hits, "hits")
+	return v, true
+}
+
+// readEntry loads and verifies one disk entry. Every failure mode is
+// a miss; corruption is additionally counted. Called with mu held.
+func (c *Cache) readEntry(fp string, key Key) (Value, bool) {
+	raw, err := os.ReadFile(c.entryPath(fp))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.count(&c.stats.Errors, "errors")
+		}
+		return Value{}, false
+	}
+	payload, ok := verifyFrame(raw)
+	if !ok {
+		c.count(&c.stats.Corrupt, "corrupt")
+		return Value{}, false
+	}
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		c.count(&c.stats.Corrupt, "corrupt")
+		return Value{}, false
+	}
+	// The envelope repeats the key: a 64-bit fingerprint collision or
+	// a file dropped in by hand surfaces here as a miss, not as wrong
+	// results.
+	if env.Schema != SchemaVersion || env.Key != key {
+		c.count(&c.stats.Corrupt, "corrupt")
+		return Value{}, false
+	}
+	return env.Value, true
+}
+
+// Put stores the value. Read-only caches memoize without touching
+// disk. I/O errors are returned (and counted) but callers may treat
+// them as advisory: a failed store only costs a future re-simulation.
+func (c *Cache) Put(key Key, v Value) error {
+	if c == nil {
+		return nil
+	}
+	fp := key.Fingerprint()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memAdd(fp, v)
+	if c.readonly {
+		// In-process memoization only: not a store the cache will
+		// serve to anyone else.
+		return nil
+	}
+	c.count(&c.stats.Stores, "stores")
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(envelope{Schema: SchemaVersion, Key: key, Value: v})
+	if err != nil {
+		c.count(&c.stats.Errors, "errors")
+		return fmt.Errorf("resultcache: encode: %w", err)
+	}
+	if err := c.writeEntry(fp, frame(data)); err != nil {
+		c.count(&c.stats.Errors, "errors")
+		return err
+	}
+	return nil
+}
+
+// writeEntry performs the atomic write-then-rename into the shard
+// directory. Called with mu held.
+func (c *Cache) writeEntry(fp string, data []byte) error {
+	path := c.entryPath(fp)
+	shard := filepath.Dir(path)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, ".tmp-"+fp+"-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: write: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: rename: %w", err)
+	}
+	return nil
+}
+
+// memAdd inserts into the LRU front, evicting as needed. Called with
+// mu held.
+func (c *Cache) memAdd(fp string, v Value) {
+	if c.cap < 0 {
+		return
+	}
+	if el, ok := c.mem[fp]; ok {
+		el.Value.(*lruEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.mem[fp] = c.order.PushFront(&lruEntry{fp: fp, val: v})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.mem, last.Value.(*lruEntry).fp)
+		c.count(&c.stats.Evictions, "evictions")
+	}
+}
+
+// Clear removes every entry, on disk and in memory. Read-only caches
+// clear only the memory front.
+func (c *Cache) Clear() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.mem = make(map[string]*list.Element)
+	if c.dir == "" || c.readonly {
+		return nil
+	}
+	if err := os.RemoveAll(c.dir); err != nil {
+		return fmt.Errorf("resultcache: clear: %w", err)
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("resultcache: clear: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// MemLen returns the number of entries in the LRU front.
+func (c *Cache) MemLen() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// frame wraps a payload with the entry header: magic, CRC-32
+// (Castagnoli) of the payload, payload length, newline, payload.
+func frame(payload []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %08x %d\n", entryMagic,
+		crc32.Checksum(payload, castagnoli), len(payload))
+	b.Write(payload)
+	return b.Bytes()
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// verifyFrame parses and checks the header, returning the payload.
+func verifyFrame(raw []byte) ([]byte, bool) {
+	r := bufio.NewReader(bytes.NewReader(raw))
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return nil, false
+	}
+	var magic string
+	var sum uint32
+	var n int
+	if _, err := fmt.Sscanf(header, "%s %x %d\n", &magic, &sum, &n); err != nil {
+		return nil, false
+	}
+	if magic != entryMagic || n < 0 {
+		return nil, false
+	}
+	payload := raw[len(header):]
+	if len(payload) != n {
+		return nil, false
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, false
+	}
+	return payload, true
+}

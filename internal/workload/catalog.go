@@ -108,9 +108,15 @@ func baseProfile(c Class) Profile {
 
 func mix(m map[isa.Class]float64) [isa.NumClasses]float64 {
 	var out [isa.NumClasses]float64
-	sum := 0.0
 	for c, f := range m {
 		out[c] = f
+	}
+	// Sum in fixed array order: accumulating while ranging over the
+	// map would make the normalized shares differ in the last bit from
+	// call to call (float addition is not associative), and with them
+	// every derived profile and cache key.
+	sum := 0.0
+	for _, f := range out {
 		sum += f
 	}
 	// Normalize exactly to 1 to satisfy Validate.

@@ -326,3 +326,24 @@ func TestMaterialize(t *testing.T) {
 		t.Fatalf("materialized %d", s.Len())
 	}
 }
+
+// TestCatalogBitStable: building the catalog twice must yield
+// bit-identical profiles. Each derived float (mix shares, jittered
+// fractions) feeds trace generation and content-addressed cache keys,
+// so even last-bit drift — e.g. from accumulating a normalization sum
+// in map-iteration order — is a reproducibility bug.
+func TestCatalogBitStable(t *testing.T) {
+	a := All()
+	for i := 0; i < 100; i++ {
+		b := All()
+		if len(a) != len(b) {
+			t.Fatalf("catalog size changed: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("iteration %d: profile %s not bit-stable:\n%+v\n%+v",
+					i, a[j].Name, a[j], b[j])
+			}
+		}
+	}
+}
