@@ -16,13 +16,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/branch"
 	"repro/internal/isa"
+	"repro/internal/logx"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// log is the process logger, replaced once -log-level/-log-format are
+// parsed.
+var log = slog.Default()
 
 func main() {
 	var (
@@ -30,22 +36,29 @@ func main() {
 		n      = flag.Int("n", 20000, "instructions to generate for statistics")
 		export = flag.String("export", "", "export the named -workload as a JSON profile to this file")
 	)
+	logOpts := logx.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catalog:", err)
+		os.Exit(2)
+	}
+	log = logger
 
 	if *export != "" {
 		prof, ok := workload.ByName(*name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "catalog: -export needs a valid -workload (got %q)\n", *name)
+			log.Error("-export needs a valid -workload", "workload", *name)
 			os.Exit(1)
 		}
 		f, err := os.Create(*export)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "catalog:", err)
+			log.Error("catalog failed", "err", err)
 			os.Exit(1)
 		}
 		defer f.Close()
 		if err := workload.WriteProfile(f, prof); err != nil {
-			fmt.Fprintln(os.Stderr, "catalog:", err)
+			log.Error("catalog failed", "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("exported %s to %s\n", prof.Name, *export)
@@ -55,7 +68,7 @@ func main() {
 	if *name != "" {
 		prof, ok := workload.ByName(*name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "catalog: unknown workload %q\n", *name)
+			log.Error("unknown workload", "workload", *name)
 			os.Exit(1)
 		}
 		detail(prof, *n)
@@ -81,7 +94,7 @@ func main() {
 func stats(prof workload.Profile, n int) (trace.Stats, float64) {
 	gen, err := workload.NewGenerator(prof)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "catalog:", err)
+		log.Error("catalog failed", "err", err)
 		os.Exit(1)
 	}
 	ins := trace.Collect(trace.NewLimitStream(gen, n), 0)

@@ -9,22 +9,32 @@
 //	experiments -fig all -csv out/       # also dump CSV data files
 //	experiments -fig all -cache-dir d    # memoize simulated design points
 //	experiments -list                    # list experiment ids
+//
+// Observability:
+//
+//	experiments -pprof localhost:6060    # /debug/pprof, /debug/vars,
+//	                                     # /metrics, /progress, /dash
+//	experiments -log-format json         # structured diagnostics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/logx"
 	"repro/internal/resultcache"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/promexp"
 	"repro/internal/workload"
 )
 
@@ -40,6 +50,8 @@ func writeSummaries(path string, opt experiments.Options, stdout io.Writer) erro
 		Depths:       opt.Depths,
 		Parallelism:  opt.Parallelism,
 		Cache:        opt.Cache,
+		Metrics:      opt.Metrics,
+		Progress:     opt.Progress,
 	}
 	sweeps, err := core.RunCatalog(cfg, workload.All())
 	if err != nil {
@@ -80,13 +92,49 @@ func openCache(dir string, readonly, clear bool, reg *telemetry.Registry) (*resu
 }
 
 // cacheSummary reports cache effectiveness for the run.
-func cacheSummary(w io.Writer, prog string, c *resultcache.Cache) {
+func cacheSummary(log *slog.Logger, c *resultcache.Cache) {
 	if c == nil {
 		return
 	}
 	st := c.Stats()
-	fmt.Fprintf(w, "%s: cache %d hits / %d misses (%.0f%% hit rate), %d stored\n",
-		prog, st.Hits, st.Misses, 100*st.HitRate(), st.Stores)
+	log.Info("cache summary",
+		"hits", st.Hits, "misses", st.Misses,
+		"hit_rate", fmt.Sprintf("%.0f%%", 100*st.HitRate()),
+		"stored", st.Stores)
+}
+
+// progressPublisher maps core progress callbacks onto the SSE broker
+// feeding /dash — the same DashEvent schema cmd/sweep emits, so one
+// dashboard serves both commands.
+func progressPublisher(broker *telemetry.Broker, start time.Time) func(core.Progress) {
+	var hits atomic.Int64
+	return func(p core.Progress) {
+		if p.CacheHit {
+			hits.Add(1)
+		}
+		elapsed := time.Since(start).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(p.Done) / elapsed
+		}
+		eta := 0.0
+		if rate > 0 {
+			eta = float64(p.Total-p.Done) / rate
+		}
+		_ = broker.Publish(telemetry.DashEvent{
+			Kind:         "point",
+			Workload:     p.Workload,
+			Class:        p.Class.String(),
+			Depth:        p.Depth,
+			Done:         p.Done,
+			Total:        p.Total,
+			CacheHit:     p.CacheHit,
+			BIPS:         p.Point.Result.BIPS(),
+			ETASec:       eta,
+			PointsPerSec: rate,
+			CacheHits:    int(hits.Load()),
+		})
+	}
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -110,9 +158,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheClear = fs.Bool("cache-clear", false, "drop all cached results before running")
 
 		metricsOut = fs.String("metrics-out", "", "write a JSONL metrics dump (manifest + per-experiment timing and row counts) to this file")
-		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, /progress and /dash on this address (e.g. localhost:6060)")
 	)
+	logOpts := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log, err := logOpts.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
 		return 2
 	}
 
@@ -123,14 +177,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *pprofAddr != "" {
-		addr, err := telemetry.ServeDebug(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(stderr, "pprof:", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "experiments: debug server at http://%s/debug/pprof/\n", addr)
-	}
 	var reg *telemetry.Registry
 	if *metricsOut != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
@@ -138,9 +184,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	runStart := time.Now()
 
+	var (
+		dbg    *telemetry.DebugServer
+		broker *telemetry.Broker
+	)
+	if *pprofAddr != "" {
+		dbg, err = telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			log.Error("debug server failed", "err", err)
+			return 1
+		}
+		defer dbg.Close()
+		broker = telemetry.NewBroker(0)
+		defer broker.Close()
+		dbg.Handle("/metrics", promexp.Handler(reg))
+		dbg.Handle("/progress", broker)
+		dbg.Handle("/dash", telemetry.DashHandler())
+		log.Info("debug server up",
+			"pprof", "http://"+dbg.Addr()+"/debug/pprof/",
+			"metrics", "http://"+dbg.Addr()+"/metrics",
+			"dash", "http://"+dbg.Addr()+"/dash")
+	}
+
 	cache, err := openCache(*cacheDir, *cacheRO, *cacheClear, reg)
 	if err != nil {
-		fmt.Fprintln(stderr, "experiments:", err)
+		log.Error("cache open failed", "err", err)
 		return 1
 	}
 
@@ -150,14 +218,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workloads:    *nwl,
 		Parallelism:  *par,
 		Cache:        cache,
+		Metrics:      reg,
+	}
+	if broker != nil {
+		opt.Progress = progressPublisher(broker, runStart)
 	}
 
 	if *summary != "" {
 		if err := writeSummaries(*summary, opt, stdout); err != nil {
-			fmt.Fprintln(stderr, "summary:", err)
+			log.Error("summary failed", "err", err)
 			return 1
 		}
-		cacheSummary(stderr, "experiments", cache)
+		cacheSummary(log, cache)
 		return 0
 	}
 
@@ -165,7 +237,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		results := experiments.RunAll(opt)
 		f, err := os.Create(*md)
 		if err != nil {
-			fmt.Fprintln(stderr, "md:", err)
+			log.Error("markdown report failed", "err", err)
 			return 1
 		}
 		werr := experiments.WriteMarkdown(f, results)
@@ -173,19 +245,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintln(stderr, "md:", werr)
+			log.Error("markdown report failed", "err", werr)
 			return 1
 		}
 		bad := 0
 		for _, r := range results {
 			if r.Err != nil {
-				fmt.Fprintf(stderr, "%s: %v\n", r.Experiment.ID, r.Err)
+				log.Error("experiment failed", "id", r.Experiment.ID, "err", r.Err)
 				bad++
 			}
 		}
 		fmt.Fprintf(stdout, "wrote %d experiment reports to %s (%d failed)\n",
 			len(results), *md, bad)
-		cacheSummary(stderr, "experiments", cache)
+		cacheSummary(log, cache)
 		if bad > 0 {
 			return 1
 		}
@@ -204,14 +276,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.ByID(id)
 		if !ok {
-			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
+			log.Error("unknown experiment (use -list)", "id", id)
 			exit = 2
 			continue
 		}
 		start := time.Now()
 		rep, err := e.Run(opt)
 		if err != nil {
-			fmt.Fprintf(stderr, "%s: %v\n", id, err)
+			log.Error("experiment failed", "id", id, "err", err)
 			exit = 1
 			if reg != nil {
 				reg.Counter("experiments.failed").Add(1)
@@ -228,7 +300,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			render = rep.RenderWithChart
 		}
 		if err := render(stdout); err != nil {
-			fmt.Fprintf(stderr, "%s: render: %v\n", id, err)
+			log.Error("render failed", "id", id, "err", err)
 			exit = 1
 		}
 		if *timings {
@@ -236,13 +308,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(stderr, "csv dir: %v\n", err)
+				log.Error("csv dir failed", "err", err)
 				exit = 1
 				continue
 			}
 			path := filepath.Join(*csvDir, id+".csv")
 			if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
-				fmt.Fprintf(stderr, "%s: write csv: %v\n", id, err)
+				log.Error("csv write failed", "id", id, "err", err)
 				exit = 1
 			}
 		}
@@ -258,7 +330,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		man.Finish(runStart)
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintln(stderr, "metrics-out:", err)
+			log.Error("metrics-out failed", "err", err)
 			return 1
 		}
 		werr := reg.WriteJSONL(f, &man)
@@ -266,11 +338,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			werr = cerr
 		}
 		if werr != nil {
-			fmt.Fprintln(stderr, "metrics-out:", werr)
+			log.Error("metrics-out failed", "err", werr)
 			return 1
 		}
-		fmt.Fprintf(stderr, "experiments: wrote metrics to %s\n", *metricsOut)
+		log.Info("wrote metrics", "path", *metricsOut)
 	}
-	cacheSummary(stderr, "experiments", cache)
+	cacheSummary(log, cache)
 	return exit
 }

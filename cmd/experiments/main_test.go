@@ -66,7 +66,7 @@ func TestRunWarmCacheByteIdentical(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("cold run exit %d, stderr:\n%s", code, err1)
 	}
-	if !strings.Contains(err1, " 0 hits / ") {
+	if !strings.Contains(err1, "hits=0 ") {
 		t.Fatalf("cold run cache summary unexpected:\n%s", err1)
 	}
 
@@ -77,7 +77,7 @@ func TestRunWarmCacheByteIdentical(t *testing.T) {
 	if out1 != out2 {
 		t.Fatalf("warm-cache output differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", out1, out2)
 	}
-	if !strings.Contains(err2, " 0 misses (100% hit rate)") {
+	if !strings.Contains(err2, "misses=0") || !strings.Contains(err2, "hit_rate=100%") {
 		t.Fatalf("warm run cache summary unexpected:\n%s", err2)
 	}
 }

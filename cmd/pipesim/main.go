@@ -15,24 +15,33 @@
 //	                                         # (chrome://tracing, perfetto)
 //	pipesim -trace-jsonl events.jsonl        # event trace as JSON Lines
 //	pipesim -metrics-out metrics.jsonl       # counters + run manifest
-//	pipesim -pprof localhost:6060            # /debug/pprof + /debug/vars
+//	pipesim -pprof localhost:6060            # /debug/pprof, /debug/vars
+//	                                         # and Prometheus /metrics
+//	pipesim -log-level debug                 # structured diagnostics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 
 	"repro/internal/branch"
 	"repro/internal/fit"
 	"repro/internal/isa"
+	"repro/internal/logx"
 	"repro/internal/pipeline"
 	"repro/internal/power"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/promexp"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// log is the process logger, replaced once -log-level/-log-format are
+// parsed (the default covers diagnostics before flag parsing).
+var log = slog.Default()
 
 func main() {
 	var (
@@ -54,9 +63,16 @@ func main() {
 		traceEvents = flag.Int("trace-events", 0, "event-trace ring capacity (0 = default 262144; oldest events are evicted)")
 		traceSample = flag.Uint64("trace-sample", 0, "record only every Nth cycle of the event trace (0 or 1 = every cycle)")
 		metricsOut  = flag.String("metrics-out", "", "write a JSONL metrics dump (run manifest + counters) to this file")
-		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /metrics on this address (e.g. localhost:6060)")
 	)
+	logOpts := logx.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipesim:", err)
+		os.Exit(2)
+	}
+	log = logger
 
 	if *list {
 		for _, p := range workload.All() {
@@ -65,12 +81,21 @@ func main() {
 		return
 	}
 
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("repro_metrics")
+	}
 	if *pprofAddr != "" {
-		addr, err := telemetry.ServeDebug(*pprofAddr)
+		dbg, err := telemetry.ServeDebug(*pprofAddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "pipesim: debug server at http://%s/debug/pprof/\n", addr)
+		defer dbg.Close()
+		dbg.Handle("/metrics", promexp.Handler(reg))
+		log.Info("debug server up",
+			"pprof", "http://"+dbg.Addr()+"/debug/pprof/",
+			"metrics", "http://"+dbg.Addr()+"/metrics")
 	}
 
 	cfg, err := pipeline.PresetConfig(pipeline.Preset(*machine), *depth)
@@ -97,12 +122,7 @@ func main() {
 		tracer.SetSampling(*traceSample)
 		cfg.Tracer = tracer
 	}
-	var reg *telemetry.Registry
-	if *metricsOut != "" || *pprofAddr != "" {
-		reg = telemetry.NewRegistry()
-		reg.PublishExpvar("repro_metrics")
-		cfg.Metrics = reg
-	}
+	cfg.Metrics = reg
 
 	var src trace.Stream
 	wlName, wlSeed := "", uint64(0)
@@ -210,8 +230,11 @@ func main() {
 	man.SetParam("warmup", strconv.Itoa(*warm))
 
 	if reg != nil {
-		pm.Evaluate(res, true).Publish(reg, "power.gated")
-		pm.Evaluate(res, false).Publish(reg, "power.plain")
+		gb, pb := pm.Evaluate(res, true), pm.Evaluate(res, false)
+		gb.Publish(reg, "power.gated")
+		pb.Publish(reg, "power.plain")
+		gb.PublishAttribution(reg, *depth, res.TimeFO4())
+		pb.PublishAttribution(reg, *depth, res.TimeFO4())
 	}
 	if *metricsOut != "" {
 		if err := writeTo(*metricsOut, func(f *os.File) error {
@@ -219,7 +242,7 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "pipesim: wrote metrics to %s\n", *metricsOut)
+		log.Info("wrote metrics", "path", *metricsOut)
 	}
 	if *tracePath != "" {
 		if err := writeTo(*tracePath, func(f *os.File) error {
@@ -227,8 +250,8 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "pipesim: wrote Chrome trace (%d events, %d evicted) to %s\n",
-			tracer.Len(), tracer.Dropped(), *tracePath)
+		log.Info("wrote Chrome trace", "events", tracer.Len(),
+			"evicted", tracer.Dropped(), "path", *tracePath)
 	}
 	if *traceJSONL != "" {
 		if err := writeTo(*traceJSONL, func(f *os.File) error {
@@ -236,8 +259,7 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "pipesim: wrote JSONL trace (%d events) to %s\n",
-			tracer.Len(), *traceJSONL)
+		log.Info("wrote JSONL trace", "events", tracer.Len(), "path", *traceJSONL)
 	}
 }
 
@@ -256,6 +278,6 @@ func writeTo(path string, fn func(*os.File) error) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pipesim:", err)
+	log.Error("pipesim failed", "err", err)
 	os.Exit(1)
 }

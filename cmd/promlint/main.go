@@ -1,0 +1,37 @@
+// Command promlint validates a Prometheus text exposition dump — the
+// CI gate for the /metrics endpoint.
+//
+// Usage:
+//
+//	promlint metrics.prom
+//	curl -s localhost:6060/metrics | promlint
+//
+// Exit status is 0 for a well-formed exposition with at least one
+// sample, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry/promexp"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 && os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	if err := promexp.Lint(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}

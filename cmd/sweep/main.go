@@ -18,22 +18,33 @@
 //
 //	sweep -metrics-out metrics.jsonl         # aggregated counters + manifest
 //	sweep -trace out.json -trace-depth 10    # Chrome trace of one depth's run
-//	sweep -pprof localhost:6060              # /debug/pprof + /debug/vars
+//	sweep -pprof localhost:6060              # /debug/pprof, /debug/vars,
+//	                                         # /metrics (Prometheus),
+//	                                         # /progress (SSE), /dash (live UI)
+//	sweep -pprof :0 -linger 30s              # keep the server up after the
+//	                                         # sweep so scrapers can collect
+//	sweep -bench-out BENCH_sweep.json        # append a throughput record
+//	sweep -log-level debug -log-format json  # structured diagnostics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/logx"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/resultcache"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/promexp"
 	"repro/internal/workload"
 )
 
@@ -60,13 +71,33 @@ func openCache(dir string, readonly, clear bool, reg *telemetry.Registry) (*resu
 }
 
 // cacheSummary reports cache effectiveness for the run.
-func cacheSummary(w io.Writer, prog string, c *resultcache.Cache) {
+func cacheSummary(log *slog.Logger, c *resultcache.Cache) {
 	if c == nil {
 		return
 	}
 	st := c.Stats()
-	fmt.Fprintf(w, "%s: cache %d hits / %d misses (%.0f%% hit rate), %d stored\n",
-		prog, st.Hits, st.Misses, 100*st.HitRate(), st.Stores)
+	log.Info("cache summary",
+		"hits", st.Hits, "misses", st.Misses,
+		"hit_rate", fmt.Sprintf("%.0f%%", 100*st.HitRate()),
+		"stored", st.Stores)
+}
+
+// dashUnits renders one point's clock-gated per-unit attribution for
+// the dashboard heatmap (pipeline unit order, merged groups under
+// their leader).
+func dashUnits(pt core.DepthPoint) []telemetry.UnitPower {
+	out := make([]telemetry.UnitPower, 0, pipeline.NumUnits)
+	for u := 0; u < pipeline.NumUnits; u++ {
+		if pt.GatedPower.PerUnit[u] == 0 {
+			continue
+		}
+		out = append(out, telemetry.UnitPower{
+			Unit:    pipeline.Unit(u).String(),
+			Power:   pt.GatedPower.PerUnit[u],
+			Dynamic: pt.GatedPower.PerUnitDynamic[u],
+		})
+	}
+	return out
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -88,23 +119,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath  = fs.String("trace", "", "write a Chrome trace_event file of the -trace-depth run to this file")
 		traceDepth = fs.Int("trace-depth", core.DefaultRefDepth, "pipeline depth whose run the -trace file records")
 		metricsOut = fs.String("metrics-out", "", "write a JSONL metrics dump (manifest + counters aggregated over the sweep) to this file")
-		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, /progress and /dash on this address (e.g. localhost:6060)")
+		linger     = fs.Duration("linger", 0, "keep the -pprof server alive this long after the sweep finishes (for scrapers)")
+		benchOut   = fs.String("bench-out", "", "append a throughput record (wall time, points/sec, cache hit rate) to this JSONL file")
 	)
+	logOpts := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log, err := logOpts.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
 		return 2
 	}
 
 	fail := func(err error) int {
-		fmt.Fprintln(stderr, "sweep:", err)
+		log.Error("sweep failed", "err", err)
 		return 1
 	}
 
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *pprofAddr != "" || *benchOut != "" {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("repro_metrics")
+	}
+
+	var (
+		dbg    *telemetry.DebugServer
+		broker *telemetry.Broker
+	)
 	if *pprofAddr != "" {
-		addr, err := telemetry.ServeDebug(*pprofAddr)
+		dbg, err = telemetry.ServeDebug(*pprofAddr)
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "sweep: debug server at http://%s/debug/pprof/\n", addr)
+		defer dbg.Close()
+		broker = telemetry.NewBroker(0)
+		defer broker.Close()
+		dbg.Handle("/metrics", promexp.Handler(reg))
+		dbg.Handle("/progress", broker)
+		dbg.Handle("/dash", telemetry.DashHandler())
+		log.Info("debug server up",
+			"pprof", "http://"+dbg.Addr()+"/debug/pprof/",
+			"metrics", "http://"+dbg.Addr()+"/metrics",
+			"dash", "http://"+dbg.Addr()+"/dash")
 	}
 
 	prof, ok := workload.ByName(*name)
@@ -120,11 +178,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *tracePath != "" {
 		tracer = pipeline.NewTracer(0)
 	}
-	var reg *telemetry.Registry
-	if *metricsOut != "" || *pprofAddr != "" {
-		reg = telemetry.NewRegistry()
-		reg.PublishExpvar("repro_metrics")
-	}
 
 	cache, err := openCache(*cacheDir, *cacheRO, *cacheClear, reg)
 	if err != nil {
@@ -132,7 +185,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm, Cache: cache}
+	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm, Cache: cache, Metrics: reg}
+	var liveHits atomic.Int64
+	if broker != nil {
+		_ = broker.Publish(telemetry.DashEvent{
+			Kind: "start", Workload: prof.Name, Class: prof.Class.String(),
+			Total: len(depths),
+		})
+		cfg.Progress = func(p core.Progress) {
+			if p.CacheHit {
+				liveHits.Add(1)
+			}
+			elapsed := time.Since(start).Seconds()
+			rate := 0.0
+			if elapsed > 0 {
+				rate = float64(p.Done) / elapsed
+			}
+			eta := 0.0
+			if rate > 0 {
+				eta = float64(p.Total-p.Done) / rate
+			}
+			bips := p.Point.Result.BIPS()
+			_ = broker.Publish(telemetry.DashEvent{
+				Kind:         "point",
+				Workload:     p.Workload,
+				Class:        p.Class.String(),
+				Depth:        p.Depth,
+				Done:         p.Done,
+				Total:        p.Total,
+				CacheHit:     p.CacheHit,
+				BIPS:         bips,
+				Metric:       metrics.BIPS3PerWatt.Value(bips, p.Point.GatedPower.Total()),
+				MetricPlain:  metrics.BIPS3PerWatt.Value(bips, p.Point.PlainPower.Total()),
+				ETASec:       eta,
+				PointsPerSec: rate,
+				CacheHits:    int(liveHits.Load()),
+				Units:        dashUnits(p.Point),
+			})
+		}
+	}
 	cfg.Machine = func(d int) (pipeline.Config, error) {
 		mc, err := pipeline.PresetConfig(pipeline.Preset(*mach), d)
 		if err != nil {
@@ -165,12 +256,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			metrics.BIPS3PerWatt.Value(bips, p.PlainPower.Total()))
 	}
 
+	// Cubic-fit and analytic-model failures are counted, not fatal: a
+	// monotone metric curve still prints its design-space table. The
+	// count feeds sweep.fit_errors and the end-of-run summary.
+	fitErrors := 0
+	noteFitError := func(what string, err error, attrs ...any) {
+		fitErrors++
+		if reg != nil {
+			reg.Counter("sweep.fit_errors").Inc()
+		}
+		log.Warn(what, append(attrs, "err", err)...)
+	}
+
 	fmt.Fprintln(stdout)
 	for _, k := range metrics.Kinds {
 		for _, gated := range []bool{true, false} {
 			o, err := s.FindOptimum(k, gated)
 			if err != nil {
-				fmt.Fprintf(stderr, "sweep: optimum %s (gated=%v): %v\n", k, gated, err)
+				noteFitError("optimum fit failed", err, "metric", k.String(), "gated", gated)
 				continue
 			}
 			mode := "non-gated"
@@ -189,13 +292,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ex, err := s.CurveExtraction(core.DefaultRefDepth); err == nil {
 		fmt.Fprintf(stdout, "\ncurve-fitted parameters: %s\n", ex)
 	} else {
-		fmt.Fprintf(stderr, "sweep: curve extraction: %v\n", err)
+		noteFitError("curve extraction failed", err)
 	}
 	if tp, err := s.FittedTheoryParams(core.DefaultRefDepth, 3, true); err == nil {
 		o := tp.OptimumExact()
 		fmt.Fprintf(stdout, "analytic BIPS^3/W optimum (clock gated): %.1f stages (%.1f FO4)\n", o.Depth, o.FO4)
 	} else {
-		fmt.Fprintf(stderr, "sweep: theory fit: %v\n", err)
+		noteFitError("theory fit failed", err)
 	}
 
 	// One manifest describes the whole sweep; the per-depth config hash
@@ -215,9 +318,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	man.Finish(start)
 
 	if reg != nil {
-		for _, p := range s.Points {
-			p.Result.PublishMetrics(reg)
-		}
+		// Per-run pipeline counters and per-unit attribution were
+		// published point-by-point by core as the sweep progressed;
+		// only whole-sweep figures are added here.
 		reg.Gauge("sweep.depth_points").Set(float64(len(s.Points)))
 		if p, ok := s.PointAt(*traceDepth); ok {
 			p.GatedPower.Publish(reg, "power.gated")
@@ -230,7 +333,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}); err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "sweep: wrote metrics to %s\n", *metricsOut)
+		log.Info("wrote metrics", "path", *metricsOut)
 	}
 	if *tracePath != "" {
 		if err := writeTo(*tracePath, func(f *os.File) error {
@@ -238,10 +341,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}); err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "sweep: wrote Chrome trace of depth %d (%d events, %d evicted) to %s\n",
-			*traceDepth, tracer.Len(), tracer.Dropped(), *tracePath)
+		log.Info("wrote Chrome trace", "depth", *traceDepth,
+			"events", tracer.Len(), "evicted", tracer.Dropped(), "path", *tracePath)
 	}
-	cacheSummary(stderr, "sweep", cache)
+	cacheSummary(log, cache)
+	if fitErrors > 0 {
+		log.Warn("run summary", "fit_errors", fitErrors, "points", len(s.Points))
+	} else {
+		log.Info("run summary", "fit_errors", 0, "points", len(s.Points))
+	}
+
+	wall := time.Since(start)
+	if broker != nil {
+		_ = broker.Publish(telemetry.DashEvent{
+			Kind: "done", Workload: prof.Name,
+			Done: len(s.Points), Total: len(depths),
+			PointsPerSec: float64(len(s.Points)) / wall.Seconds(),
+			CacheHits:    int(liveHits.Load()),
+			FitErrors:    fitErrors,
+			WallSec:      wall.Seconds(),
+		})
+	}
+
+	if *benchOut != "" {
+		rec := bench.NewRecord("sweep", start)
+		rec.Workload = prof.Name
+		rec.Points = len(s.Points)
+		rec.FitErrors = uint64(fitErrors)
+		if cache != nil {
+			st := cache.Stats()
+			rec.CacheHits, rec.CacheMisses = st.Hits, st.Misses
+			rec.CacheHitRate = st.HitRate()
+		} else {
+			rec.CacheMisses = uint64(len(s.Points))
+		}
+		if reg != nil {
+			rec.Phases = map[string]bench.Phase{
+				"point":        bench.PhaseFrom(reg.Histogram("sweep.point_us")),
+				"point_cached": bench.PhaseFrom(reg.Histogram("sweep.point_cached_us")),
+			}
+		}
+		rec.Finish(start)
+		if err := bench.Append(*benchOut, rec); err != nil {
+			return fail(err)
+		}
+		log.Info("appended bench record", "path", *benchOut,
+			"points_per_sec", fmt.Sprintf("%.1f", rec.PointsPerSec))
+	}
+
+	if dbg != nil && *linger > 0 {
+		log.Info("lingering for scrapers", "addr", dbg.Addr(), "for", linger.String())
+		time.Sleep(*linger)
+	}
 	return 0
 }
 

@@ -64,7 +64,7 @@ func TestRunWarmCacheByteIdentical(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("cold run exit %d, stderr:\n%s", code, err1)
 	}
-	if !strings.Contains(err1, "0 hits / 5 misses") {
+	if !strings.Contains(err1, "hits=0 misses=5") {
 		t.Fatalf("cold run cache summary unexpected:\n%s", err1)
 	}
 
@@ -75,7 +75,7 @@ func TestRunWarmCacheByteIdentical(t *testing.T) {
 	if out1 != out2 {
 		t.Fatalf("warm-cache output differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", out1, out2)
 	}
-	if !strings.Contains(err2, "5 hits / 0 misses (100% hit rate)") {
+	if !strings.Contains(err2, "hits=5 misses=0") || !strings.Contains(err2, "hit_rate=100%") {
 		t.Fatalf("warm run cache summary unexpected:\n%s", err2)
 	}
 }
@@ -86,7 +86,7 @@ func TestRunCacheReadonlyAndClear(t *testing.T) {
 	dir := t.TempDir()
 
 	_, _, stderr := runCLI(t, fastArgs("-cache-dir", dir, "-cache-readonly"))
-	if !strings.Contains(stderr, "0 stored") {
+	if !strings.Contains(stderr, "stored=0") {
 		t.Fatalf("readonly run stored entries:\n%s", stderr)
 	}
 
@@ -95,7 +95,7 @@ func TestRunCacheReadonlyAndClear(t *testing.T) {
 		t.Fatal("populate run failed")
 	}
 	_, _, stderr = runCLI(t, fastArgs("-cache-dir", dir, "-cache-clear"))
-	if !strings.Contains(stderr, "0 hits / 5 misses") {
+	if !strings.Contains(stderr, "hits=0 misses=5") {
 		t.Fatalf("cleared cache still produced hits:\n%s", stderr)
 	}
 }

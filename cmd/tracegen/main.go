@@ -12,11 +12,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
+	"repro/internal/logx"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// log is the process logger, replaced once -log-level/-log-format are
+// parsed.
+var log = slog.Default()
 
 func main() {
 	var (
@@ -26,7 +32,14 @@ func main() {
 		stats = flag.String("stats", "", "print statistics for an existing trace file and exit")
 		zip   = flag.Bool("z", false, "gzip-compress the output tape")
 	)
+	logOpts := logx.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logOpts.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(2)
+	}
+	log = logger
 
 	if *stats != "" {
 		f, err := os.Open(*stats)
@@ -92,11 +105,11 @@ func main() {
 		}
 	}
 	if *out != "" && *out != "-" {
-		fmt.Fprintf(os.Stderr, "wrote %d instructions to %s\n", *n, *out)
+		log.Info("wrote trace tape", "instructions", *n, "path", *out)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	log.Error("tracegen failed", "err", err)
 	os.Exit(1)
 }

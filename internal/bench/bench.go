@@ -1,0 +1,108 @@
+// Package bench appends per-run performance records to a BENCH
+// trajectory file (one JSON object per line, conventionally
+// BENCH_sweep.json): wall time, throughput, cache effectiveness and
+// per-phase duration histograms. Every CI run and local sweep appends
+// one record, so "did this PR make sweeps slower?" is answerable from
+// the artifact trail instead of folklore.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Phase summarizes one duration histogram (microseconds).
+type Phase struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// PhaseFrom digests a telemetry histogram of microsecond durations.
+// The zero Phase is returned for an empty histogram.
+func PhaseFrom(h *telemetry.Histogram) Phase {
+	n := h.Count()
+	if n == 0 {
+		return Phase{}
+	}
+	return Phase{
+		Count:  n,
+		MeanUS: h.Mean(),
+		P50US:  h.Quantile(0.50),
+		P95US:  h.Quantile(0.95),
+		MaxUS:  h.Quantile(1),
+	}
+}
+
+// Record is one run's performance summary.
+type Record struct {
+	Tool      string `json:"tool"`
+	StartedAt string `json:"started_at"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Workload     string  `json:"workload,omitempty"`
+	Points       int     `json:"points"`
+	WallSec      float64 `json:"wall_sec"`
+	PointsPerSec float64 `json:"points_per_sec"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	FitErrors    uint64  `json:"fit_errors"`
+
+	// Phases holds per-phase duration histograms, e.g. "point" for
+	// simulated design points and "point_cached" for cache hits.
+	Phases map[string]Phase `json:"phases,omitempty"`
+}
+
+// NewRecord stamps a record with the environment and start time.
+func NewRecord(tool string, start time.Time) Record {
+	return Record{
+		Tool:      tool,
+		StartedAt: start.UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Finish records wall time and derives the points/sec throughput.
+func (r *Record) Finish(start time.Time) {
+	r.WallSec = time.Since(start).Seconds()
+	if r.WallSec > 0 {
+		r.PointsPerSec = float64(r.Points) / r.WallSec
+	}
+}
+
+// Append writes the record as one JSON line at the end of path,
+// creating the file if needed — the trajectory grows monotonically
+// across runs and survives interleaved writers (line-atomic appends).
+func Append(path string, rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("bench: encode: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("bench: append: %w", werr)
+	}
+	return nil
+}

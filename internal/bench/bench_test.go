@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestPhaseFrom(t *testing.T) {
+	var h telemetry.Histogram
+	if p := PhaseFrom(&h); p != (Phase{}) {
+		t.Errorf("empty histogram phase = %+v, want zero", p)
+	}
+	h.Observe(100)
+	h.Observe(300)
+	p := PhaseFrom(&h)
+	if p.Count != 2 || p.MeanUS != 200 {
+		t.Errorf("phase = %+v, want count 2 mean 200", p)
+	}
+	if p.P50US > p.P95US || p.P95US > p.MaxUS {
+		t.Errorf("phase quantiles not monotone: %+v", p)
+	}
+	if p.MaxUS != 300 {
+		t.Errorf("max = %g, want 300", p.MaxUS)
+	}
+}
+
+func TestAppendAccumulatesRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	start := time.Now().Add(-2 * time.Second)
+	for i := 0; i < 2; i++ {
+		rec := NewRecord("sweep", start)
+		rec.Workload = "si95-gcc"
+		rec.Points = 24
+		rec.CacheHits, rec.CacheMisses, rec.CacheHitRate = 20, 4, 20.0/24
+		rec.Finish(start)
+		if err := Append(path, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range splitLines(data) {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines+1, err)
+		}
+		if rec.Tool != "sweep" || rec.Points != 24 {
+			t.Errorf("record = %+v", rec)
+		}
+		if rec.WallSec <= 0 || rec.PointsPerSec <= 0 {
+			t.Errorf("throughput not derived: wall=%g pps=%g", rec.WallSec, rec.PointsPerSec)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("file holds %d records, want 2", lines)
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/fit"
 	"repro/internal/isa"
@@ -64,6 +66,86 @@ type StudyConfig struct {
 	// tracer bypass the cache (a cached hit records no events). A nil
 	// cache means every point simulates.
 	Cache *resultcache.Cache
+	// Metrics, when non-nil, receives live sweep observables as design
+	// points complete: the sweep.points_total gauge and
+	// sweep.points_completed / sweep.cache_hits counters, per-point
+	// duration histograms (sweep.point_us, sweep.point_cached_us),
+	// every run's pipeline counters, and the per-unit power
+	// attribution series (power_unit_*). Scraping the registry during
+	// a run (promexp at /metrics) watches the sweep fill in.
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, is invoked once per completed design
+	// point, concurrently from worker goroutines and in completion
+	// order (not depth order). The hook must be safe for concurrent
+	// use and should return quickly — the sweep blocks on it.
+	Progress func(Progress)
+
+	// prog is the shared completion counter, preset by RunCatalog so
+	// per-workload sweeps report catalog-wide progress.
+	prog *progressState
+}
+
+// Progress reports one completed design point to StudyConfig.Progress.
+type Progress struct {
+	Workload string
+	Class    workload.Class
+	Depth    int
+	Done     int // points completed so far, this one included
+	Total    int // points in the whole run (catalog-wide under RunCatalog)
+	CacheHit bool
+	Elapsed  time.Duration // time spent producing this point
+	Point    DepthPoint
+}
+
+type progressState struct {
+	done  atomic.Int64
+	total int64
+}
+
+// observed reports whether any completion bookkeeping is configured.
+func (c StudyConfig) observed() bool { return c.Metrics != nil || c.Progress != nil }
+
+// startProgress initializes the shared completion counter for a run
+// of total points, publishing the total when a registry is attached.
+func (c *StudyConfig) startProgress(total int) {
+	c.prog = &progressState{total: int64(total)}
+	if c.Metrics != nil {
+		c.Metrics.Gauge("sweep.points_total").Set(float64(total))
+	}
+}
+
+// notePoint records one completed design point: counters, duration
+// histograms, per-unit power attribution, and the progress hook.
+func (c *StudyConfig) notePoint(prof workload.Profile, depth int, pt DepthPoint, hit bool, dur time.Duration) {
+	if c.prog == nil {
+		return
+	}
+	done := int(c.prog.done.Add(1))
+	if c.Metrics != nil {
+		c.Metrics.Counter("sweep.points_completed").Inc()
+		if hit {
+			c.Metrics.Counter("sweep.cache_hits").Inc()
+			c.Metrics.Histogram("sweep.point_cached_us").Observe(uint64(dur.Microseconds()))
+		} else {
+			c.Metrics.Histogram("sweep.point_us").Observe(uint64(dur.Microseconds()))
+		}
+		runFO4 := pt.Result.TimeFO4()
+		pt.GatedPower.PublishAttribution(c.Metrics, depth, runFO4)
+		pt.PlainPower.PublishAttribution(c.Metrics, depth, runFO4)
+		pt.Result.PublishMetrics(c.Metrics)
+	}
+	if c.Progress != nil {
+		c.Progress(Progress{
+			Workload: prof.Name,
+			Class:    prof.Class,
+			Depth:    depth,
+			Done:     done,
+			Total:    int(c.prog.total),
+			CacheHit: hit,
+			Elapsed:  dur,
+			Point:    pt,
+		})
+	}
 }
 
 // DefaultDepths returns the paper's simulated range, 2–25 stages.
@@ -124,6 +206,9 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.prog == nil && cfg.observed() {
+		cfg.startProgress(len(cfg.Depths))
+	}
 	points := make([]DepthPoint, len(cfg.Depths))
 	errs := make([]error, len(cfg.Depths))
 	sem := make(chan struct{}, cfg.Parallelism)
@@ -134,7 +219,12 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			points[i], errs[i] = runPoint(cfg, prof, d)
+			start := time.Now()
+			pt, hit, err := runPoint(cfg, prof, d)
+			points[i], errs[i] = pt, err
+			if err == nil {
+				cfg.notePoint(prof, d, pt, hit, time.Since(start))
+			}
 		}(i, d)
 	}
 	wg.Wait()
@@ -148,11 +238,12 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 
 // runPoint simulates one design point with fresh generator and
 // machine state, consulting the result cache first when one is
-// configured.
-func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, error) {
+// configured. The second return reports whether the point was served
+// from the cache.
+func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bool, error) {
 	mc, err := cfg.Machine(depth)
 	if err != nil {
-		return DepthPoint{}, fmt.Errorf("machine: %w", err)
+		return DepthPoint{}, false, fmt.Errorf("machine: %w", err)
 	}
 	// A tracer-carrying run must actually execute to record events, so
 	// it neither reads nor populates the cache.
@@ -167,19 +258,19 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, er
 				Result:     v.Result.Restore(mc),
 				GatedPower: v.GatedPower,
 				PlainPower: v.PlainPower,
-			}, nil
+			}, true, nil
 		}
 	}
 	gen, err := workload.NewGenerator(prof)
 	if err != nil {
-		return DepthPoint{}, err
+		return DepthPoint{}, false, err
 	}
 	if cfg.Warmup > 0 {
 		warm(&mc, gen, cfg.Warmup)
 	}
 	res, err := pipeline.Run(mc, trace.NewLimitStream(gen, cfg.Instructions))
 	if err != nil {
-		return DepthPoint{}, err
+		return DepthPoint{}, false, err
 	}
 	pt := DepthPoint{
 		Depth:      depth,
@@ -198,7 +289,7 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, er
 			PlainPower: pt.PlainPower,
 		})
 	}
-	return pt, nil
+	return pt, false, nil
 }
 
 // cacheKey builds the content address of one design point. The
@@ -221,6 +312,11 @@ func cacheKey(cfg StudyConfig, mc *pipeline.Config, prof workload.Profile, depth
 // cfg.Parallelism) and returns the sweeps in input order.
 func RunCatalog(cfg StudyConfig, profs []workload.Profile) ([]*Sweep, error) {
 	cfg = cfg.withDefaults()
+	if cfg.observed() {
+		// One shared counter so per-workload sweeps report
+		// catalog-wide done/total figures.
+		cfg.startProgress(len(profs) * len(cfg.Depths))
+	}
 	sweeps := make([]*Sweep, len(profs))
 	errs := make([]error, len(profs))
 	sem := make(chan struct{}, cfg.Parallelism)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/resultcache"
+	"repro/internal/telemetry"
 )
 
 // Options configures experiment execution.
@@ -36,6 +37,12 @@ type Options struct {
 	// re-simulate only missing cells and reproduce byte-identical
 	// reports from cached measurements.
 	Cache *resultcache.Cache
+	// Metrics, when non-nil, receives live sweep observables as
+	// design points complete (see core.StudyConfig.Metrics).
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, is invoked per completed design point
+	// (see core.StudyConfig.Progress).
+	Progress func(core.Progress)
 }
 
 func (o Options) study() core.StudyConfig {
@@ -45,6 +52,8 @@ func (o Options) study() core.StudyConfig {
 		Warmup:       o.Warmup,
 		Parallelism:  o.Parallelism,
 		Cache:        o.Cache,
+		Metrics:      o.Metrics,
+		Progress:     o.Progress,
 	}
 }
 

@@ -1,0 +1,57 @@
+// Package logx is the CLIs' shared structured-logging setup: a
+// log/slog configuration selected by the conventional -log-level and
+// -log-format flags, replacing ad-hoc fmt.Fprintf(os.Stderr, ...)
+// diagnostics with machine-parseable lines (text for humans, JSON for
+// anything that ingests run logs next to metrics dumps).
+package logx
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Options holds the flag-selected logging configuration.
+type Options struct {
+	Level  string // debug | info | warn | error
+	Format string // text | json
+}
+
+// RegisterFlags registers -log-level and -log-format on the flag set
+// and returns the options they populate.
+func RegisterFlags(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.StringVar(&o.Level, "log-level", "info", "log verbosity: debug|info|warn|error")
+	fs.StringVar(&o.Format, "log-format", "text", "log output format: text|json")
+	return o
+}
+
+// Logger builds the configured slog logger writing to w (a CLI's
+// stderr). Unknown level or format values are an error so typos fail
+// loudly instead of silencing diagnostics.
+func (o *Options) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "", "info":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logx: unknown -log-level %q (debug|info|warn|error)", o.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(o.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logx: unknown -log-format %q (text|json)", o.Format)
+	}
+}

@@ -1,0 +1,64 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestRegisterFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "info" || o.Format != "text" {
+		t.Fatalf("defaults = %+v, want info/text", o)
+	}
+}
+
+func TestLoggerTextLevels(t *testing.T) {
+	var b bytes.Buffer
+	o := Options{Level: "warn", Format: "text"}
+	log, err := o.Logger(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn line malformed:\n%s", out)
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var b bytes.Buffer
+	o := Options{Level: "debug", Format: "json"}
+	log, err := o.Logger(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("event", "n", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, b.String())
+	}
+	if rec["msg"] != "event" || rec["n"] != float64(3) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestLoggerRejectsUnknown(t *testing.T) {
+	if _, err := (&Options{Level: "loud"}).Logger(&bytes.Buffer{}); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := (&Options{Level: "info", Format: "xml"}).Logger(&bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

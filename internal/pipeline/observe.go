@@ -132,11 +132,47 @@ func (r *Result) PublishMetrics(reg *telemetry.Registry) {
 	}
 	reg.Gauge("pipeline.ipc").Set(r.IPC())
 	reg.Gauge("pipeline.bips").Set(r.BIPS())
+	r.PublishAttribution(reg)
 	if r.Config.Hierarchy != nil {
 		r.Config.Hierarchy.PublishMetrics(reg)
 	}
 	if r.Config.BTB != nil {
 		r.Config.BTB.PublishMetrics(reg)
+	}
+}
+
+// PublishAttribution registers the per-unit and per-cause view of the
+// run as Prometheus-style labeled series (telemetry.LabelName
+// convention), the observable counterpart of the paper's per-cycle
+// unit monitor:
+//
+//	pipeline_unit_duty{unit}       — slot utilization, the fine-grained
+//	                                 clock-gating duty factor
+//	pipeline_unit_occupancy{unit}  — fraction of cycles the unit
+//	                                 switched at all
+//	pipeline_unit_stages{unit}     — stages allocated under the plan
+//	pipeline_stall_fraction{cause} — stall cycles per total cycle
+//
+// Gauges describe the most recent run published into the registry.
+func (r *Result) PublishAttribution(reg *telemetry.Registry) {
+	for u := 0; u < NumUnits; u++ {
+		unit := Unit(u)
+		un := unit.String()
+		occ := 0.0
+		if r.Cycles > 0 {
+			occ = float64(r.UnitActive[u]) / float64(r.Cycles)
+		}
+		reg.Gauge(telemetry.LabelName("pipeline_unit_duty", "unit", un)).Set(r.UnitUtilization(unit))
+		reg.Gauge(telemetry.LabelName("pipeline_unit_occupancy", "unit", un)).Set(occ)
+		reg.Gauge(telemetry.LabelName("pipeline_unit_stages", "unit", un)).
+			Set(float64(r.Config.Plan.UnitStages(unit)))
+	}
+	for c := 0; c < NumStallCauses; c++ {
+		frac := 0.0
+		if r.Cycles > 0 {
+			frac = float64(r.StallCycles[c]) / float64(r.Cycles)
+		}
+		reg.Gauge(telemetry.LabelName("pipeline_stall_fraction", "cause", StallCause(c).String())).Set(frac)
 	}
 }
 

@@ -183,13 +183,21 @@ func (m Model) mergeRole(plan pipeline.DepthPlan, u pipeline.Unit) (skip bool, l
 	return false, u
 }
 
-// Breakdown reports the power of one simulated run.
+// Breakdown reports the power of one simulated run, with the per-unit
+// attribution the paper's monitor maintains (§3): every figure is also
+// split per unit so Figures 9–10 style breakdowns are observable
+// rather than internal.
 type Breakdown struct {
 	Gated   bool
 	Dynamic float64
 	Leakage float64
 	PerUnit [pipeline.NumUnits]float64 // group power attributed to the group leader
-	Latches float64
+	// PerUnitDynamic and PerUnitLeakage split PerUnit into its
+	// switching and leakage components (PerUnit = dynamic + leakage,
+	// element-wise; merged groups attributed to the leader).
+	PerUnitDynamic [pipeline.NumUnits]float64
+	PerUnitLeakage [pipeline.NumUnits]float64
+	Latches        float64
 }
 
 // Total returns dynamic + leakage power.
@@ -211,6 +219,48 @@ func (b Breakdown) Publish(reg *telemetry.Registry, prefix string) {
 	}
 }
 
+// Mode names the gating discipline for telemetry labels.
+func (b Breakdown) Mode() string {
+	if b.Gated {
+		return "gated"
+	}
+	return "plain"
+}
+
+// PublishAttribution registers the per-unit attribution as
+// Prometheus-style labeled series (telemetry.LabelName convention),
+// the observable form of the paper's per-unit power monitor:
+//
+//	power_unit_power_watts{component,depth,mode,unit}
+//	power_unit_energy_joules{component,depth,mode,unit}
+//	power_total_watts{depth,mode}
+//
+// component is "dynamic" or "leakage"; mode is the gating discipline.
+// Energy is power × runFO4 (the run's execution time in FO4): like
+// BIPS and watts here, its absolute scale is arbitrary but consistent
+// across design points, which is all the normalized figures need.
+// Units whose attributed power is zero (non-leading merge-group
+// members) are skipped.
+func (b Breakdown) PublishAttribution(reg *telemetry.Registry, depth int, runFO4 float64) {
+	d := fmt.Sprint(depth)
+	reg.Gauge(telemetry.LabelName("power_total_watts", "mode", b.Mode(), "depth", d)).Set(b.Total())
+	for u := 0; u < pipeline.NumUnits; u++ {
+		if b.PerUnit[u] == 0 {
+			continue
+		}
+		un := pipeline.Unit(u).String()
+		for _, c := range [2]struct {
+			name  string
+			watts float64
+		}{{"dynamic", b.PerUnitDynamic[u]}, {"leakage", b.PerUnitLeakage[u]}} {
+			reg.Gauge(telemetry.LabelName("power_unit_power_watts",
+				"unit", un, "mode", b.Mode(), "component", c.name, "depth", d)).Set(c.watts)
+			reg.Gauge(telemetry.LabelName("power_unit_energy_joules",
+				"unit", un, "mode", b.Mode(), "component", c.name, "depth", d)).Set(c.watts * runFO4)
+		}
+	}
+}
+
 // LeakageFraction returns leakage / total.
 func (b Breakdown) LeakageFraction() float64 {
 	t := b.Total()
@@ -220,29 +270,11 @@ func (b Breakdown) LeakageFraction() float64 {
 	return b.Leakage / t
 }
 
-// Evaluate computes the power drawn during the simulated run. With
-// gated = true, each unit draws dynamic power only on the cycles the
-// simulator observed it switching; otherwise every unit switches every
-// cycle. Merged units contribute the greater of their powers (§3).
-func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
-	plan := r.Config.Plan
-	fs := 1 / r.Config.CycleTime()
-	cycles := float64(r.Cycles)
+// breakdown accumulates the per-unit attribution shared by Evaluate
+// and SamplePower: merge groups contribute the greater of their
+// members' dynamic powers and latch counts, attributed to the leader.
+func (m Model) breakdown(plan pipeline.DepthPlan, gated bool, unitDyn func(pipeline.Unit) float64) Breakdown {
 	b := Breakdown{Gated: gated, Latches: m.TotalLatches(plan)}
-
-	unitDyn := func(u pipeline.Unit) float64 {
-		latches := m.UnitLatches(plan, u)
-		act := 1.0
-		if gated && cycles > 0 {
-			// Fine-grained gating: switching is proportional to the
-			// instructions flowing through the unit, not to raw clock
-			// cycles — the simulation counterpart of the paper's
-			// f_cg·f_s → κ·(T/N_I)⁻¹ approximation.
-			act = r.UnitUtilization(u)
-		}
-		return m.Pd * latches * fs * act
-	}
-
 	for u := 0; u < pipeline.NumUnits; u++ {
 		unit := pipeline.Unit(u)
 		if skip, _ := m.mergeRole(plan, unit); skip {
@@ -258,11 +290,36 @@ func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
 				lat = ol
 			}
 		}
-		b.PerUnit[u] = dyn + m.Pl*lat
+		leak := m.Pl * lat
+		b.PerUnitDynamic[u] = dyn
+		b.PerUnitLeakage[u] = leak
+		b.PerUnit[u] = dyn + leak
 		b.Dynamic += dyn
-		b.Leakage += m.Pl * lat
+		b.Leakage += leak
 	}
 	return b
+}
+
+// Evaluate computes the power drawn during the simulated run. With
+// gated = true, each unit draws dynamic power only on the cycles the
+// simulator observed it switching; otherwise every unit switches every
+// cycle. Merged units contribute the greater of their powers (§3).
+func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
+	plan := r.Config.Plan
+	fs := 1 / r.Config.CycleTime()
+	cycles := float64(r.Cycles)
+	return m.breakdown(plan, gated, func(u pipeline.Unit) float64 {
+		latches := m.UnitLatches(plan, u)
+		act := 1.0
+		if gated && cycles > 0 {
+			// Fine-grained gating: switching is proportional to the
+			// instructions flowing through the unit, not to raw clock
+			// cycles — the simulation counterpart of the paper's
+			// f_cg·f_s → κ·(T/N_I)⁻¹ approximation.
+			act = r.UnitUtilization(u)
+		}
+		return m.Pd * latches * fs * act
+	})
 }
 
 // SamplePower evaluates the power drawn during one activity-trace
@@ -272,9 +329,7 @@ func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
 func (m Model) SamplePower(r *pipeline.Result, sm pipeline.ActivitySample, interval uint64, gated bool) Breakdown {
 	plan := r.Config.Plan
 	fs := 1 / r.Config.CycleTime()
-	b := Breakdown{Gated: gated, Latches: m.TotalLatches(plan)}
-
-	unitDyn := func(u pipeline.Unit) float64 {
+	return m.breakdown(plan, gated, func(u pipeline.Unit) float64 {
 		latches := m.UnitLatches(plan, u)
 		act := 1.0
 		if gated && interval > 0 {
@@ -288,28 +343,7 @@ func (m Model) SamplePower(r *pipeline.Result, sm pipeline.ActivitySample, inter
 			}
 		}
 		return m.Pd * latches * fs * act
-	}
-
-	for u := 0; u < pipeline.NumUnits; u++ {
-		unit := pipeline.Unit(u)
-		if skip, _ := m.mergeRole(plan, unit); skip {
-			continue
-		}
-		dyn := unitDyn(unit)
-		lat := m.UnitLatches(plan, unit)
-		for _, o := range plan.MergedWith(unit) {
-			if od := unitDyn(o); od > dyn {
-				dyn = od
-			}
-			if ol := m.UnitLatches(plan, o); ol > lat {
-				lat = ol
-			}
-		}
-		b.PerUnit[u] = dyn + m.Pl*lat
-		b.Dynamic += dyn
-		b.Leakage += m.Pl * lat
-	}
-	return b
+	})
 }
 
 // PowerTrace evaluates every interval of a sampled run into a power

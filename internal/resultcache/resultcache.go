@@ -41,7 +41,10 @@ import (
 // SchemaVersion identifies the on-disk entry layout. Bump it whenever
 // the envelope or payload schema changes incompatibly: old entries
 // then read as misses and are re-simulated, never misparsed.
-const SchemaVersion = 1
+//
+// v2: power.Breakdown gained the PerUnitDynamic/PerUnitLeakage
+// attribution split; v1 entries would restore with a zero split.
+const SchemaVersion = 2
 
 // DefaultMemEntries is the default capacity of the in-memory LRU
 // front (a full 55-workload × 24-depth catalog sweep is 1320 entries).

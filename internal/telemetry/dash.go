@@ -1,0 +1,251 @@
+package telemetry
+
+import "net/http"
+
+// DashEvent is the JSON schema of the live sweep feed: the contract
+// between the progress publisher (cmd/sweep mapping core progress
+// hooks onto a Broker) and the embedded dashboard served by
+// DashHandler. One "start" event announces the run, one "point" event
+// reports each completed design point, and one "done" event closes the
+// run with summary figures.
+type DashEvent struct {
+	Kind     string `json:"kind"` // "start", "point" or "done"
+	Workload string `json:"workload,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Depth    int    `json:"depth,omitempty"`
+
+	Done  int `json:"done"`
+	Total int `json:"total"`
+
+	CacheHit     bool    `json:"cache_hit,omitempty"`
+	BIPS         float64 `json:"bips,omitempty"`
+	Metric       float64 `json:"metric,omitempty"`       // BIPS^m/W, clock-gated
+	MetricPlain  float64 `json:"metric_plain,omitempty"` // BIPS^m/W, non-gated
+	ETASec       float64 `json:"eta_sec,omitempty"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	CacheHits    int     `json:"cache_hits,omitempty"`
+	FitErrors    int     `json:"fit_errors,omitempty"`
+	WallSec      float64 `json:"wall_sec,omitempty"`
+
+	// Units carries the per-unit clock-gated power attribution of this
+	// point in pipeline unit order (the dashboard heatmap rows).
+	Units []UnitPower `json:"units,omitempty"`
+}
+
+// UnitPower is one unit's attributed power at one design point.
+type UnitPower struct {
+	Unit    string  `json:"unit"`
+	Power   float64 `json:"power"`             // total (dynamic + leakage)
+	Dynamic float64 `json:"dynamic,omitempty"` // clock-gated dynamic share
+}
+
+// DashHandler serves the embedded single-file sweep dashboard: a
+// progress header, the BIPS^m/W curve filling in as design points
+// complete, and a per-unit power heatmap — all driven by the /progress
+// SSE feed (DashEvent schema), no build tooling, no external assets.
+func DashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashHTML))
+	})
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pipeline-depth sweep</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --page: #f9f9f7;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --baseline: #c3c2b7;
+    --series-1: #2a78d6;
+    --border: rgba(11,11,11,0.10);
+    font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+    color: var(--text-primary); background: var(--page);
+    margin: 0; padding: 20px;
+  }
+  @media (prefers-color-scheme: dark) {
+    .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --page: #0d0d0d;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --baseline: #383835;
+      --series-1: #3987e5;
+      --border: rgba(255,255,255,0.10);
+    }
+  }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--text-secondary); font-size: 13px; margin-bottom: 16px; }
+  .card { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 14px 16px; margin-bottom: 14px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 14px; }
+  .tile { min-width: 110px; }
+  .tile .v { font-size: 22px; font-weight: 600; }
+  .tile .l { font-size: 11px; color: var(--muted); text-transform: uppercase;
+             letter-spacing: .04em; margin-top: 2px; }
+  .bar { height: 6px; border-radius: 3px; background: var(--grid);
+         margin-top: 12px; overflow: hidden; }
+  .bar > div { height: 100%; width: 0%; background: var(--series-1);
+               border-radius: 3px; transition: width .2s; }
+  .card h2 { font-size: 13px; font-weight: 600; margin: 0 0 10px; }
+  svg text { fill: var(--muted); font-size: 10px;
+             font-family: inherit; font-variant-numeric: tabular-nums; }
+  table.heat { border-collapse: separate; border-spacing: 2px;
+               font-size: 11px; font-variant-numeric: tabular-nums; }
+  table.heat th { color: var(--text-secondary); font-weight: 500;
+                  text-align: right; padding-right: 6px; }
+  table.heat th.col { text-align: center; padding: 0 2px 2px; }
+  table.heat td { width: 26px; height: 18px; border-radius: 2px;
+                  background: var(--grid); }
+  .note { color: var(--muted); font-size: 11px; margin-top: 8px; }
+</style>
+</head>
+<body class="viz-root">
+<h1>pipeline-depth sweep</h1>
+<div class="sub" id="sub">waiting for events from /progress …</div>
+
+<div class="card">
+  <div class="tiles">
+    <div class="tile"><div class="v" id="t-done">–</div><div class="l">points</div></div>
+    <div class="tile"><div class="v" id="t-rate">–</div><div class="l">points / s</div></div>
+    <div class="tile"><div class="v" id="t-eta">–</div><div class="l">eta</div></div>
+    <div class="tile"><div class="v" id="t-cache">–</div><div class="l">cache hits</div></div>
+  </div>
+  <div class="bar"><div id="bar"></div></div>
+</div>
+
+<div class="card">
+  <h2 id="curve-title">BIPS³/W (clock-gated) vs pipeline depth</h2>
+  <svg id="curve" width="640" height="260" viewBox="0 0 640 260" role="img"
+       aria-label="metric versus pipeline depth"></svg>
+</div>
+
+<div class="card">
+  <h2>per-unit clock-gated power</h2>
+  <div style="overflow-x:auto"><table class="heat" id="heat"></table></div>
+  <div class="note">each row normalized to its own maximum — cells fill in as
+  design points complete; hover a cell for the value</div>
+</div>
+
+<script>
+"use strict";
+// Sequential blue ramp (light -> dark reads low -> high on both surfaces).
+const RAMP = ["#cde2fb","#b7d3f6","#9ec5f4","#86b6ef","#6da7ec","#5598e7",
+              "#3987e5","#2a78d6","#256abf","#1c5cab","#184f95","#104281","#0d366b"];
+const state = { wl: "", points: new Map(), units: [], done: 0, total: 0,
+                cacheHits: 0, finished: false };
+
+function fmt(x, d) { return x >= 100 ? x.toFixed(0) : x.toPrecision(d || 3); }
+function fmtETA(s) {
+  if (!isFinite(s) || s < 0) return "–";
+  if (s < 60) return s.toFixed(0) + "s";
+  return Math.floor(s / 60) + "m" + Math.round(s % 60) + "s";
+}
+
+function onEvent(ev) {
+  if (ev.workload && ev.workload !== state.wl) {
+    // New workload: the curve and heatmap follow the most recent one.
+    state.wl = ev.workload;
+    state.points.clear();
+  }
+  if (ev.total) state.total = ev.total;
+  if (ev.done) state.done = ev.done;
+  if (ev.cache_hits) state.cacheHits = ev.cache_hits;
+  if (ev.kind === "point") {
+    state.points.set(ev.depth, ev);
+    if (ev.units && ev.units.length) state.units = ev.units.map(u => u.unit);
+  }
+  if (ev.kind === "done") state.finished = true;
+  render(ev);
+}
+
+function render(ev) {
+  const pct = state.total ? 100 * state.done / state.total : 0;
+  document.getElementById("bar").style.width = pct.toFixed(1) + "%";
+  document.getElementById("t-done").textContent =
+    state.total ? state.done + " / " + state.total : "–";
+  document.getElementById("t-rate").textContent =
+    ev.points_per_sec ? fmt(ev.points_per_sec) : "–";
+  document.getElementById("t-eta").textContent =
+    state.finished ? "done" : (ev.eta_sec !== undefined ? fmtETA(ev.eta_sec) : "–");
+  document.getElementById("t-cache").textContent = String(state.cacheHits);
+  document.getElementById("sub").textContent = state.wl
+    ? "workload " + state.wl + (state.finished ? " — complete" : " — running")
+    : "waiting for events from /progress …";
+  drawCurve();
+  drawHeat();
+}
+
+function drawCurve() {
+  const svg = document.getElementById("curve");
+  const pts = [...state.points.values()].sort((a, b) => a.depth - b.depth);
+  svg.innerHTML = "";
+  if (!pts.length) return;
+  const W = 640, H = 260, L = 56, R = 16, T = 12, B = 32;
+  const xs = pts.map(p => p.depth), ys = pts.map(p => p.metric);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs, x0 + 1);
+  const y1 = Math.max(...ys, 1e-300);
+  const X = d => L + (W - L - R) * (d - x0) / (x1 - x0);
+  const Y = v => T + (H - T - B) * (1 - v / y1);
+  let g = "";
+  // recessive horizontal gridlines at 4 steps, y axis from zero
+  for (let i = 0; i <= 4; i++) {
+    const v = y1 * i / 4, y = Y(v);
+    g += '<line x1="' + L + '" y1="' + y + '" x2="' + (W - R) + '" y2="' + y +
+         '" stroke="' + (i === 0 ? "var(--baseline)" : "var(--grid)") + '" stroke-width="1"/>';
+    g += '<text x="' + (L - 6) + '" y="' + (y + 3) + '" text-anchor="end">' +
+         (v ? v.toExponential(1) : "0") + "</text>";
+  }
+  for (const p of pts) {
+    g += '<text x="' + X(p.depth) + '" y="' + (H - B + 14) +
+         '" text-anchor="middle">' + p.depth + "</text>";
+  }
+  g += '<text x="' + ((L + W - R) / 2) + '" y="' + (H - 4) +
+       '" text-anchor="middle">pipeline depth (stages)</text>';
+  const line = pts.map(p => X(p.depth).toFixed(1) + "," + Y(p.metric).toFixed(1)).join(" ");
+  g += '<polyline points="' + line + '" fill="none" stroke="var(--series-1)" ' +
+       'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>';
+  for (const p of pts) {
+    g += '<circle cx="' + X(p.depth) + '" cy="' + Y(p.metric) +
+         '" r="4" fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2">' +
+         "<title>depth " + p.depth + ": " + p.metric.toExponential(3) +
+         (p.cache_hit ? " (cached)" : "") + "</title></circle>";
+  }
+  svg.innerHTML = g;
+}
+
+function drawHeat() {
+  const tbl = document.getElementById("heat");
+  const pts = [...state.points.values()].sort((a, b) => a.depth - b.depth);
+  if (!pts.length || !state.units.length) { tbl.innerHTML = ""; return; }
+  const rowMax = {};
+  for (const u of state.units) rowMax[u] = 0;
+  for (const p of pts) for (const up of p.units || [])
+    rowMax[up.unit] = Math.max(rowMax[up.unit] || 0, up.power);
+  let h = '<tr><th></th>' +
+    pts.map(p => '<th class="col">' + p.depth + "</th>").join("") + "</tr>";
+  for (const u of state.units) {
+    h += "<tr><th>" + u + "</th>";
+    for (const p of pts) {
+      const up = (p.units || []).find(x => x.unit === u);
+      if (!up) { h += "<td></td>"; continue; }
+      const t = rowMax[u] > 0 ? up.power / rowMax[u] : 0;
+      const c = RAMP[Math.min(RAMP.length - 1, Math.round(t * (RAMP.length - 1)))];
+      h += '<td style="background:' + c + '" title="' + u + " @ depth " + p.depth +
+           ": " + up.power.toPrecision(4) + '"></td>';
+    }
+    h += "</tr>";
+  }
+  tbl.innerHTML = h;
+}
+
+const es = new EventSource("/progress");
+es.onmessage = m => { try { onEvent(JSON.parse(m.data)); } catch (e) {} };
+es.onerror = () => { if (state.finished) es.close(); };
+</script>
+</body>
+</html>
+`

@@ -1,12 +1,14 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // expvarOnce guards expvar.Publish, which panics on duplicate names
@@ -40,12 +42,23 @@ var current struct {
 	reg *Registry
 }
 
+// DebugServer is the process's observability HTTP surface: pprof,
+// expvar, and whatever the embedding command mounts on top (Prometheus
+// exposition, sweep progress, dashboards). It owns its listener and
+// supports graceful shutdown, so CLIs and tests don't leak ports.
+type DebugServer struct {
+	mux  *http.ServeMux
+	srv  *http.Server
+	addr string
+	done chan struct{}
+}
+
 // ServeDebug starts an HTTP server on addr exposing the standard
 // debugging surface: /debug/pprof/* (CPU, heap, goroutine profiles)
 // and /debug/vars (expvar, including any registry published with
-// PublishExpvar). It returns the bound address — pass ":0" for an
-// ephemeral port — and serves until the process exits.
-func ServeDebug(addr string) (string, error) {
+// PublishExpvar). Pass ":0" for an ephemeral port. Mount additional
+// endpoints with Handle; stop the server with Close.
+func ServeDebug(addr string) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -55,12 +68,44 @@ func ServeDebug(addr string) (string, error) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("telemetry: debug server: %w", err)
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	s := &DebugServer{
+		mux:  mux,
+		srv:  &http.Server{Handler: mux},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
 	}
 	go func() {
-		// The server lives for the process; errors after a successful
-		// bind (shutdown races) are not actionable here.
-		_ = http.Serve(ln, mux)
+		defer close(s.done)
+		// ErrServerClosed is the normal Close path; other errors after a
+		// successful bind are not actionable here.
+		_ = s.srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Handle mounts a handler on the server's mux; safe to call while the
+// server is running (ServeMux registration is mutex-guarded).
+func (s *DebugServer) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// Close gracefully shuts the server down, waiting briefly for
+// in-flight requests (streaming subscribers are cut off) and releasing
+// the listener. Safe to call on a nil server and idempotent.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Long-lived streams (SSE) outlive the grace period; force them.
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
 }

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServerServesAndShutsDown(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Handle("/extra", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "mounted")
+	}))
+
+	resp, err := http.Get("http://" + srv.Addr() + "/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "mounted" {
+		t.Fatalf("mounted handler returned %q", body)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The listener is released: the same address can be bound again.
+	ln, err := net.Listen("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("address still held after Close: %v", err)
+	}
+	ln.Close()
+	// Idempotent, and nil-safe.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	var nilSrv *DebugServer
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil close: %v", err)
+	}
+}

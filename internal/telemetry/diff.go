@@ -1,0 +1,72 @@
+package telemetry
+
+import "sort"
+
+// DiffSnapshots returns the exact change between two registry
+// snapshots: what a region of interest (one design point, one
+// experiment) contributed to counters and histograms, independent of
+// everything that ran before it in the same registry.
+//
+// Semantics per metric type:
+//
+//   - counters: the after−before delta; unchanged counters are omitted.
+//   - gauges: the after value, included when the gauge is new or its
+//     value changed (gauges are levels, not accumulations — the "delta"
+//     of a level is its new reading).
+//   - histograms: bucket-wise, count and sum deltas; Min/Max are taken
+//     from the after snapshot (extremes are not invertible) and Value
+//     reports the mean of the delta alone. Histograms with no new
+//     observations are omitted.
+//
+// Metrics present only in before (a registry is append-only, so this
+// means a different registry) are ignored. The result is sorted like
+// Snapshot, by type then name.
+func DiffSnapshots(before, after []Metric) []Metric {
+	type key struct{ typ, name string }
+	prev := make(map[key]Metric, len(before))
+	for _, m := range before {
+		prev[key{m.Type, m.Name}] = m
+	}
+	var out []Metric
+	for _, m := range after {
+		old, seen := prev[key{m.Type, m.Name}]
+		switch m.Type {
+		case "counter":
+			d := m.Value - old.Value
+			if d == 0 {
+				continue
+			}
+			out = append(out, Metric{Type: m.Type, Name: m.Name, Value: d})
+		case "gauge":
+			if seen && old.Value == m.Value {
+				continue
+			}
+			out = append(out, Metric{Type: m.Type, Name: m.Name, Value: m.Value})
+		case "histogram":
+			d := Metric{
+				Type: m.Type, Name: m.Name,
+				Count: m.Count - old.Count,
+				Sum:   m.Sum - old.Sum,
+				Min:   m.Min, Max: m.Max,
+			}
+			if d.Count == 0 {
+				continue
+			}
+			d.Value = float64(d.Sum) / float64(d.Count)
+			d.Buckets = make(map[string]uint64)
+			for ub, n := range m.Buckets {
+				if dn := n - old.Buckets[ub]; dn != 0 {
+					d.Buckets[ub] = dn
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

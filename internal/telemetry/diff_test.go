@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func findMetric(ms []Metric, typ, name string) (Metric, bool) {
+	for _, m := range ms {
+		if m.Type == typ && m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+func TestDiffSnapshotsCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("b").Add(5)
+	before := r.Snapshot()
+	r.Counter("a").Add(4)
+	r.Counter("c").Inc()
+	after := r.Snapshot()
+
+	d := DiffSnapshots(before, after)
+	if m, ok := findMetric(d, "counter", "a"); !ok || m.Value != 4 {
+		t.Errorf("counter a delta = %+v, want 4", m)
+	}
+	if _, ok := findMetric(d, "counter", "b"); ok {
+		t.Error("unchanged counter b must be omitted from the diff")
+	}
+	if m, ok := findMetric(d, "counter", "c"); !ok || m.Value != 1 {
+		t.Errorf("new counter c delta = %+v, want 1", m)
+	}
+}
+
+func TestDiffSnapshotsGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("level").Set(10)
+	r.Gauge("steady").Set(7)
+	before := r.Snapshot()
+	r.Gauge("level").Set(2)
+	r.Gauge("fresh").Set(1)
+	after := r.Snapshot()
+
+	d := DiffSnapshots(before, after)
+	// Gauges are levels: the diff carries the new reading, not a delta.
+	if m, ok := findMetric(d, "gauge", "level"); !ok || m.Value != 2 {
+		t.Errorf("changed gauge = %+v, want after-value 2", m)
+	}
+	if _, ok := findMetric(d, "gauge", "steady"); ok {
+		t.Error("unchanged gauge must be omitted")
+	}
+	if m, ok := findMetric(d, "gauge", "fresh"); !ok || m.Value != 1 {
+		t.Errorf("new gauge = %+v, want 1", m)
+	}
+}
+
+func TestDiffSnapshotsHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(1)
+	h.Observe(100)
+	before := r.Snapshot()
+	h.Observe(100)
+	h.Observe(1000)
+	after := r.Snapshot()
+
+	d := DiffSnapshots(before, after)
+	m, ok := findMetric(d, "histogram", "lat")
+	if !ok {
+		t.Fatal("histogram missing from diff")
+	}
+	if m.Count != 2 || m.Sum != 1100 {
+		t.Errorf("delta count/sum = %d/%d, want 2/1100", m.Count, m.Sum)
+	}
+	if m.Value != 550 {
+		t.Errorf("delta mean = %g, want 550", m.Value)
+	}
+	// Only the buckets that received new observations appear.
+	total := uint64(0)
+	for _, n := range m.Buckets {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("delta buckets hold %d observations, want 2: %v", total, m.Buckets)
+	}
+}
+
+func TestDiffSnapshotsQuietHistogramOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("quiet").Observe(4)
+	before := r.Snapshot()
+	after := r.Snapshot()
+	if d := DiffSnapshots(before, after); len(d) != 0 {
+		t.Errorf("no-op diff = %+v, want empty", d)
+	}
+}
+
+func TestDiffSnapshotsEmptyBefore(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Add(2)
+	r.Gauge("g").Set(9)
+	d := DiffSnapshots(nil, r.Snapshot())
+	if len(d) != 2 {
+		t.Fatalf("diff against empty before = %+v, want both metrics", d)
+	}
+	// Sorted by type then name: counter before gauge.
+	if d[0].Type != "counter" || d[1].Type != "gauge" {
+		t.Errorf("diff not sorted by type: %+v", d)
+	}
+}

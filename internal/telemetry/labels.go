@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// LabelName renders a metric family name plus label key/value pairs
+// into the single-string name convention the registry stores and the
+// promexp exporter understands: family{k1="v1",k2="v2"} with keys
+// sorted, so equal label sets always map to the same registry entry.
+// Values are escaped for the Prometheus text exposition format. kv
+// must alternate key, value; a trailing odd key is ignored.
+//
+// Labeled series coexist with plain dotted names in one registry:
+// exporters that don't understand labels (the JSONL dump, expvar)
+// simply show the full string.
+func LabelName(family string, kv ...string) string {
+	if len(kv) < 2 {
+		return family
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{sanitizeLabelKey(kv[i]), escapeLabelValue(kv[i+1])})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabels splits a registry name produced by LabelName back into
+// the family and the rendered label block (including braces). A name
+// without labels returns the name itself and "".
+func SplitLabels(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i:]
+}
+
+// sanitizeLabelKey forces a string into the Prometheus label-name
+// alphabet [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelKey(k string) string {
+	if k == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the text exposition
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

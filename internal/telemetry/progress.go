@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Broker fans live progress events out to HTTP subscribers as
+// Server-Sent Events (SSE). Producers call Publish with any
+// JSON-marshalable value; each subscriber (an EventSource in the
+// dashboard, a curl) receives every event in order. A bounded history
+// is replayed to late subscribers so a dashboard opened mid-sweep
+// still sees every completed cell. The zero value is not usable —
+// construct with NewBroker.
+type Broker struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	history [][]byte
+	max     int
+	closed  bool
+}
+
+// DefaultBrokerHistory bounds the replay buffer: enough for a full
+// catalog sweep (55 workloads × 24 depths) with headroom.
+const DefaultBrokerHistory = 4096
+
+// NewBroker returns a broker replaying up to maxHistory events to new
+// subscribers (DefaultBrokerHistory if maxHistory <= 0). When the
+// history cap is exceeded the oldest events are dropped — subscribers
+// arriving later see a truncated prefix, never a gap in the suffix.
+func NewBroker(maxHistory int) *Broker {
+	if maxHistory <= 0 {
+		maxHistory = DefaultBrokerHistory
+	}
+	return &Broker{subs: make(map[chan []byte]struct{}), max: maxHistory}
+}
+
+// Publish marshals v to JSON and delivers it to every subscriber. A
+// subscriber that cannot keep up (full channel) skips the event rather
+// than stalling the producer — the sweep never blocks on a slow
+// dashboard. Publishing on a closed broker is a no-op.
+func (b *Broker) Publish(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("telemetry: progress event: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.history = append(b.history, data)
+	if len(b.history) > b.max {
+		b.history = b.history[len(b.history)-b.max:]
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- data:
+		default:
+		}
+	}
+	return nil
+}
+
+// Close marks the broker finished and disconnects all subscribers.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+		delete(b.subs, ch)
+	}
+}
+
+// subscribe registers a new subscriber and returns its channel plus a
+// snapshot of the history to replay first.
+func (b *Broker) subscribe() (ch chan []byte, history [][]byte, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	history = append([][]byte(nil), b.history...)
+	if b.closed {
+		return nil, history, true
+	}
+	ch = make(chan []byte, 256)
+	b.subs[ch] = struct{}{}
+	return ch, history, false
+}
+
+func (b *Broker) unsubscribe(ch chan []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}
+
+// ServeHTTP streams the event feed as text/event-stream: first the
+// replayed history, then live events until the client disconnects or
+// the broker closes.
+func (b *Broker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, history, closed := b.subscribe()
+	if ch != nil {
+		defer b.unsubscribe(ch)
+	}
+	for _, ev := range history {
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", ev); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	if closed {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBrokerReplaysHistory(t *testing.T) {
+	b := NewBroker(0)
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if err := b.Publish(DashEvent{Kind: "point", Depth: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// A late subscriber sees the full history as SSE data lines, then a
+	// live event.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		_ = b.Publish(DashEvent{Kind: "done"})
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	var data []string
+	for sc.Scan() && len(data) < 4 {
+		if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+			data = append(data, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if len(data) != 4 {
+		t.Fatalf("received %d events, want 3 replayed + 1 live: %v", len(data), data)
+	}
+	if !strings.Contains(data[3], `"kind":"done"`) {
+		t.Errorf("live event = %s, want the done event", data[3])
+	}
+}
+
+func TestBrokerHistoryBounded(t *testing.T) {
+	b := NewBroker(2)
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		_ = b.Publish(DashEvent{Kind: "point", Depth: i})
+	}
+	_, history, _ := b.subscribe()
+	if len(history) != 2 {
+		t.Fatalf("history length %d, want capped at 2", len(history))
+	}
+	// The suffix survives, the prefix is dropped.
+	if !strings.Contains(string(history[1]), `"depth":4`) {
+		t.Errorf("newest event missing from history: %s", history[1])
+	}
+}
+
+func TestBrokerCloseDisconnectsSubscribers(t *testing.T) {
+	b := NewBroker(0)
+	ch, _, closed := b.subscribe()
+	if closed {
+		t.Fatal("fresh broker reported closed")
+	}
+	b.Close()
+	if _, ok := <-ch; ok {
+		t.Error("subscriber channel still open after Close")
+	}
+	// Publishing and closing again are harmless no-ops.
+	if err := b.Publish(DashEvent{Kind: "point"}); err != nil {
+		t.Errorf("publish on closed broker: %v", err)
+	}
+	b.Close()
+}
+
+func TestBrokerSlowSubscriberDoesNotBlock(t *testing.T) {
+	b := NewBroker(0)
+	defer b.Close()
+	ch, _, _ := b.subscribe()
+	// Never drain ch; publishing far past the channel capacity must not
+	// stall the producer.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = b.Publish(DashEvent{Kind: "point", Depth: i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	_ = ch
+}
+
+func TestDashHandlerServesHTML(t *testing.T) {
+	req := httptest.NewRequest("GET", "/dash", nil)
+	rec := httptest.NewRecorder()
+	DashHandler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q, want text/html", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<!DOCTYPE html>", "EventSource(\"/progress\")", "per-unit"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard HTML missing %q", want)
+		}
+	}
+}

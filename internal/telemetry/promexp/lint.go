@@ -1,0 +1,81 @@
+package promexp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Exposition-format grammar, line by line. Label values may contain
+// any escaped character; the value field must parse as a Go float or
+// be one of the special tokens.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(
+		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+	labelBlockRe = regexp.MustCompile(
+		`^\{\s*[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(\s*,\s*[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\s*,?\s*\}$`)
+	typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpRe = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+)
+
+// Lint validates a text exposition stream line by line and returns an
+// error naming the first malformed line. It checks structure (sample
+// syntax, label blocks, TYPE/HELP comments, duplicate TYPE
+// declarations, parseable values), which is what a scraper rejects a
+// target over — it does not model full type semantics.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	declared := make(map[string]bool)
+	n := 0
+	samples := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeRe.FindStringSubmatch(line); m != nil {
+				if declared[m[1]] {
+					return fmt.Errorf("line %d: duplicate TYPE declaration for %s", n, m[1])
+				}
+				declared[m[1]] = true
+				continue
+			}
+			if helpRe.MatchString(line) || !strings.HasPrefix(line, "# TYPE") {
+				continue // HELP or free-form comment
+			}
+			return fmt.Errorf("line %d: malformed TYPE line: %s", n, line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %s", n, line)
+		}
+		if !metricNameRe.MatchString(m[1]) {
+			return fmt.Errorf("line %d: invalid metric name %q", n, m[1])
+		}
+		if m[2] != "" && !labelBlockRe.MatchString(m[2]) {
+			return fmt.Errorf("line %d: malformed label block %q", n, m[2])
+		}
+		switch m[3] {
+		case "NaN", "+Inf", "-Inf", "Inf":
+		default:
+			if _, err := strconv.ParseFloat(m[3], 64); err != nil {
+				return fmt.Errorf("line %d: unparseable value %q", n, m[3])
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	if samples == 0 {
+		return fmt.Errorf("lint: no sample lines in exposition")
+	}
+	return nil
+}

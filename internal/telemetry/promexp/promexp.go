@@ -1,0 +1,177 @@
+// Package promexp renders a telemetry registry in the Prometheus text
+// exposition format (version 0.0.4) using only the standard library —
+// the bridge between the simulator's zero-dependency metrics substrate
+// and any off-the-shelf scraper, recording rule or alert.
+//
+// Registry names map onto exposition families in two ways:
+//
+//   - plain dotted names ("pipeline.instructions") are sanitized into
+//     the metric-name alphabet ("pipeline_instructions");
+//   - names built with telemetry.LabelName already carry a rendered
+//     label block ("power_unit_energy_joules{unit=\"fetch\"}") and are
+//     split into family + labels, so per-unit and per-depth series of
+//     one family group under one # TYPE header.
+//
+// Histograms are exported with cumulative le buckets, _sum and _count,
+// exactly as a native Prometheus histogram.
+package promexp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Write renders a registry snapshot in text exposition format.
+// Metrics of one family (same name up to labels) are emitted
+// contiguously under a single # TYPE line, families sorted by name.
+func Write(w io.Writer, snapshot []telemetry.Metric) error {
+	type series struct {
+		labels string
+		m      telemetry.Metric
+	}
+	type family struct {
+		name string
+		typ  string
+		ss   []series
+	}
+	fams := make(map[string]*family)
+	for _, m := range snapshot {
+		raw, labels := telemetry.SplitLabels(m.Name)
+		name := SanitizeName(raw)
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, typ: m.Type}
+			fams[name] = f
+		}
+		if f.typ != m.Type {
+			// A name collision across metric types (possible only by
+			// sanitization folding two registry names together): keep the
+			// first type and skip the conflicting series rather than emit
+			// an exposition that scrapers reject outright.
+			continue
+		}
+		f.ss = append(f.ss, series{labels: labels, m: m})
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.ss, func(i, j int) bool { return f.ss[i].labels < f.ss[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.ss {
+			if err := writeSeries(w, name, s.labels, s.m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, labels string, m telemetry.Metric) error {
+	switch m.Type {
+	case "counter", "gauge":
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(m.Value))
+		return err
+	case "histogram":
+		// Cumulative buckets in ascending upper bound, then +Inf, _sum
+		// and _count, each repeating the series labels.
+		type bucket struct {
+			ub uint64
+			n  uint64
+		}
+		bs := make([]bucket, 0, len(m.Buckets))
+		for ubs, n := range m.Buckets {
+			ub, err := strconv.ParseUint(ubs, 10, 64)
+			if err != nil {
+				continue
+			}
+			bs = append(bs, bucket{ub, n})
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].ub < bs[j].ub })
+		var cum uint64
+		for _, b := range bs {
+			cum += b.n
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, withLabel(labels, "le", formatValue(float64(b.ub))), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, withLabel(labels, "le", "+Inf"), m.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, m.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, m.Count)
+		return err
+	default:
+		return fmt.Errorf("promexp: unknown metric type %q", m.Type)
+	}
+}
+
+// withLabel splices one more label pair into a rendered label block
+// ("" or "{k=\"v\"}").
+func withLabel(labels, key, value string) string {
+	pair := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatValue renders a float like Prometheus clients do: integral
+// values without an exponent where possible, NaN/Inf by name.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizeName forces a registry name into the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; dots and any other separators
+// become underscores.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the registry in text exposition format — mount it at
+// /metrics on the telemetry debug server.
+func Handler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Write(w, reg.Snapshot())
+	})
+}

@@ -1,0 +1,161 @@
+package promexp
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func exposition(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := Write(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWriteCounterAndGauge(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("pipeline.instructions").Add(42)
+	reg.Gauge("sweep.points_total").Set(24)
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"# TYPE pipeline_instructions counter",
+		"pipeline_instructions 42",
+		"# TYPE sweep_points_total gauge",
+		"sweep_points_total 24",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLabeledFamilyGroupsUnderOneType(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge(telemetry.LabelName("power_unit_energy_joules",
+		"unit", "fetch", "mode", "gated")).Set(1.5)
+	reg.Gauge(telemetry.LabelName("power_unit_energy_joules",
+		"unit", "decode", "mode", "gated")).Set(2.5)
+
+	out := exposition(t, reg)
+	if n := strings.Count(out, "# TYPE power_unit_energy_joules gauge"); n != 1 {
+		t.Fatalf("family declared %d times, want once:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`power_unit_energy_joules{mode="gated",unit="decode"} 2.5`,
+		`power_unit_energy_joules{mode="gated",unit="fetch"} 1.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Series of one family are sorted by label block.
+	if strings.Index(out, "decode") > strings.Index(out, "fetch") {
+		t.Error("series not sorted by labels")
+	}
+}
+
+func TestWriteHistogramCumulativeBuckets(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat.us")
+	h.Observe(1)   // bucket le=1
+	h.Observe(3)   // bucket le=3
+	h.Observe(3)   // bucket le=3
+	h.Observe(100) // bucket le=127
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{le="1"} 1`,
+		`lat_us_bucket{le="3"} 3`,   // cumulative: 1 + 2
+		`lat_us_bucket{le="127"} 4`, // cumulative: all
+		`lat_us_bucket{le="+Inf"} 4`,
+		"lat_us_sum 107",
+		"lat_us_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():     "NaN",
+		math.Inf(1):    "+Inf",
+		math.Inf(-1):   "-Inf",
+		0:              "0",
+		1.5:            "1.5",
+		-2:             "-2",
+		12345678901234: "1.2345678901234e+13",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"pipeline.instructions": "pipeline_instructions",
+		"a-b c":                 "a_b_c",
+		"9lead":                 "_lead",
+		"":                      "_",
+		"ok_name:sub":           "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLintAcceptsOwnOutput(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("sweep.points_completed").Add(7)
+	reg.Gauge(telemetry.LabelName("power_unit_power_watts",
+		"unit", "exec", "mode", "plain", "component", "dynamic", "depth", "10")).Set(3.25)
+	reg.Gauge("theory.optimum").Set(math.NaN())
+	reg.Histogram("sweep.point_us").Observe(1500)
+
+	out := exposition(t, reg)
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint rejected our own exposition: %v\n%s", err, out)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":      "metric-name{} 1\n",
+		"bad value":     "ok_metric one\n",
+		"bad labels":    "ok_metric{unit=fetch} 1\n",
+		"bad type line": "# TYPE ok_metric flavor\n",
+		"dup type":      "# TYPE m counter\nm 1\n# TYPE m counter\n",
+		"empty":         "\n",
+	}
+	for name, in := range cases {
+		if err := Lint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted malformed input %q", name, in)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("hits").Inc()
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := Lint(strings.NewReader(rec.Body.String())); err != nil {
+		t.Fatalf("handler output fails lint: %v", err)
+	}
+}

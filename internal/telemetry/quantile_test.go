@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Errorf("Quantile(%g) of empty histogram = %g, want NaN", q, v)
+		}
+	}
+	if v := h.Percentile(95); !math.IsNaN(v) {
+		t.Errorf("Percentile(95) of empty histogram = %g, want NaN", v)
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	// With one sample every quantile is that sample (the estimate is
+	// clamped to the observed [min, max]).
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 100 {
+			t.Errorf("Quantile(%g) = %g, want 100", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if v := h.Quantile(0); v != 1 {
+		t.Errorf("Quantile(0) = %g, want the minimum 1", v)
+	}
+	if v := h.Quantile(1); v != 1000 {
+		t.Errorf("Quantile(1) = %g, want the maximum 1000", v)
+	}
+	// The median estimate lands in the right power-of-two bucket: 500
+	// lives in (255, 511], so the clamped estimate is within [256, 511].
+	if v := h.Quantile(0.5); v < 256 || v > 511 {
+		t.Errorf("Quantile(0.5) = %g, want within the 500-sample bucket [256, 511]", v)
+	}
+	if lo, hi := h.Quantile(0.1), h.Quantile(0.9); lo > hi {
+		t.Errorf("quantiles not monotone: q10=%g > q90=%g", lo, hi)
+	}
+}
+
+func TestHistogramQuantileOutOfRangeArgs(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(7)
+	if v := h.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Errorf("Quantile(NaN) = %g, want NaN", v)
+	}
+	if v := h.Quantile(math.Inf(1)); v != h.Quantile(1) {
+		t.Errorf("Quantile(+Inf) = %g, want clamp to Quantile(1) = %g", v, h.Quantile(1))
+	}
+	if v := h.Quantile(-3); v != h.Quantile(0) {
+		t.Errorf("Quantile(-3) = %g, want clamp to Quantile(0) = %g", v, h.Quantile(0))
+	}
+	if v := h.Percentile(200); v != h.Quantile(1) {
+		t.Errorf("Percentile(200) = %g, want clamp to max", v)
+	}
+}
+
+func TestHistogramQuantileZeroSamples(t *testing.T) {
+	var h Histogram
+	h.ObserveN(0, 10) // ten observations of value zero
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("Quantile(%g) = %g, want 0", q, v)
+		}
+	}
+}

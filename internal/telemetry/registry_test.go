@@ -154,11 +154,12 @@ func TestPublishExpvarAndServeDebug(t *testing.T) {
 	r2.Counter("served").Add(9)
 	r2.PublishExpvar("repro_metrics")
 
-	addr, err := ServeDebug("127.0.0.1:0")
+	srv, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr == "" {
+	defer srv.Close()
+	if srv.Addr() == "" {
 		t.Fatal("empty bound address")
 	}
 }

@@ -127,6 +127,62 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// values from the power-of-two buckets. The estimate is the containing
+// bucket's inclusive upper bound, clamped to the observed [min, max]
+// range, so a single-sample histogram reports that sample exactly and
+// no estimate ever leaves the observed range. Out-of-range q is
+// clamped (so ±Inf behave as 0 and 1); a NaN q or an empty histogram
+// returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	// The smallest 1-based rank whose cumulative count covers q.
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum < rank {
+			continue
+		}
+		var est float64
+		switch {
+		case i == 0:
+			est = 0
+		case i == histBuckets-1:
+			est = float64(math.MaxUint64)
+		default:
+			est = float64(uint64(1)<<i - 1)
+		}
+		if est < float64(h.min) {
+			est = float64(h.min)
+		}
+		if est > float64(h.max) {
+			est = float64(h.max)
+		}
+		return est
+	}
+	return float64(h.max)
+}
+
+// Percentile is Quantile(p/100).
+func (h *Histogram) Percentile(p float64) float64 { return h.Quantile(p / 100) }
+
 // snapshot returns the histogram state under the lock.
 func (h *Histogram) snapshot() (buckets map[string]uint64, count, sum, min, max uint64) {
 	h.mu.Lock()
