@@ -7,7 +7,7 @@
 //	curl -s localhost:6060/metrics | promlint
 //
 // Exit status is 0 for a well-formed exposition with at least one
-// sample, 1 otherwise.
+// sample, 1 for a lint failure, 2 for a usage or I/O error.
 package main
 
 import (
@@ -19,19 +19,27 @@ import (
 )
 
 func main() {
-	var in io.Reader = os.Stdin
-	name := "<stdin>"
-	if len(os.Args) > 1 && os.Args[1] != "-" {
-		f, err := os.Open(os.Args[1])
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stderr io.Writer) int {
+	if len(args) > 1 {
+		fmt.Fprintln(stderr, "usage: promlint [file]")
+		return 2
+	}
+	in, name := stdin, "<stdin>"
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "promlint:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "promlint:", err)
+			return 2
 		}
 		defer f.Close()
-		in, name = f, os.Args[1]
+		in, name = f, args[0]
 	}
 	if err := promexp.Lint(in); err != nil {
-		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "promlint: %s: %v\n", name, err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validExposition = "# TYPE ok_metric counter\nok_metric 1\n"
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	if err := os.WriteFile(good, []byte(validExposition), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.prom")
+	if err := os.WriteFile(bad, []byte("metric-name{} 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name  string
+		args  []string
+		stdin string
+		want  int
+	}{
+		{"valid file", []string{good}, "", 0},
+		{"malformed file", []string{bad}, "", 1},
+		{"valid stdin", nil, validExposition, 0},
+		{"valid stdin via dash", []string{"-"}, validExposition, 0},
+		{"empty stdin", nil, "", 1},
+		{"missing file", []string{filepath.Join(dir, "absent.prom")}, "", 2},
+		{"too many args", []string{good, bad}, "", 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			got := run(tt.args, strings.NewReader(tt.stdin), &stderr)
+			if got != tt.want {
+				t.Fatalf("run(%q) = %d, want %d\nstderr:\n%s",
+					tt.args, got, tt.want, stderr.String())
+			}
+			if tt.want != 0 && stderr.Len() == 0 {
+				t.Error("non-zero exit with empty stderr")
+			}
+		})
+	}
+}

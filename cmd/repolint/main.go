@@ -1,0 +1,140 @@
+// Command repolint runs the repository's static-analysis suite: the
+// machine-checked determinism, fingerprint-completeness and metric-
+// naming invariants the reproduction's results depend on (see
+// internal/analysis and the README's Static analysis section).
+//
+// Standalone:
+//
+//	repolint ./...                 # whole module
+//	repolint ./internal/pipeline   # one package
+//	repolint -list                 # describe the analyzers
+//
+// As a go vet tool (the unitchecker protocol):
+//
+//	go build -o /tmp/repolint ./cmd/repolint
+//	go vet -vettool=/tmp/repolint ./...
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/fpcomplete"
+	"repro/internal/analysis/metriclabel"
+)
+
+// suite is the full analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	detrange.Analyzer,
+	floatcmp.Analyzer,
+	fpcomplete.Analyzer,
+	metriclabel.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// The go vet protocol probes and the per-package .cfg invocation
+	// are dispatched before normal flag parsing (vet controls that
+	// command line, not the user).
+	if code, handled := vetProtocol(args, stdout, stderr); handled {
+		return code
+	}
+
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: repolint [flags] [packages]\n\n"+
+			"Runs the repository static-analysis suite over the package patterns\n"+
+			"(default ./...). Patterns are directories, optionally /... suffixed.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "repolint: no packages matched")
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(stderr, "repolint: %s: type error: %v\n", p.ImportPath, terr)
+		}
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only list against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a := byName[strings.TrimSpace(name)]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write places a single-file package in its own directory under root.
+func write(t *testing.T, root, rel, src string) string {
+	t.Helper()
+	dir := filepath.Join(root, rel)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunExitCodes(t *testing.T) {
+	root := t.TempDir()
+	clean := write(t, root, "clean", `package clean
+
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`)
+	dirty := write(t, root, "dirty", `package dirty
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{clean}, 0},
+		{"nondeterministic accumulation", []string{dirty}, 1},
+		{"both packages", []string{clean, dirty}, 1},
+		{"only floatcmp stays quiet", []string{"-only", "floatcmp", dirty}, 0},
+		{"unknown analyzer", []string{"-only", "nosuch", dirty}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"missing directory", []string{filepath.Join(root, "absent")}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tt.args, &stdout, &stderr); got != tt.want {
+				t.Fatalf("run(%q) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tt.args, got, tt.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunFindingOutput(t *testing.T) {
+	root := t.TempDir()
+	dirty := write(t, root, "dirty", `package dirty
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{dirty}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "detrange") {
+		t.Errorf("stdout missing analyzer name:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Errorf("stderr missing summary:\n%s", stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-list) = %d, want 0\nstderr:\n%s", got, stderr.String())
+	}
+	for _, a := range suite {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %q:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+func TestVetProtocolProbes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-V=full"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", got)
+	}
+	if !strings.HasPrefix(stdout.String(), "repolint version ") {
+		t.Errorf("-V=full output %q lacks the version prefix go vet hashes", stdout.String())
+	}
+
+	stdout.Reset()
+	if got := run([]string{"-flags"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-flags) = %d, want 0", got)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("-flags output = %q, want []", stdout.String())
+	}
+}

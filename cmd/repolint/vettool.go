@@ -1,0 +1,212 @@
+package main
+
+// The go vet -vettool protocol (the x/tools "unitchecker" wire format,
+// reimplemented on the standard library): the go command probes the
+// tool with -V=full (version for the build cache key) and -flags
+// (supported analyzer flags, JSON), then invokes it once per package
+// with a single *.cfg argument describing the unit: file list, import
+// map, and compiled export data of every dependency.
+//
+// Type information comes from the export data via the stdlib gc
+// importer where possible; any import that fails to resolve that way
+// falls back to type-checking the dependency from source. Facts are
+// not implemented (none of the suite's analyzers are inter-package),
+// so the facts output is written empty.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the fields of the go command's vet config file
+// that the suite needs.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetProtocol handles the go vet invocation shapes. It reports
+// handled=false for a normal standalone command line.
+func vetProtocol(args []string, stdout, stderr io.Writer) (code int, handled bool) {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// The go command hashes this line into its build cache key.
+			fmt.Fprintln(stdout, "repolint version repro-v1")
+			return 0, true
+		case a == "-flags" || a == "--flags":
+			// No analyzer flags are exposed through vet.
+			fmt.Fprintln(stdout, "[]")
+			return 0, true
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetUnit(args[0], stdout, stderr), true
+	}
+	return 0, false
+}
+
+// runVetUnit analyzes the single package unit described by cfgPath.
+func runVetUnit(cfgPath string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Always leave a facts file behind: the go command caches it and
+	// treats a missing output as a tool failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: newVetImporter(fset, &cfg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkgTypes, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range typeErrs {
+			fmt.Fprintf(stderr, "repolint: %s: type error: %v\n", cfg.ImportPath, e)
+		}
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkgTypes,
+		Info:       info,
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, suite)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 1
+	}
+	reported := 0
+	for _, d := range diags {
+		// Vet units fold _test.go files into the package; the suite's
+		// invariants target non-test code (tests use exact comparison
+		// and seeded math/rand on purpose), matching standalone mode,
+		// which never loads test files.
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		// go vet surfaces stderr lines as the tool's findings.
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+		reported++
+	}
+	if reported > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetImporter resolves imports from the vet unit's compiled export
+// data, falling back to source type-checking through the module-aware
+// loader for anything the gc importer cannot read.
+type vetImporter struct {
+	fset *token.FileSet
+	cfg  *vetConfig
+	gc   types.ImporterFrom
+	pkgs map[string]*types.Package
+
+	srcOnce  bool
+	srcFail  error
+	srcLoad  *analysis.Loader
+	unitsDir string
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) *vetImporter {
+	imp := &vetImporter{fset: fset, cfg: cfg, pkgs: make(map[string]*types.Package)}
+	lookup := func(path string) (io.ReadCloser, error) {
+		mapped := path
+		if m, ok := cfg.ImportMap[path]; ok {
+			mapped = m
+		}
+		file, ok := cfg.PackageFile[mapped]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp.gc, _ = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if cfg.Dir != "" {
+		imp.unitsDir = cfg.Dir
+	} else {
+		imp.unitsDir, _ = os.Getwd()
+	}
+	return imp
+}
+
+func (i *vetImporter) Import(path string) (*types.Package, error) {
+	if pkg := i.pkgs[path]; pkg != nil {
+		return pkg, nil
+	}
+	if i.gc != nil {
+		if pkg, err := i.gc.ImportFrom(path, i.unitsDir, 0); err == nil {
+			i.pkgs[path] = pkg
+			return pkg, nil
+		}
+	}
+	// Fallback: type-check the dependency from source, module-aware.
+	if !i.srcOnce {
+		i.srcOnce = true
+		i.srcLoad, i.srcFail = analysis.NewLoader(i.unitsDir)
+	}
+	if i.srcFail != nil {
+		return nil, i.srcFail
+	}
+	return i.srcLoad.ImportSource(path)
+}

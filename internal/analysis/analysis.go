@@ -1,0 +1,162 @@
+// Package analysis is a zero-dependency static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, built on the standard
+// library's go/ast, go/types and go/importer only (the repository's
+// no-third-party-imports policy rules out x/tools itself).
+//
+// It exists to machine-check the invariants the reproduction depends
+// on: the paper's optimum-depth results (BIPS³/W ≈ 7 stages) are only
+// reproducible if every design point is bit-stable and every result-
+// cache key is complete, so the determinism rules that were once
+// enforced by one golden test are enforced here on every build. See
+// the sibling analyzer packages (detrange, fpcomplete, metriclabel,
+// floatcmp) and cmd/repolint for the suite driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a single
+// type-checked package via the Pass and reports findings through it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run executes the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the file set.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// IgnoreDirective is the line-comment form that suppresses a
+// diagnostic: //lint:ignore <analyzer>[,<analyzer>...] <reason>. It
+// applies to findings on its own line or the line directly below it
+// (so it can sit above the offending statement).
+const IgnoreDirective = "lint:ignore"
+
+// ignoreKey locates one suppression: a file, a line, and the analyzer
+// name it silences.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreSet collects every //lint:ignore directive in the files.
+func ignoreSet(fset *token.FileSet, files []*ast.File) map[ignoreKey]bool {
+	set := make(map[ignoreKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // a reason is mandatory; bare directives are inert
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					set[ignoreKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by file, line, column and analyzer.
+// Findings on the same line as — or the line below — a matching
+// //lint:ignore directive are dropped.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := ignoreSet(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		diags = filterIgnored(diags, ignores)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// filterIgnored drops diagnostics suppressed by an ignore directive on
+// the same line or the line above.
+func filterIgnored(diags []Diagnostic, ignores map[ignoreKey]bool) []Diagnostic {
+	if len(ignores) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package analysistest runs an analyzer over a golden testdata package
+// and checks its diagnostics against // want "regexp" comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest but on the
+// repository's zero-dependency framework.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted expectations from a // want comment:
+// either Go-quoted ("...") or backquoted (`...`) regexps, one per
+// expected diagnostic on that line.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads testdata/src/<pkg> under dir, applies the analyzer, and
+// reports any mismatch between its diagnostics and the package's
+// // want comments. Every diagnostic must match a want regexp on its
+// line and every want must be consumed by exactly one diagnostic.
+func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	p, err := loader.LoadDir(filepath.Join(dir, "testdata", "src", pkg))
+	if err != nil {
+		t.Fatalf("load testdata package %s: %v", pkg, err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("testdata type error: %v", terr)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{p}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					} else {
+						// Unquote the escaped form so \" works inside wants.
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+						pat = strings.ReplaceAll(pat, `\\`, `\`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		idx := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:idx], wants[k][idx+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package detrange flags the determinism-bug class that PR 2 caught by
+// luck in workload.mix(): accumulating order-sensitive state while
+// ranging over a map. Go randomizes map iteration order, so a float
+// sum, a slice append, or bytes fed to a hash inside such a loop make
+// the result differ in the last bit (or worse) from run to run —
+// silently perturbing profiles, fingerprints and result-cache keys.
+//
+// It also flags wall-clock and global-randomness escapes (time.Now,
+// math/rand) inside the simulation hot-path packages, where every
+// produced figure must be a pure function of the configuration.
+//
+// Legitimate sites are suppressed with
+//
+//	//lint:ignore detrange <reason>
+//
+// on the offending line or the line above. Appending map keys in order
+// to sort them is the canonical fix and is recognized: appends whose
+// slice is later passed to sort.* or slices.* in the same function are
+// not flagged.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// HotPackages lists the import paths (exact or prefix) whose code must
+// be a pure function of its inputs: no wall clock, no global
+// randomness. Tests may append to it to aim the analyzer at testdata.
+var HotPackages = []string{
+	"repro/internal/pipeline",
+	"repro/internal/power",
+	"repro/internal/theory",
+	"repro/internal/workload",
+}
+
+// hashCallRe matches callee names that fold their operands into a
+// digest, where operand order is part of the result.
+var hashCallRe = regexp.MustCompile(`(?i)^(fingerprint|hash[a-z0-9]*|digest|sum(32|64)?a?)$`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags order-sensitive accumulation inside range-over-map loops " +
+		"(float sums, unsorted appends, hash feeding) and time.Now/math/rand " +
+		"in simulation hot paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	hot := false
+	if pass.Pkg != nil {
+		for _, p := range HotPackages {
+			if pass.Pkg.Path() == p || strings.HasPrefix(pass.Pkg.Path(), p+"/") {
+				hot = true
+				break
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+		if hot {
+			checkHotPath(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkHotPath reports uses of time.Now and anything from math/rand in
+// a hot-path package.
+func checkHotPath(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch path := obj.Pkg().Path(); {
+		case path == "time" && obj.Name() == "Now":
+			pass.Reportf(id.Pos(),
+				"time.Now in simulation hot path: results must be a pure function of the config (use //lint:ignore detrange <reason> for wall-clock bookkeeping)")
+		case path == "math/rand" || path == "math/rand/v2":
+			pass.Reportf(id.Pos(),
+				"math/rand in simulation hot path: use the workload package's seeded RNG so runs are reproducible")
+		}
+		return true
+	})
+}
+
+// checkFunc scans one function for order-sensitive accumulation inside
+// range-over-map loops.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sorted := sortedVars(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rs, sorted)
+		return true
+	})
+}
+
+// sortedVars collects objects passed to sort.* / slices.* calls in the
+// function: appends that build these are deterministic by construction
+// (collect keys, sort, then iterate).
+func sortedVars(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !ok ||
+			(pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRangeBody flags the three order-sensitive accumulation
+// shapes inside one range-over-map body.
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range over another map gets its own visit from
+			// checkFunc; don't double-report its body.
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, sorted)
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && hashCallRe.MatchString(name) {
+				pass.Reportf(n.Pos(),
+					"%s called inside range over map: iteration order is random, so the digest differs from run to run; sort the keys first", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags float accumulation and unsorted appends into
+// variables that outlive the loop.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[id]
+			}
+			if obj == nil || !declaredOutside(obj, rs) {
+				continue
+			}
+			if isFloat(obj.Type()) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into %s while ranging over a map: float addition is not associative, so the sum depends on iteration order; accumulate in a sorted or fixed order (the workload.mix bug class)", id.Name)
+			}
+		}
+	case token.ASSIGN:
+		// x = x + v inside the loop is the spelled-out accumulator.
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !declaredOutside(obj, rs) || !isFloat(obj.Type()) {
+				continue
+			}
+			if bin, ok := as.Rhs[i].(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL || bin.Op == token.QUO) &&
+				(usesObj(pass, bin.X, obj) || usesObj(pass, bin.Y, obj)) {
+				pass.Reportf(as.Pos(),
+					"float accumulation into %s while ranging over a map: float addition is not associative, so the sum depends on iteration order; accumulate in a sorted or fixed order (the workload.mix bug class)", id.Name)
+			}
+		}
+	}
+	// append into a slice that outlives the loop and is never sorted.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" ||
+			pass.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
+			continue
+		}
+		if len(call.Args) == 0 || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil || !declaredOutside(obj, rs) || sorted[obj] {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s while ranging over a map puts elements in random iteration order; sort the result (or collect keys and sort them) before use", id.Name)
+	}
+}
+
+// calleeName extracts the called function's bare name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
+}
+
+// declaredOutside reports whether obj was declared outside the range
+// statement, i.e. it survives the loop.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// usesObj reports whether expr mentions obj.
+func usesObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isFloat reports whether t's core type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

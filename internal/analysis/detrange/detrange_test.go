@@ -1,0 +1,19 @@
+package detrange
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, ".", "a", Analyzer)
+}
+
+func TestDetrangeHotPath(t *testing.T) {
+	old := HotPackages
+	HotPackages = append(HotPackages,
+		"repro/internal/analysis/detrange/testdata/src/hot")
+	defer func() { HotPackages = old }()
+	analysistest.Run(t, ".", "hot", Analyzer)
+}

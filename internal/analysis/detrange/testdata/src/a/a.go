@@ -1,0 +1,103 @@
+// Package a is detrange golden testdata: every shape of order-
+// sensitive accumulation inside a range-over-map loop, plus the
+// deterministic idioms that must stay silent. The floatsum cases
+// replicate the workload.mix() bug PR 2 caught — summing a float
+// normalization constant in map-iteration order — whose fix is
+// guarded at runtime by the catalog bit-stability test and here
+// statically.
+package a
+
+import (
+	"sort"
+)
+
+// floatSum is the exact mix() bug class: the sum's last bits depend on
+// iteration order.
+func floatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, f := range m {
+		sum += f // want `float accumulation into sum while ranging over a map`
+	}
+	return sum
+}
+
+// floatSumSpelled spells the accumulator out with = and +.
+func floatSumSpelled(m map[string]float64) float64 {
+	var sum float64
+	for _, f := range m {
+		sum = sum + f // want `float accumulation into sum while ranging over a map`
+	}
+	return sum
+}
+
+// intSum is fine: integer addition is associative and commutative, so
+// iteration order cannot change the result.
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// fixedOrder is the canonical mix() fix: scatter into an array while
+// ranging (order-insensitive), then sum in fixed index order.
+func fixedOrder(m map[int]float64) float64 {
+	var out [8]float64
+	for c, f := range m {
+		out[c] = f
+	}
+	sum := 0.0
+	for _, f := range out {
+		sum += f
+	}
+	return sum
+}
+
+// unsortedAppend leaks iteration order into the slice.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys while ranging over a map puts elements in random iteration order`
+	}
+	return keys
+}
+
+// sortedAppend is the canonical collect-then-sort idiom and must stay
+// silent.
+func sortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hashFeed folds map entries into a digest in iteration order.
+func hashFeed(m map[string]string) string {
+	out := ""
+	for k, v := range m {
+		out = Fingerprint(k, v) // want `Fingerprint called inside range over map`
+	}
+	return out
+}
+
+// ignored demonstrates the suppression directive.
+func ignored(m map[string]float64) float64 {
+	sum := 0.0
+	for _, f := range m {
+		//lint:ignore detrange demonstration of the suppression syntax
+		sum += f
+	}
+	return sum
+}
+
+// Fingerprint stands in for telemetry.Fingerprint.
+func Fingerprint(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package hot is detrange golden testdata for the hot-path rules: the
+// test registers this package as a simulation hot path, where wall
+// clock and global randomness are banned.
+package hot
+
+import (
+	"math/rand"
+	"time"
+)
+
+// simulate is a stand-in simulation inner loop.
+func simulate(n int) float64 {
+	start := time.Now() // want `time.Now in simulation hot path`
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += rand.Float64() // want `math/rand in simulation hot path`
+	}
+	_ = start
+	return x
+}
+
+// measured shows the sanctioned escape hatch for wall-clock
+// bookkeeping that never feeds a simulated figure.
+func measured() time.Duration {
+	//lint:ignore detrange wall-clock bookkeeping only, not a simulated figure
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,139 @@
+// Package floatcmp flags == and != between floating-point values in
+// the numeric packages (theory, fit, mathx), where the paper's closed
+// forms are evaluated and an exact comparison is almost always a bug:
+// two mathematically equal expressions differ in the last bit after
+// reassociation, so exact equality silently flips between builds and
+// platforms. Compare against a tolerance (mathx helpers) instead.
+//
+// Deliberate exact comparisons stay available three ways: comparing
+// against the exact sentinels 0 and 1 (zero-guards before division,
+// unset-field checks), the NaN self-test x != x, and functions whose
+// name marks them as epsilon helpers (approxEqual, AlmostEq, ...),
+// inside which exact comparison is the point. Anything else carries
+// //lint:ignore floatcmp <reason>.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// TargetPackages lists the import paths (exact or prefix) under the
+// exact-float-comparison ban. Tests may append to aim the analyzer at
+// testdata.
+var TargetPackages = []string{
+	"repro/internal/theory",
+	"repro/internal/fit",
+	"repro/internal/mathx",
+}
+
+// epsilonFuncRe matches function names that implement tolerance
+// comparison; their bodies are exempt.
+var epsilonFuncRe = regexp.MustCompile(`(?i)(approx|almost|near|close|within|eps|tol)`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags ==/!= on floating-point operands in numeric packages " +
+		"outside epsilon helpers (exact sentinels 0 and 1 and the NaN " +
+		"self-test are allowed)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !targeted(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if epsilonFuncRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				checkCmp(pass, bin)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func targeted(path string) bool {
+	for _, p := range TargetPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCmp(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if !isFloat(pass, bin.X) && !isFloat(pass, bin.Y) {
+		return
+	}
+	if isExactSentinel(pass, bin.X) || isExactSentinel(pass, bin.Y) {
+		return
+	}
+	// The IEEE NaN self-test is the one equality float semantics
+	// define robustly.
+	if bin.Op == token.NEQ && sameExpr(bin.X, bin.Y) {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"exact %s on floats: results differ in the last bit across reassociation; compare against a tolerance or mark //lint:ignore floatcmp <reason>",
+		bin.Op)
+}
+
+// isFloat reports whether the expression's type is a floating-point
+// kind (after named-type resolution).
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactSentinel reports whether expr is a compile-time constant
+// equal to exactly 0 or 1 — values floats represent exactly, used as
+// zero-guards and unset markers.
+func isExactSentinel(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, exact := constant.Float64Val(v)
+	return exact && (f == 0 || f == 1)
+}
+
+// sameExpr reports whether two expressions are the identical
+// identifier or selector chain (x != x, a.b != a.b).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package floatcmp
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFloatcmp(t *testing.T) {
+	old := TargetPackages
+	TargetPackages = append(TargetPackages,
+		"repro/internal/analysis/floatcmp/testdata/src/a")
+	defer func() { TargetPackages = old }()
+	analysistest.Run(t, ".", "a", Analyzer)
+}

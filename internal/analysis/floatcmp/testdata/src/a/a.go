@@ -1,0 +1,59 @@
+// Package a is floatcmp golden testdata: exact float comparisons the
+// numeric packages must not make, and the sanctioned exceptions.
+package a
+
+import "math"
+
+const eps = 1e-9
+
+// optimum mimics a closed-form evaluation comparing two derived
+// quantities exactly.
+func optimum(a, b float64) bool {
+	if a == b { // want `exact == on floats`
+		return true
+	}
+	return a+1 != b*2 // want `exact != on floats`
+}
+
+// zeroGuard is the sanctioned divide-by-zero sentinel.
+func zeroGuard(x, y float64) float64 {
+	if y == 0 {
+		return 0
+	}
+	if x == 1 {
+		return y
+	}
+	return x / y
+}
+
+// nanSelfTest is the IEEE-defined robust float equality.
+func nanSelfTest(x float64) bool {
+	return x != x
+}
+
+// approxEqual is an epsilon helper: exact comparison inside is the
+// point.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) < eps
+}
+
+// ints are outside the rule entirely.
+func intCmp(a, b int) bool {
+	return a == b
+}
+
+// namedFloat resolves through a defined type.
+type watts float64
+
+func namedCmp(a, b watts) bool {
+	return a == b // want `exact == on floats`
+}
+
+// ignored uses the escape hatch.
+func ignored(a, b float64) bool {
+	//lint:ignore floatcmp bit-identity is the property under test here
+	return a == b
+}

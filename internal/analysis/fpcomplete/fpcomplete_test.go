@@ -1,0 +1,11 @@
+package fpcomplete
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFpcomplete(t *testing.T) {
+	analysistest.Run(t, ".", "a", Analyzer)
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit every analyzer
+// consumes.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checking problems without aborting the
+	// load, so analyzers still run over mostly-well-typed code.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks packages of one module from source,
+// sharing a file set and an import cache across loads. The zero value
+// is not usable — construct with NewLoader.
+type Loader struct {
+	Fset *token.FileSet
+
+	moduleDir  string
+	modulePath string
+	imp        *hybridImporter
+	cache      map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader builds a loader for the module whose go.mod is at or above
+// dir.
+func NewLoader(dir string) (*Loader, error) {
+	moduleDir, modulePath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		moduleDir:  moduleDir,
+		modulePath: modulePath,
+		cache:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.imp = &hybridImporter{
+		loader: l,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*types.Package),
+	}
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Load resolves the patterns (a directory, or a directory suffixed
+// /... for a recursive walk; "./..." loads the whole module from dir)
+// into packages, parsed with comments and type-checked. Directories
+// without buildable Go files are skipped silently; parse errors fail
+// the load; type errors are collected per package.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	dirs, err := l.resolve(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// resolve expands patterns into concrete directories, sorted.
+func (l *Loader) resolve(dir string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec, pat = true, rest
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(dir, pat)
+		}
+		if !rec {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !de.IsDir() {
+				return nil
+			}
+			name := de.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadDir loads the single package in dir. The import path is derived
+// from the module root; directories outside the module (analyzer
+// testdata trees) get their base name as import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := filepath.Base(abs)
+	if rel, err := filepath.Rel(l.moduleDir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			importPath = l.modulePath
+		} else {
+			importPath = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return l.check(abs, importPath)
+}
+
+// check parses and type-checks the package in dir under importPath,
+// consulting the loader's cache so each package is checked once per
+// loader whether it is loaded directly or reached as an import.
+func (l *Loader) check(dir, importPath string) (*Package, error) {
+	if pkg := l.cache[importPath]; pkg != nil {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		},
+	}
+	files := append([]string(nil), bp.GoFiles...)
+	sort.Strings(files)
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, &build.NoGoError{Dir: dir}
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a package even when errors were reported; the
+	// analyzers work with whatever typed out.
+	pkg.Types, _ = conf.Check(importPath, l.Fset, pkg.Files, pkg.Info)
+	l.cache[importPath] = pkg
+	return pkg, nil
+}
+
+// ImportSource resolves an import path through the loader's hybrid
+// importer: module-local packages type-check from source, everything
+// else through the stdlib source importer. Used by drivers (the vet
+// tool mode) that need dependency types without export data.
+func (l *Loader) ImportSource(path string) (*types.Package, error) {
+	return l.imp.Import(path)
+}
+
+// hybridImporter resolves module-local import paths by type-checking
+// their sources through the owning loader (so intra-repo imports never
+// depend on installed export data) and everything else — the standard
+// library — through the stdlib source importer.
+type hybridImporter struct {
+	loader *Loader
+	std    types.Importer
+	pkgs   map[string]*types.Package
+}
+
+func (i *hybridImporter) Import(path string) (*types.Package, error) {
+	mod := i.loader.modulePath
+	if path == mod || strings.HasPrefix(path, mod+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, mod), "/")
+		dir := filepath.Join(i.loader.moduleDir, filepath.FromSlash(rel))
+		pkg, err := i.loader.check(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return pkg.Types, fmt.Errorf("analysis: %s: %v", path, pkg.TypeErrors[0])
+		}
+		return pkg.Types, nil
+	}
+	if pkg := i.pkgs[path]; pkg != nil {
+		return pkg, nil
+	}
+	pkg, err := i.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	i.pkgs[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for loader tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoaderResolvesModuleAndImports(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"lib/lib.go": `package lib
+func Answer() int { return 42 }
+`,
+		"app/app.go": `package app
+import (
+	"fmt"
+	"example.com/m/lib"
+)
+func Print() { fmt.Println(lib.Answer()) }
+`,
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+	}
+	if got := pkgs[0].ImportPath; got != "example.com/m/app" {
+		t.Errorf("first package %q, want example.com/m/app", got)
+	}
+}
+
+func TestRunAnalyzersSortsAndSuppresses(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"p/p.go": `package p
+func A() int { return 1 }
+
+//lint:ignore testcheck demonstration
+func B() int { return 2 }
+
+func C() int { return 3 }
+`,
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// testcheck reports one diagnostic per function declaration.
+	check := &Analyzer{
+		Name: "testcheck",
+		Doc:  "reports every function",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{check})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B is suppressed by the directive on the line above it.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Message != "func A" || diags[1].Message != "func C" {
+		t.Errorf("got %q, %q; want func A, func C", diags[0].Message, diags[1].Message)
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+}
+
+func TestLoadRealModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("../mathx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("internal/mathx should type-check cleanly: %v", pkg.TypeErrors)
+	}
+	if pkg.ImportPath != "repro/internal/mathx" {
+		t.Errorf("import path %q, want repro/internal/mathx", pkg.ImportPath)
+	}
+}

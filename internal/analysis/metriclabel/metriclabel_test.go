@@ -1,0 +1,11 @@
+package metriclabel
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestMetriclabel(t *testing.T) {
+	analysistest.Run(t, ".", "a", Analyzer)
+}

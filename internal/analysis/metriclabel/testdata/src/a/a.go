@@ -1,0 +1,38 @@
+// Package a is metriclabel golden testdata: telemetry registrations
+// that conform to and violate the shared exposition naming rules.
+package a
+
+import (
+	"repro/internal/telemetry"
+)
+
+func register(reg *telemetry.Registry, dynamic string) {
+	// Conforming dotted registry names.
+	reg.Counter("pipeline.instructions").Inc()
+	reg.Gauge("sweep.points_total").Set(1)
+	reg.Histogram("sweep.point_us").Observe(1)
+
+	// Conforming constant-prefix concatenation.
+	reg.Counter("resultcache." + dynamic).Inc()
+
+	// Fully dynamic names cannot be checked statically.
+	reg.Counter(dynamic).Inc()
+
+	// Violations.
+	reg.Counter("bad name").Inc()        // want `metric registration: registry name segment "bad name" does not match`
+	reg.Gauge("power..total").Set(0)     // want `metric registration: registry name "power..total" has an empty dotted segment`
+	reg.Counter("9starts.bad").Inc()     // want `metric registration: registry name segment "9starts" does not match`
+	reg.Counter("bad-prefix." + dynamic) // want `metric registration: registry name segment "bad-prefix" does not match`
+
+	// LabelName sites: family must be strict exposition alphabet.
+	reg.Gauge(telemetry.LabelName("power_total_watts", "mode", "gated")).Set(0)
+	reg.Gauge(telemetry.LabelName("power-total", "mode", "gated")).Set(0) // want `LabelName family: metric name "power-total" does not match`
+	reg.Gauge(telemetry.LabelName("f", "le", "0.5")).Set(0)               // want `LabelName key: label name "le" is reserved by the exposition format`
+	reg.Gauge(telemetry.LabelName("f", "__internal", "x")).Set(0)         // want `LabelName key: label name "__internal" uses the reserved __ prefix`
+	reg.Gauge(telemetry.LabelName("f", "unit", "fetch", "depth")).Set(0)  // want `LabelName called with an odd number of label arguments`
+
+	// Dynamic keys are skipped; spread kv is skipped.
+	kv := []string{"unit", "fetch"}
+	reg.Gauge(telemetry.LabelName("f", kv...)).Set(0)
+	reg.Gauge(telemetry.LabelName("f", dynamic, "x")).Set(0)
+}

@@ -66,6 +66,7 @@ func BrentRoot(f func(float64) float64, lo, hi, tol float64, maxIter int) (float
 			// Attempt inverse quadratic interpolation.
 			s := fb / fa
 			var p, q float64
+			//lint:ignore floatcmp Brent's discriminator: a and c hold copied iterates, so equality is assignment-exact
 			if a == c {
 				p = 2 * xm * s
 				q = 1 - s

@@ -81,11 +81,13 @@ type Config struct {
 	// stall events and per-unit clock-gate activity into its ring
 	// buffer (see pipeline.NewTracer for a schema-matched tracer).
 	// Nil disables event tracing at zero per-cycle cost.
+	//lint:fpexempt observer only: tracing never alters simulated results
 	Tracer *telemetry.Tracer
 
 	// Metrics, when non-nil, receives the run's counters (instruction,
 	// cycle, stall and per-unit totals, plus cache and BTB statistics)
 	// after simulation, for aggregation across runs and export.
+	//lint:fpexempt observer only: metrics export never alters simulated results
 	Metrics *telemetry.Registry
 
 	// SampleInterval, when positive, records per-unit activity and

@@ -83,9 +83,9 @@ func (c *Config) Fingerprint() string {
 		fmt.Sprintf("plan:%+v", c.Plan),
 		fmt.Sprintf("tech:tp=%g,to=%g", c.TP, c.TO),
 		pred, btb, hier, icache,
-		fmt.Sprintf("btbmiss:%d nonblock:%t redirect:%t wrongpath:%t",
+		fmt.Sprintf("btbmiss:%d nonblock:%t redirect:%t wrongpath:%t keep:%t",
 			c.BTBMissBubbles, c.NonBlockingCache, c.RedirectBubble,
-			c.WrongPathActivity),
+			c.WrongPathActivity, c.KeepState),
 		// Sampling and abort limits change the produced Result (the
 		// activity trace, possibly truncation) and so are identity.
 		fmt.Sprintf("sample:%d maxcycles:%d", c.SampleInterval, c.MaxCycles),

@@ -173,6 +173,7 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	//lint:ignore detrange wall-clock manifest bookkeeping; never feeds a simulated figure
 	start := time.Now()
 	s := &sim{
 		cfg:         cfg,

@@ -1,0 +1,220 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/promexp"
+)
+
+// adversarialValues are label values that attack the rendered
+// k="v",... syntax: empty strings, the pair and list separators,
+// quotes, backslashes (including a trailing one), newlines, braces,
+// and strings that would close the block early if escaping slipped.
+var adversarialValues = []string{
+	"",
+	"=",
+	",",
+	"a=b",
+	"a,b",
+	`"`,
+	`\`,
+	`x\`,
+	`\"`,
+	"\n",
+	"line1\nline2",
+	"{",
+	"}",
+	`"},evil="1`,
+	"plain",
+	"µs latency",
+	" leading and trailing ",
+}
+
+// parseLabelBlock inverts telemetry.LabelName's rendering: it walks a
+// {k="v",...} block respecting the exposition escapes and returns the
+// pairs with values unescaped. Any syntax error fails the test — a
+// block the scraper could misread is exactly the bug class under test.
+func parseLabelBlock(t *testing.T, block string) map[string]string {
+	t.Helper()
+	if !strings.HasPrefix(block, "{") || !strings.HasSuffix(block, "}") {
+		t.Fatalf("label block %q not brace-delimited", block)
+	}
+	out := make(map[string]string)
+	s := block[1 : len(block)-1]
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			t.Fatalf("label block %q: malformed pair at %q", block, s)
+		}
+		key := s[:eq]
+		var val strings.Builder
+		i := eq + 2
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					t.Fatalf("label block %q: dangling escape", block)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("label block %q: unknown escape \\%c", block, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			t.Fatalf("label block %q: unterminated value for %q", block, key)
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("label block %q: duplicate key %q", block, key)
+		}
+		out[key] = val.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				t.Fatalf("label block %q: expected ',' at %q", block, s[i:])
+			}
+			i++
+			if i == len(s) {
+				t.Fatalf("label block %q: trailing comma", block)
+			}
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+// TestLabelNameRoundTripProperty: for random label sets drawn from the
+// adversarial value pool, the rendered name must (1) split back into
+// the exact family, (2) pass the shared promexp registry-name rules,
+// (3) parse back to the original key→value mapping through the
+// exposition escapes, (4) not depend on argument order, and (5) ignore
+// a dangling odd key.
+func TestLabelNameRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := []string{"unit", "mode", "component", "depth", "cause", "wl"}
+	families := []string{"pipeline_unit_duty", "power_unit_power_watts", "f", "a:b_c"}
+
+	randValue := func() string {
+		if rng.Intn(2) == 0 {
+			return adversarialValues[rng.Intn(len(adversarialValues))]
+		}
+		const alphabet = `ab=,"\` + "\n" + `{}µ `
+		runes := []rune(alphabet)
+		n := rng.Intn(8)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(runes[rng.Intn(len(runes))])
+		}
+		return b.String()
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		family := families[rng.Intn(len(families))]
+		nPairs := 1 + rng.Intn(len(keys))
+		perm := rng.Perm(len(keys))[:nPairs]
+		want := make(map[string]string, nPairs)
+		var kv []string
+		for _, ki := range perm {
+			v := randValue()
+			want[keys[ki]] = v
+			kv = append(kv, keys[ki], v)
+		}
+
+		name := telemetry.LabelName(family, kv...)
+
+		gotFamily, block := telemetry.SplitLabels(name)
+		if gotFamily != family {
+			t.Fatalf("trial %d: family %q round-tripped to %q (name %q)",
+				trial, family, gotFamily, name)
+		}
+		if err := promexp.ValidRegistryName(name); err != nil {
+			t.Fatalf("trial %d: %q fails the shared rules: %v", trial, name, err)
+		}
+		got := parseLabelBlock(t, block)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %q parsed to %d pairs, want %d", trial, name, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("trial %d: key %q: value %q round-tripped to %q (name %q)",
+					trial, k, v, got[k], name)
+			}
+		}
+
+		// Order invariance: keys sort, so any permutation of the same
+		// pairs must render the identical registry name.
+		shuffled := make([]string, 0, len(kv))
+		for _, i := range rng.Perm(nPairs) {
+			shuffled = append(shuffled, kv[2*i], kv[2*i+1])
+		}
+		if again := telemetry.LabelName(family, shuffled...); again != name {
+			t.Fatalf("trial %d: order-dependent rendering:\n%q\n%q", trial, name, again)
+		}
+
+		// A dangling odd key is documented to be ignored.
+		if odd := telemetry.LabelName(family, append(kv, "dangling")...); odd != name {
+			t.Fatalf("trial %d: odd trailing key changed rendering:\n%q\n%q", trial, name, odd)
+		}
+	}
+}
+
+// TestLabelNameEdgeCases pins the documented degenerate behaviors.
+func TestLabelNameEdgeCases(t *testing.T) {
+	if got := telemetry.LabelName("fam"); got != "fam" {
+		t.Errorf("no kv: got %q, want fam", got)
+	}
+	if got := telemetry.LabelName("fam", "lone"); got != "fam" {
+		t.Errorf("single odd key: got %q, want fam", got)
+	}
+	if f, l := telemetry.SplitLabels("plain.dotted.name"); f != "plain.dotted.name" || l != "" {
+		t.Errorf("SplitLabels(plain) = %q, %q", f, l)
+	}
+	if f, l := telemetry.SplitLabels(`fam{k="v"}`); f != "fam" || l != `{k="v"}` {
+		t.Errorf("SplitLabels(labeled) = %q, %q", f, l)
+	}
+	// An unterminated block is not split — the whole string is the name.
+	if f, l := telemetry.SplitLabels("fam{k="); f != "fam{k=" || l != "" {
+		t.Errorf("SplitLabels(unterminated) = %q, %q", f, l)
+	}
+}
+
+// TestLabelNameSanitizesKeys: keys outside the exposition alphabet are
+// forced into it, so the rendered series still passes the shared rules.
+func TestLabelNameSanitizesKeys(t *testing.T) {
+	cases := map[string]string{
+		"unit":    "unit",
+		"9lead":   "_lead",
+		"a b":     "a_b",
+		"":        "_",
+		"dot.key": "dot_key",
+	}
+	for raw, want := range cases {
+		name := telemetry.LabelName("fam", raw, "v")
+		if err := promexp.ValidRegistryName(name); err != nil {
+			t.Errorf("key %q: rendered %q fails shared rules: %v", raw, name, err)
+		}
+		wantName := fmt.Sprintf(`fam{%s="v"}`, want)
+		if name != wantName {
+			t.Errorf("key %q: got %q, want %q", raw, name, wantName)
+		}
+	}
+}

@@ -9,17 +9,18 @@ import (
 	"strings"
 )
 
-// Exposition-format grammar, line by line. Label values may contain
-// any escaped character; the value field must parse as a Go float or
-// be one of the special tokens.
+// Exposition-format grammar, line by line, composed from the shared
+// name/label rules in rules.go (the same table the static metriclabel
+// analyzer enforces at go vet time). Label values may contain any
+// escaped character; the value field must parse as a Go float or be
+// one of the special tokens.
 var (
-	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	sampleRe     = regexp.MustCompile(
-		`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+	sampleRe = regexp.MustCompile(
+		`^(` + MetricNamePattern + `)(\{[^{}]*\})?\s+(\S+)(\s+-?\d+)?\s*$`)
 	labelBlockRe = regexp.MustCompile(
-		`^\{\s*[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(\s*,\s*[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\s*,?\s*\}$`)
-	typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
-	helpRe = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+		`^\{\s*` + LabelNamePattern + `="(\\.|[^"\\])*"(\s*,\s*` + LabelNamePattern + `="(\\.|[^"\\])*")*\s*,?\s*\}$`)
+	typeRe = regexp.MustCompile(`^# TYPE (` + MetricNamePattern + `) (counter|gauge|histogram|summary|untyped)$`)
+	helpRe = regexp.MustCompile(`^# HELP ` + MetricNamePattern + ` .*$`)
 )
 
 // Lint validates a text exposition stream line by line and returns an

@@ -1,0 +1,137 @@
+package promexp
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// This file is the single source of truth for the metric-name and
+// label-name rules. Both enforcement layers consume it:
+//
+//   - the runtime linter (Lint, over a scraped exposition) builds its
+//     line grammar from these patterns;
+//   - the static metriclabel analyzer (internal/analysis/metriclabel)
+//     applies the Valid* predicates to registration call sites at
+//     go vet time, so a bad series fails the build instead of the CI
+//     scrape.
+//
+// Changing a rule here changes both layers at once; there is no second
+// copy to drift.
+const (
+	// MetricNamePattern is the Prometheus metric-name alphabet.
+	MetricNamePattern = `[a-zA-Z_:][a-zA-Z0-9_:]*`
+	// LabelNamePattern is the Prometheus label-name alphabet.
+	LabelNamePattern = `[a-zA-Z_][a-zA-Z0-9_]*`
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^` + MetricNamePattern + `$`)
+	labelNameRe  = regexp.MustCompile(`^` + LabelNamePattern + `$`)
+	// registrySegmentRe covers one dot-separated segment of a registry
+	// name; segments sanitize to the metric-name alphabet 1:1.
+	registrySegmentRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// reservedLabels are label names the exposition layer owns: le is the
+// histogram bucket label promexp splices in itself, quantile belongs
+// to summaries, and the __ prefix is reserved by Prometheus.
+var reservedLabels = map[string]bool{"le": true, "quantile": true}
+
+// ValidMetricName checks a Prometheus metric family name (the first
+// argument of telemetry.LabelName): strictly the exposition alphabet,
+// so the family reaches the scrape unchanged by sanitization.
+func ValidMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("metric name %q does not match %s", name, MetricNamePattern)
+	}
+	if strings.HasPrefix(name, "__") {
+		return fmt.Errorf("metric name %q uses the reserved __ prefix", name)
+	}
+	return nil
+}
+
+// ValidLabelName checks one label key for the exposition alphabet and
+// the reserved names.
+func ValidLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	if !labelNameRe.MatchString(name) {
+		return fmt.Errorf("label name %q does not match %s", name, LabelNamePattern)
+	}
+	if strings.HasPrefix(name, "__") {
+		return fmt.Errorf("label name %q uses the reserved __ prefix", name)
+	}
+	if reservedLabels[name] {
+		return fmt.Errorf("label name %q is reserved by the exposition format", name)
+	}
+	return nil
+}
+
+// ValidRegistryName checks a full telemetry registry name: either a
+// dotted name ("pipeline.stall_cycles.agen", sanitized to underscores
+// on export) or a LabelName-rendered series ("fam{k=\"v\"}"), whose
+// family and label keys are checked against the exposition rules.
+func ValidRegistryName(name string) error {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return fmt.Errorf("registry name %q has an unterminated label block", name)
+		}
+		if err := ValidMetricName(name[:i]); err != nil {
+			return err
+		}
+		return validLabelBlock(name[i:])
+	}
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			return fmt.Errorf("registry name %q has an empty dotted segment", name)
+		}
+		if !registrySegmentRe.MatchString(seg) {
+			return fmt.Errorf("registry name segment %q does not match %s", seg, MetricNamePattern)
+		}
+	}
+	return nil
+}
+
+// ValidRegistryPrefix checks a registry-name fragment that later code
+// extends ("resultcache." + name): every completed dot-separated
+// segment must be in the sanitizable alphabet. The fragment must end
+// at a segment boundary (a trailing dot) or extend a valid segment.
+func ValidRegistryPrefix(prefix string) error {
+	if prefix == "" {
+		return fmt.Errorf("empty registry name")
+	}
+	segs := strings.Split(prefix, ".")
+	for i, seg := range segs {
+		if seg == "" {
+			if i == len(segs)-1 {
+				continue // trailing dot: the caller appends the rest
+			}
+			return fmt.Errorf("registry name %q has an empty dotted segment", prefix)
+		}
+		if !registrySegmentRe.MatchString(seg) {
+			return fmt.Errorf("registry name segment %q does not match %s", seg, MetricNamePattern)
+		}
+	}
+	return nil
+}
+
+// validLabelBlock checks a rendered label block {k="v",...} as
+// produced by telemetry.LabelName.
+func validLabelBlock(block string) error {
+	if !labelBlockRe.MatchString(block) {
+		return fmt.Errorf("malformed label block %q", block)
+	}
+	for _, m := range labelPairRe.FindAllStringSubmatch(block, -1) {
+		if err := ValidLabelName(m[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var labelPairRe = regexp.MustCompile(`(` + LabelNamePattern + `)="`)
