@@ -8,6 +8,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/mathx"
 	"repro/internal/pipeline"
@@ -142,6 +143,49 @@ func BenchmarkRunTelemetryEnabled(b *testing.B) {
 		if cfg.Tracer.Len() == 0 || r.Manifest.ConfigHash == "" {
 			b.Fatal("telemetry not recorded")
 		}
+	}
+	b.ReportMetric(float64(n), "instrs/op")
+}
+
+// BenchmarkRunInvariantsDisabled is the baseline for the invariant
+// overhead pair: no Recorder attached, exactly as every existing
+// caller runs the simulator. The disabled path must stay within noise
+// (<2%) of the pre-conformance engine since its only cost is one nil
+// check per cycle; compare with BenchmarkRunInvariantsEnabled for the
+// cost of attaching the engine.
+func BenchmarkRunInvariantsDisabled(b *testing.B) {
+	prof := workload.Representative(workload.SPECInt)
+	gen := workload.MustGenerator(prof)
+	const n = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Reset()
+		if _, err := pipeline.Run(pipeline.MustDefaultConfig(10), trace.NewLimitStream(gen, n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "instrs/op")
+}
+
+// BenchmarkRunInvariantsEnabled runs the identical workload with the
+// conformance engine attached: every cycle's occupancy/cursor/window
+// laws plus the end-of-run conservation audit.
+func BenchmarkRunInvariantsEnabled(b *testing.B) {
+	prof := workload.Representative(workload.SPECInt)
+	gen := workload.MustGenerator(prof)
+	const n = 10000
+	rec := invariant.New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Reset()
+		cfg := pipeline.MustDefaultConfig(10)
+		cfg.Invariants = rec
+		if _, err := pipeline.Run(cfg, trace.NewLimitStream(gen, n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rec.OK() {
+		b.Fatalf("clean benchmark run recorded %d violations", rec.Count())
 	}
 	b.ReportMetric(float64(n), "instrs/op")
 }

@@ -11,11 +11,14 @@
 //	catalog                       # one line per workload
 //	catalog -workload oltp-bank   # full detail for one workload
 //	catalog -n 50000              # deeper statistics
+//
+// Exit codes: 0 success, 1 failure, 2 usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 
@@ -26,76 +29,85 @@ import (
 	"repro/internal/workload"
 )
 
-// log is the process logger, replaced once -log-level/-log-format are
-// parsed.
-var log = slog.Default()
-
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("catalog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name   = flag.String("workload", "", "show one workload in detail")
-		n      = flag.Int("n", 20000, "instructions to generate for statistics")
-		export = flag.String("export", "", "export the named -workload as a JSON profile to this file")
+		name   = fs.String("workload", "", "show one workload in detail")
+		n      = fs.Int("n", 20000, "instructions to generate for statistics")
+		export = fs.String("export", "", "export the named -workload as a JSON profile to this file")
 	)
-	logOpts := logx.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	logger, err := logOpts.Logger(os.Stderr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "catalog:", err)
-		os.Exit(2)
+	logOpts := logx.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	log = logger
+	log, err := logOpts.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "catalog:", err)
+		return 2
+	}
 
 	if *export != "" {
 		prof, ok := workload.ByName(*name)
 		if !ok {
 			log.Error("-export needs a valid -workload", "workload", *name)
-			os.Exit(1)
+			return 2
 		}
 		f, err := os.Create(*export)
 		if err != nil {
 			log.Error("catalog failed", "err", err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		if err := workload.WriteProfile(f, prof); err != nil {
-			log.Error("catalog failed", "err", err)
-			os.Exit(1)
+		werr := workload.WriteProfile(f, prof)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		fmt.Printf("exported %s to %s\n", prof.Name, *export)
-		return
+		if werr != nil {
+			log.Error("catalog failed", "err", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "exported %s to %s\n", prof.Name, *export)
+		return 0
 	}
 
 	if *name != "" {
 		prof, ok := workload.ByName(*name)
 		if !ok {
 			log.Error("unknown workload", "workload", *name)
-			os.Exit(1)
+			return 2
 		}
-		detail(prof, *n)
-		return
+		return detail(stdout, log, prof, *n)
 	}
 
-	fmt.Printf("%-16s %-8s %5s %5s %5s %5s %5s %5s  %6s %6s %7s\n",
+	fmt.Fprintf(stdout, "%-16s %-8s %5s %5s %5s %5s %5s %5s  %6s %6s %7s\n",
 		"workload", "class", "RR%", "RX%", "LD%", "ST%", "BR%", "FP%",
 		"taken%", "misp%", "lines")
 	for _, prof := range workload.All() {
-		st, misp := stats(prof, *n)
-		fmt.Printf("%-16s %-8s %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f  %6.1f %6.1f %7d\n",
+		st, misp, err := stats(prof, *n)
+		if err != nil {
+			log.Error("catalog failed", "workload", prof.Name, "err", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-16s %-8s %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f  %6.1f %6.1f %7d\n",
 			prof.Name, prof.Class,
 			100*st.Fraction(isa.RR), 100*st.Fraction(isa.RX),
 			100*st.Fraction(isa.Load), 100*st.Fraction(isa.Store),
 			100*st.Fraction(isa.Branch), 100*st.Fraction(isa.FP),
 			100*st.TakenRate(), 100*misp, st.UniqueAddr)
 	}
+	return 0
 }
 
 // stats generates the workload's trace and measures its mix plus the
 // tournament predictor's mispredict rate on it.
-func stats(prof workload.Profile, n int) (trace.Stats, float64) {
+func stats(prof workload.Profile, n int) (trace.Stats, float64, error) {
 	gen, err := workload.NewGenerator(prof)
 	if err != nil {
-		log.Error("catalog failed", "err", err)
-		os.Exit(1)
+		return trace.Stats{}, 0, err
 	}
 	ins := trace.Collect(trace.NewLimitStream(gen, n), 0)
 	st := trace.Gather(ins)
@@ -115,29 +127,34 @@ func stats(prof workload.Profile, n int) (trace.Stats, float64) {
 	if branches > 0 {
 		rate = float64(miss) / float64(branches)
 	}
-	return st, rate
+	return st, rate, nil
 }
 
-func detail(prof workload.Profile, n int) {
-	fmt.Printf("workload %s (%s), seed %#x\n\n", prof.Name, prof.Class, prof.Seed)
-	fmt.Println("profile:")
-	fmt.Printf("  mix:            RR %.1f%%  RX %.1f%%  load %.1f%%  store %.1f%%  branch %.1f%%  FP %.1f%%\n",
+func detail(w io.Writer, log *slog.Logger, prof workload.Profile, n int) int {
+	fmt.Fprintf(w, "workload %s (%s), seed %#x\n\n", prof.Name, prof.Class, prof.Seed)
+	fmt.Fprintln(w, "profile:")
+	fmt.Fprintf(w, "  mix:            RR %.1f%%  RX %.1f%%  load %.1f%%  store %.1f%%  branch %.1f%%  FP %.1f%%\n",
 		100*prof.Mix[isa.RR], 100*prof.Mix[isa.RX], 100*prof.Mix[isa.Load],
 		100*prof.Mix[isa.Store], 100*prof.Mix[isa.Branch], 100*prof.Mix[isa.FP])
-	fmt.Printf("  branches:       %d sites (loop %.0f%%, biased %.0f%% @ p=%.2f, random %.0f%%), loop length ≈ %d\n",
+	fmt.Fprintf(w, "  branches:       %d sites (loop %.0f%%, biased %.0f%% @ p=%.2f, random %.0f%%), loop length ≈ %d\n",
 		prof.BranchSites, 100*prof.LoopFrac, 100*prof.BiasedFrac, prof.BiasP,
 		100*prof.RandomFrac(), prof.AvgLoopLen)
-	fmt.Printf("  memory:         %d-line working set; hot %.0f%% of accesses in %d lines; seq %.0f%%; random %.0f%%; stride %dB\n",
+	fmt.Fprintf(w, "  memory:         %d-line working set; hot %.0f%% of accesses in %d lines; seq %.0f%%; random %.0f%%; stride %dB\n",
 		prof.WorkingSetLines, 100*prof.HotFrac, prof.HotLines,
 		100*prof.SeqFrac, 100*prof.RandFrac, prof.StrideBytes)
-	fmt.Printf("  dependencies:   DepP %.2f, distance p %.2f, load-consumer hoist %.2f\n",
+	fmt.Fprintf(w, "  dependencies:   DepP %.2f, distance p %.2f, load-consumer hoist %.2f\n",
 		prof.DepP, prof.DepGeoP, prof.LoadHoistP)
 	if prof.Mix[isa.FP] > 0 {
-		fmt.Printf("  FP latency:     %d–%d cycles (unpipelined)\n", prof.FPLatMin, prof.FPLatMax)
+		fmt.Fprintf(w, "  FP latency:     %d–%d cycles (unpipelined)\n", prof.FPLatMin, prof.FPLatMax)
 	}
 
-	st, misp := stats(prof, n)
-	fmt.Printf("\nrealized over %d instructions:\n", n)
-	fmt.Printf("  %s\n", st)
-	fmt.Printf("  tournament mispredict rate: %.1f%%\n", 100*misp)
+	st, misp, err := stats(prof, n)
+	if err != nil {
+		log.Error("catalog failed", "workload", prof.Name, "err", err)
+		return 1
+	}
+	fmt.Fprintf(w, "\nrealized over %d instructions:\n", n)
+	fmt.Fprintf(w, "  %s\n", st)
+	fmt.Fprintf(w, "  tournament mispredict rate: %.1f%%\n", 100*misp)
+	return 0
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListAllWorkloads(t *testing.T) {
+	code, stdout, stderr := runCLI(t, []string{"-n", "2000"})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, frag := range []string{"workload", "si95-gcc", "oltp-bank"} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("listing missing %q:\n%s", frag, stdout)
+		}
+	}
+}
+
+func TestDetailView(t *testing.T) {
+	code, stdout, stderr := runCLI(t, []string{"-workload", "si95-gcc", "-n", "2000"})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, frag := range []string{"workload si95-gcc", "profile:", "realized over 2000"} {
+		if !strings.Contains(stdout, frag) {
+			t.Errorf("detail missing %q:\n%s", frag, stdout)
+		}
+	}
+}
+
+func TestUnknownWorkloadExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, []string{"-workload", "no-such"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, []string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestExportWithoutWorkloadExitsTwo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if code, _, _ := runCLI(t, []string{"-export", path}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestExportWritesProfileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.json")
+	code, stdout, stderr := runCLI(t, []string{"-workload", "si95-gcc", "-export", path})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "exported si95-gcc") {
+		t.Errorf("missing confirmation:\n%s", stdout)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(raw, &prof); err != nil {
+		t.Fatalf("export is not JSON: %v", err)
+	}
+	if prof.Name != "si95-gcc" {
+		t.Fatalf("exported name = %q, want si95-gcc", prof.Name)
+	}
+}

@@ -6,13 +6,14 @@
 //	tracegen -workload si95-gcc -n 100000 -o gcc.trace
 //	tracegen -workload oltp-bank -n 50000 -o - | wc -c
 //	tracegen -stats gcc.trace               # print a trace summary
+//
+// Exit codes: 0 success, 1 failure, 2 usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log/slog"
 	"os"
 
 	"repro/internal/logx"
@@ -20,65 +21,72 @@ import (
 	"repro/internal/workload"
 )
 
-// log is the process logger, replaced once -log-level/-log-format are
-// parsed.
-var log = slog.Default()
-
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name  = flag.String("workload", "si95-gcc", "catalog workload name")
-		n     = flag.Int("n", 100000, "instructions to generate")
-		out   = flag.String("o", "", "output file ('-' for stdout)")
-		stats = flag.String("stats", "", "print statistics for an existing trace file and exit")
-		zip   = flag.Bool("z", false, "gzip-compress the output tape")
+		name  = fs.String("workload", "si95-gcc", "catalog workload name")
+		n     = fs.Int("n", 100000, "instructions to generate")
+		out   = fs.String("o", "", "output file ('-' for stdout)")
+		stats = fs.String("stats", "", "print statistics for an existing trace file and exit")
+		zip   = fs.Bool("z", false, "gzip-compress the output tape")
 	)
-	logOpts := logx.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-	logger, err := logOpts.Logger(os.Stderr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(2)
+	logOpts := logx.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	log = logger
+	log, err := logOpts.Logger(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+	fail := func(err error) int {
+		log.Error("tracegen failed", "err", err)
+		return 1
+	}
 
 	if *stats != "" {
 		f, err := os.Open(*stats)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		ins, err := trace.ReadAll(f)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println(trace.Gather(ins))
-		return
+		fmt.Fprintln(stdout, trace.Gather(ins))
+		return 0
 	}
 
 	prof, ok := workload.ByName(*name)
 	if !ok {
-		fatal(fmt.Errorf("unknown workload %q", *name))
+		fmt.Fprintf(stderr, "tracegen: unknown workload %q\n", *name)
+		return 2
 	}
 	gen, err := workload.NewGenerator(prof)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	var w io.Writer
-	switch *out {
-	case "", "-":
-		w = os.Stdout
-	default:
-		f, err := os.Create(*out)
+	w := stdout
+	var file *os.File
+	if *out != "" && *out != "-" {
+		file, err = os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+		w = file
+	}
+	closeOut := func() error {
+		if file == nil {
+			return nil
+		}
+		return file.Close()
 	}
 
 	if *zip {
@@ -86,30 +94,33 @@ func main() {
 		for i := 0; i < *n; i++ {
 			in, _ := gen.Next()
 			if err := tw.Write(in); err != nil {
-				fatal(err)
+				closeOut()
+				return fail(err)
 			}
 		}
 		if err := tw.Close(); err != nil {
-			fatal(err)
+			closeOut()
+			return fail(err)
 		}
 	} else {
 		tw := trace.NewWriter(w, *n)
 		for i := 0; i < *n; i++ {
 			in, _ := gen.Next()
 			if err := tw.Write(in); err != nil {
-				fatal(err)
+				closeOut()
+				return fail(err)
 			}
 		}
 		if err := tw.Flush(); err != nil {
-			fatal(err)
+			closeOut()
+			return fail(err)
 		}
 	}
-	if *out != "" && *out != "-" {
+	if err := closeOut(); err != nil {
+		return fail(err)
+	}
+	if file != nil {
 		log.Info("wrote trace tape", "instructions", *n, "path", *out)
 	}
-}
-
-func fatal(err error) {
-	log.Error("tracegen failed", "err", err)
-	os.Exit(1)
+	return 0
 }

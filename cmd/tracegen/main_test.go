@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestWriteAndStatsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tape.trace")
+	code, _, stderr := runCLI(t, []string{"-workload", "si95-gcc", "-n", "5000", "-o", path})
+	if code != 0 {
+		t.Fatalf("write: exit %d, stderr:\n%s", code, stderr)
+	}
+	code, stdout, stderr := runCLI(t, []string{"-stats", path})
+	if code != 0 {
+		t.Fatalf("stats: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "5000") {
+		t.Errorf("stats output missing instruction count:\n%s", stdout)
+	}
+}
+
+func TestCompressedTapeRoundTrip(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "plain.trace")
+	zipped := filepath.Join(t.TempDir(), "zipped.trace")
+	if code, _, stderr := runCLI(t, []string{"-workload", "oltp-bank", "-n", "3000", "-o", plain}); code != 0 {
+		t.Fatalf("plain write: exit %d, stderr:\n%s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, []string{"-workload", "oltp-bank", "-n", "3000", "-o", zipped, "-z"}); code != 0 {
+		t.Fatalf("compressed write: exit %d, stderr:\n%s", code, stderr)
+	}
+	_, plainStats, _ := runCLI(t, []string{"-stats", plain})
+	code, zipStats, stderr := runCLI(t, []string{"-stats", zipped})
+	if code != 0 {
+		t.Fatalf("compressed stats: exit %d, stderr:\n%s", code, stderr)
+	}
+	if plainStats != zipStats {
+		t.Errorf("compressed tape decodes differently:\nplain: %s\nzip:   %s", plainStats, zipStats)
+	}
+}
+
+func TestStdoutTape(t *testing.T) {
+	code, stdout, stderr := runCLI(t, []string{"-workload", "si95-gcc", "-n", "1000", "-o", "-"})
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if len(stdout) == 0 {
+		t.Fatal("no tape bytes on stdout")
+	}
+}
+
+func TestUnknownWorkloadExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, []string{"-workload", "no-such", "-o", "-"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, []string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestMissingStatsFileExitsOne(t *testing.T) {
+	if code, _, _ := runCLI(t, []string{"-stats", filepath.Join(t.TempDir(), "missing.trace")}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

@@ -60,6 +60,22 @@ type Record struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	FitErrors    uint64  `json:"fit_errors"`
 
+	// Conformance-run figures (cmd/conformance): per-check verdict
+	// counts, total invariant violations, and the invariant-engine
+	// overhead measurement — design-point throughput with the engine
+	// detached (the default nil-Recorder path) and attached, plus the
+	// relative cost of attaching. The disabled-mode engine is a single
+	// nil-check branch per simulated cycle, so PointsPerSecOff is
+	// directly comparable against the BENCH_sweep.json trajectory.
+	ChecksPassed    int     `json:"checks_passed,omitempty"`
+	ChecksFailed    int     `json:"checks_failed,omitempty"`
+	Violations      uint64  `json:"violations,omitempty"`
+	PointsPerSecOff float64 `json:"points_per_sec_invariants_off,omitempty"`
+	PointsPerSecOn  float64 `json:"points_per_sec_invariants_on,omitempty"`
+	// InvariantOverhead is PointsPerSecOff/PointsPerSecOn − 1: the
+	// fractional slowdown of enabling the engine.
+	InvariantOverhead float64 `json:"invariant_overhead_frac,omitempty"`
+
 	// Phases holds per-phase duration histograms, e.g. "point" for
 	// simulated design points and "point_cached" for cache hits.
 	Phases map[string]Phase `json:"phases,omitempty"`

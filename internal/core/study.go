@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/fit"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
@@ -79,6 +80,15 @@ type StudyConfig struct {
 	// order (not depth order). The hook must be safe for concurrent
 	// use and should return quickly — the sweep blocks on it.
 	Progress func(Progress)
+	// Invariants, when non-nil, attaches the runtime conformance
+	// engine to every simulated design point: pipeline conservation
+	// and capacity laws check during simulation, power sanity laws
+	// check during evaluation, and gated power is asserted never to
+	// exceed ungated. Cached points are served without re-checking
+	// (the conformance harness re-verifies restored results). The
+	// Recorder is shared across the sweep's workers (it is
+	// concurrency-safe), so violation counts aggregate study-wide.
+	Invariants *invariant.Recorder
 
 	// prog is the shared completion counter, preset by RunCatalog so
 	// per-workload sweeps report catalog-wide progress.
@@ -245,6 +255,9 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bo
 	if err != nil {
 		return DepthPoint{}, false, fmt.Errorf("machine: %w", err)
 	}
+	if cfg.Invariants != nil && mc.Invariants == nil {
+		mc.Invariants = cfg.Invariants
+	}
 	// A tracer-carrying run must actually execute to record events, so
 	// it neither reads nor populates the cache.
 	useCache := cfg.Cache != nil && mc.Tracer == nil
@@ -279,6 +292,7 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bo
 		GatedPower: cfg.Power.Evaluate(res, true),
 		PlainPower: cfg.Power.Evaluate(res, false),
 	}
+	power.CheckGatedNotAbove(mc.Invariants, pt.GatedPower, pt.PlainPower)
 	if useCache {
 		// A failed store is only a lost memoization, not a sweep
 		// failure; the cache has already counted it.

@@ -1,0 +1,216 @@
+// Package difftest is the differential/metamorphic half of the
+// conformance layer: where package invariant states laws a single run
+// must obey, difftest states laws that relate *pairs* of computations
+// that must agree bit-for-bit — cached vs simulated, serial vs
+// parallel, encoded vs decoded, repeated vs original — plus the
+// paper's central metamorphic claim, that the analytic model and the
+// cycle-accurate simulator tell the same story (Fig. 4): theory-vs-sim
+// residuals stay inside pinned per-class envelopes and the theory
+// curves keep their proven shape (frequency monotone in depth, τ(p)
+// convex).
+//
+// The harness is self-testing: Run accepts a named mutation that
+// injects one known violation class into the flow, and the test suite
+// (and cmd/conformance's -mutate mode) asserts every class flips the
+// verdict. A checker that cannot see planted bugs proves nothing.
+package difftest
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Defaults for the conformance matrix: a sparse depth axis spanning
+// the paper's simulated range and short traces keep the full matrix
+// fast enough for a CI gate while still exercising shallow, optimal
+// and deep designs.
+var defaultDepths = []int{4, 6, 8, 10, 12, 16, 20, 24}
+
+const (
+	defaultInstructions = 8000
+	defaultWarmup       = 4000
+)
+
+// DefaultProfiles returns the harness's standard workload set: the
+// representative profile of each class, so every pinned per-class
+// envelope is exercised and the differential checks cover more than
+// the acceptance floor of three profiles.
+func DefaultProfiles() []workload.Profile {
+	return []workload.Profile{
+		workload.Representative(workload.Legacy),
+		workload.Representative(workload.Modern),
+		workload.Representative(workload.SPECInt),
+		workload.Representative(workload.SPECFP),
+	}
+}
+
+// Options configures a conformance run.
+type Options struct {
+	// Profiles to check; DefaultProfiles() if nil.
+	Profiles []workload.Profile
+	// Depths to sweep; a sparse 4–24 axis if nil.
+	Depths []int
+	// Instructions per run; a fast default if 0.
+	Instructions int
+	// Warmup instructions; a fast default if 0, negative for none.
+	Warmup int
+	// Parallelism for the wide half of the serial-vs-parallel
+	// differential; runtime.NumCPU() if 0.
+	Parallelism int
+	// RefDepth anchors theory parameter extraction;
+	// core.DefaultRefDepth if 0.
+	RefDepth int
+	// Metrics, when non-nil, receives the conformance_violations_total
+	// counter series alongside the usual sweep observables.
+	Metrics *telemetry.Registry
+	// Mutate names a violation class from Mutations() to inject, or ""
+	// for a clean run. An unknown name is an error.
+	Mutate Mutation
+}
+
+// WithDefaults returns a copy of o with every unset knob resolved to
+// the harness defaults (idempotent; Run applies it itself, but
+// callers that reuse the resolved matrix — e.g. cmd/conformance's
+// bench measurement — can resolve it up front).
+func (o Options) WithDefaults() Options {
+	if o.Profiles == nil {
+		o.Profiles = DefaultProfiles()
+	}
+	if o.Depths == nil {
+		o.Depths = append([]int(nil), defaultDepths...)
+	}
+	if o.Instructions == 0 {
+		o.Instructions = defaultInstructions
+	}
+	if o.Warmup == 0 {
+		o.Warmup = defaultWarmup
+	}
+	if o.Parallelism <= 0 {
+		// At least 4 workers even on small machines: the differential
+		// against Parallelism=1 must exercise real interleaving.
+		o.Parallelism = max(4, runtime.NumCPU())
+	}
+	if o.RefDepth == 0 {
+		o.RefDepth = core.DefaultRefDepth
+	}
+	return o
+}
+
+// study builds the baseline StudyConfig for the options.
+func (o Options) study(rec *invariant.Recorder) core.StudyConfig {
+	warm := o.Warmup
+	if warm <= 0 {
+		warm = -1 // StudyConfig treats 0 as "use default"
+	}
+	return core.StudyConfig{
+		Depths:       o.Depths,
+		Instructions: o.Instructions,
+		Warmup:       warm,
+		Parallelism:  o.Parallelism,
+		Metrics:      o.Metrics,
+		Invariants:   rec,
+	}
+}
+
+// Check is the outcome of one conformance check.
+type Check struct {
+	// Name identifies the check, e.g. "differential/cache".
+	Name string `json:"name"`
+	// Workload is the profile the check ran against ("" for
+	// whole-matrix checks).
+	Workload string `json:"workload,omitempty"`
+	// Passed reports whether the law held.
+	Passed bool `json:"passed"`
+	// Detail carries the first observed disagreement when the check
+	// failed, or a short summary of what was compared.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the machine-readable outcome of a conformance run: the
+// per-check verdicts, the invariant engine's per-rule violation
+// counts, and the aggregate verdict.
+type Report struct {
+	OK     bool     `json:"ok"`
+	Passed int      `json:"passed"`
+	Failed int      `json:"failed"`
+	Mutate Mutation `json:"mutate,omitempty"`
+	Checks []Check  `json:"checks"`
+	// Violations aggregates the in-sim invariant engine's per-rule
+	// counts across every sweep the harness ran.
+	Violations []invariant.RuleCount `json:"violations,omitempty"`
+}
+
+func (r *Report) add(c Check) {
+	r.Checks = append(r.Checks, c)
+	if c.Passed {
+		r.Passed++
+	} else {
+		r.Failed++
+	}
+}
+
+// Run executes the full conformance matrix and returns the report. An
+// error means the harness could not run (a simulation failed, an
+// unknown mutation was named) — distinct from a clean run that found
+// violations, which returns OK=false.
+func Run(opts Options) (*Report, error) {
+	opts = opts.WithDefaults()
+	if err := opts.Mutate.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Mutate: opts.Mutate}
+
+	// The shared in-sim recorder: every simulated point of every sweep
+	// below checks its per-cycle and end-of-run laws into it.
+	rec := invariant.New(opts.Metrics)
+	base, err := core.RunCatalog(opts.study(rec), opts.Profiles)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: baseline catalog: %w", err)
+	}
+
+	rep.add(Check{
+		Name:   "invariants/run",
+		Passed: rec.OK(),
+		Detail: fmt.Sprintf("%d in-sim violations across %d sweeps", rec.Count(), len(base)),
+	})
+
+	for _, sw := range base {
+		rep.add(checkResultLaws(opts, sw))
+		rep.add(checkCodecRoundTrip(opts, sw))
+	}
+
+	if err := checkSeedDeterminism(opts, rec, rep, base); err != nil {
+		return nil, err
+	}
+	if err := checkParallelism(opts, rec, rep, base); err != nil {
+		return nil, err
+	}
+	if err := checkCacheDifferential(opts, rec, rep, base); err != nil {
+		return nil, err
+	}
+
+	for _, sw := range base {
+		shape, residual, err := checkTheory(opts, sw)
+		if err != nil {
+			return nil, err
+		}
+		rep.addAll(shape)
+		rep.add(residual)
+	}
+
+	rep.Violations = rec.Summary()
+	rep.OK = rep.Failed == 0 && rec.OK()
+	return rep, nil
+}
+
+// add appends several checks at once.
+func (r *Report) addAll(cs []Check) {
+	for _, c := range cs {
+		r.add(c)
+	}
+}

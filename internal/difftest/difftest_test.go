@@ -1,0 +1,110 @@
+package difftest
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// fastOptions shrinks the matrix for unit tests: two profiles, four
+// depths, short traces. The full default matrix is exercised by
+// cmd/conformance and its CI gate.
+func fastOptions() Options {
+	profiles := DefaultProfiles()
+	return Options{
+		Profiles:     profiles[:2],
+		Depths:       []int{4, 8, 12, 18},
+		Instructions: 3000,
+		Warmup:       1500,
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	rep, err := Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		t.Logf("%-24s %-14s pass=%v %s", c.Name, c.Workload, c.Passed, c.Detail)
+	}
+	if !rep.OK {
+		t.Fatalf("clean run failed %d/%d checks; violations: %+v",
+			rep.Failed, rep.Failed+rep.Passed, rep.Violations)
+	}
+}
+
+func TestReportIsMachineReadable(t *testing.T) {
+	rep, err := Run(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OK != rep.OK || back.Passed != rep.Passed || len(back.Checks) != len(rep.Checks) {
+		t.Fatalf("report did not round-trip: %+v vs %+v", back, rep)
+	}
+}
+
+func TestEveryMutationIsCaught(t *testing.T) {
+	for _, mut := range Mutations() {
+		mut := mut
+		t.Run(string(mut), func(t *testing.T) {
+			t.Parallel()
+			opts := fastOptions()
+			opts.Mutate = mut
+			rep, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK {
+				t.Fatalf("mutation %q not caught by any check", mut)
+			}
+			if rep.Failed == 0 {
+				t.Fatalf("mutation %q: OK=false but no failed check", mut)
+			}
+			for _, c := range rep.Checks {
+				if !c.Passed {
+					t.Logf("caught by %s (%s): %s", c.Name, c.Workload, c.Detail)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownMutationRejected(t *testing.T) {
+	opts := fastOptions()
+	opts.Mutate = "no-such-class"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown mutation accepted")
+	}
+}
+
+func TestViolationsReachTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	opts := fastOptions()
+	opts.Metrics = reg
+	opts.Mutate = MutDropRetire
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("mutation not caught")
+	}
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Type == "counter" && m.Name == `conformance_violations_total{rule="pipeline/conservation"}` && m.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("conformance_violations_total{rule=\"pipeline/conservation\"} not published")
+	}
+}

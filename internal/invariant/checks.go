@@ -1,0 +1,116 @@
+package invariant
+
+import "math"
+
+// This file holds the numeric law checks shared by the theory-side and
+// differential harnesses: monotonicity and convexity over a sampled
+// curve, and envelope comparisons with explicit tolerances. They are
+// plain functions over float slices so callers in any package can
+// express a law without new dependencies.
+
+// Monotone checks that ys is non-decreasing along xs (strictly
+// increasing when strict is set), within absolute slack tol, and
+// records one violation per offending adjacent pair. It returns true
+// when the law held. xs must be sorted ascending; pairs with equal x
+// are skipped.
+func Monotone(rec *Recorder, rule string, xs, ys []float64, strict bool, tol float64) bool {
+	ok := true
+	for i := 1; i < len(ys) && i < len(xs); i++ {
+		if xs[i] == xs[i-1] {
+			continue
+		}
+		dy := ys[i] - ys[i-1]
+		if math.IsNaN(dy) {
+			rec.Violatef(rule, "NaN step at x=%g: y[%d]=%g y[%d]=%g", xs[i], i-1, ys[i-1], i, ys[i])
+			ok = false
+			continue
+		}
+		if dy < -tol || (strict && dy <= 0) {
+			rec.Violatef(rule, "not increasing at x=%g→%g: y %g→%g (Δ=%g, tol=%g)",
+				xs[i-1], xs[i], ys[i-1], ys[i], dy, tol)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Convex checks that ys is convex in xs via second divided differences
+// ≥ −tol (tol is relative to the curve's magnitude scale), recording a
+// violation per offending interior point. xs must be strictly
+// ascending where used. It returns true when the law held.
+func Convex(rec *Recorder, rule string, xs, ys []float64, tol float64) bool {
+	ok := true
+	scale := 0.0
+	for _, y := range ys {
+		if a := math.Abs(y); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for i := 1; i+1 < len(ys) && i+1 < len(xs); i++ {
+		h1, h2 := xs[i]-xs[i-1], xs[i+1]-xs[i]
+		if h1 <= 0 || h2 <= 0 {
+			continue
+		}
+		// Second divided difference: ≥ 0 for a convex function.
+		d2 := ((ys[i+1]-ys[i])/h2 - (ys[i]-ys[i-1])/h1) / (h1 + h2)
+		if math.IsNaN(d2) {
+			rec.Violatef(rule, "NaN curvature at x=%g", xs[i])
+			ok = false
+			continue
+		}
+		if d2 < -tol*scale {
+			rec.Violatef(rule, "concave at x=%g: second difference %g (tol %g·%g)",
+				xs[i], d2, tol, scale)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// NonNegative checks v ≥ 0 (NaN counts as a breach).
+func NonNegative(rec *Recorder, rule string, what string, v float64) bool {
+	if v >= 0 {
+		return true
+	}
+	rec.Violatef(rule, "%s = %g, want ≥ 0", what, v)
+	return false
+}
+
+// InUnitInterval checks v ∈ [0, 1] within absolute slack tol (NaN
+// counts as a breach).
+func InUnitInterval(rec *Recorder, rule string, what string, v, tol float64) bool {
+	if v >= -tol && v <= 1+tol {
+		return true
+	}
+	rec.Violatef(rule, "%s = %g, want ∈ [0, 1] (tol %g)", what, v, tol)
+	return false
+}
+
+// AtMost checks a ≤ b within relative slack tol (scaled by |b|, with
+// an absolute floor of tol for tiny b). NaN on either side is a
+// breach.
+func AtMost(rec *Recorder, rule string, what string, a, b, tol float64) bool {
+	slack := tol * math.Abs(b)
+	if slack < tol {
+		slack = tol
+	}
+	if a <= b+slack {
+		return true
+	}
+	rec.Violatef(rule, "%s: %g exceeds %g (tol %g)", what, a, b, slack)
+	return false
+}
+
+// EqualWithin checks |a−b| ≤ tol·max(|a|,|b|,1), recording a breach
+// otherwise. NaN on either side is a breach.
+func EqualWithin(rec *Recorder, rule string, what string, a, b, tol float64) bool {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	if diff := math.Abs(a - b); diff <= tol*scale {
+		return true
+	}
+	rec.Violatef(rule, "%s: %g ≠ %g (tol %g)", what, a, b, tol*scale)
+	return false
+}

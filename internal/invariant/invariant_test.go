@@ -1,0 +1,177 @@
+package invariant
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Violation{Rule: "x"})
+	r.Violatef("x", "boom %d", 1)
+	if r.Count() != 0 || !r.OK() || r.Violations() != nil || r.Summary() != nil {
+		t.Fatal("nil recorder must observe nothing")
+	}
+	// The numeric checks must also tolerate a nil recorder: they still
+	// report the law's verdict, just without recording evidence.
+	if NonNegative(r, "x", "v", -1) {
+		t.Fatal("NonNegative must still return false on a nil recorder")
+	}
+	if !Monotone(r, "x", []float64{1, 2}, []float64{1, 2}, true, 0) {
+		t.Fatal("Monotone must still return true on a nil recorder")
+	}
+}
+
+func TestRecorderCountsAndRetains(t *testing.T) {
+	r := New(nil)
+	for i := 0; i < DefaultMaxViolations+10; i++ {
+		r.Violatef("rule/a", "breach %d", i)
+	}
+	r.Record(Violation{Rule: "rule/b", Detail: "one", Cycle: 7, Unit: "fetch"})
+	if got := r.Count(); got != uint64(DefaultMaxViolations+11) {
+		t.Fatalf("Count = %d, want %d", got, DefaultMaxViolations+11)
+	}
+	if r.OK() {
+		t.Fatal("OK must be false after violations")
+	}
+	if got := len(r.Violations()); got != DefaultMaxViolations {
+		t.Fatalf("retained %d violations, want cap %d", got, DefaultMaxViolations)
+	}
+	sum := r.Summary()
+	if len(sum) != 2 || sum[0].Rule != "rule/a" || sum[0].Count != uint64(DefaultMaxViolations+10) ||
+		sum[1].Rule != "rule/b" || sum[1].Count != 1 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+}
+
+func TestRecorderTelemetryCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(reg)
+	r.Violatef("pipeline/conservation", "lost one")
+	r.Violatef("pipeline/conservation", "lost another")
+	r.Violatef("power/nonnegative", "negative watts")
+	want := map[string]float64{
+		`conformance_violations_total{rule="pipeline/conservation"}`: 2,
+		`conformance_violations_total{rule="power/nonnegative"}`:     1,
+	}
+	for _, m := range reg.Snapshot() {
+		if n, ok := want[m.Name]; ok && m.Type == "counter" {
+			if m.Value != n {
+				t.Errorf("%s = %g, want %g", m.Name, m.Value, n)
+			}
+			delete(want, m.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("counter %s not published", name)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := New(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Violatef("race", "breach")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 800 {
+		t.Fatalf("Count = %d, want 800", got)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "pipeline/occupancy", Detail: "fetched 5 > width 4", Cycle: 42, Unit: "fetch"}
+	s := v.String()
+	for _, frag := range []string{"pipeline/occupancy", "cycle=42", "unit=fetch", "fetched 5 > width 4"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct {
+		name   string
+		ys     []float64
+		strict bool
+		tol    float64
+		ok     bool
+	}{
+		{"increasing", []float64{1, 2, 3, 4}, true, 0, true},
+		{"flat strict", []float64{1, 1, 1, 1}, true, 0, false},
+		{"flat lax", []float64{1, 1, 1, 1}, false, 0, true},
+		{"dip", []float64{1, 2, 1.5, 4}, false, 0, false},
+		{"dip within tol", []float64{1, 2, 1.999, 4}, false, 0.01, true},
+		{"nan", []float64{1, math.NaN(), 3, 4}, false, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(nil)
+			if got := Monotone(r, "t", xs, tc.ys, tc.strict, tc.tol); got != tc.ok {
+				t.Fatalf("Monotone = %v, want %v (violations: %v)", got, tc.ok, r.Violations())
+			}
+			if tc.ok != r.OK() {
+				t.Fatalf("verdict %v disagrees with recorder OK %v", tc.ok, r.OK())
+			}
+		})
+	}
+	// Duplicate x values are skipped, not treated as flat steps.
+	r := New(nil)
+	if !Monotone(r, "t", []float64{1, 1, 2}, []float64{5, 5, 6}, true, 0) {
+		t.Fatal("duplicate-x pair must be skipped")
+	}
+}
+
+func TestConvex(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	conv := make([]float64, len(xs))
+	conc := make([]float64, len(xs))
+	for i, x := range xs {
+		conv[i] = 100/x + 3*x // a/p + b·p shape: convex
+		conc[i] = -conv[i]
+	}
+	if r := New(nil); !Convex(r, "t", xs, conv, 1e-9) {
+		t.Fatalf("convex curve flagged: %v", r.Violations())
+	}
+	if Convex(New(nil), "t", xs, conc, 1e-9) {
+		t.Fatal("concave curve passed")
+	}
+	if Convex(New(nil), "t", xs, []float64{1, math.NaN(), 3, 4, 5}, 1e-9) {
+		t.Fatal("NaN curvature passed")
+	}
+	// Linear data is (weakly) convex.
+	if !Convex(New(nil), "t", xs, []float64{2, 4, 6, 8, 10}, 1e-12) {
+		t.Fatal("linear curve flagged")
+	}
+}
+
+func TestScalarChecks(t *testing.T) {
+	if !NonNegative(New(nil), "t", "w", 0) || NonNegative(New(nil), "t", "w", -1e-30) ||
+		NonNegative(New(nil), "t", "w", math.NaN()) {
+		t.Fatal("NonNegative verdicts wrong")
+	}
+	if !InUnitInterval(New(nil), "t", "f", 1, 0) || !InUnitInterval(New(nil), "t", "f", 1.0005, 1e-3) ||
+		InUnitInterval(New(nil), "t", "f", 1.1, 1e-3) || InUnitInterval(New(nil), "t", "f", math.NaN(), 1e-3) {
+		t.Fatal("InUnitInterval verdicts wrong")
+	}
+	if !AtMost(New(nil), "t", "a≤b", 1, 1, 1e-12) || AtMost(New(nil), "t", "a≤b", 2, 1, 1e-12) ||
+		AtMost(New(nil), "t", "a≤b", math.NaN(), 1, 1e-12) {
+		t.Fatal("AtMost verdicts wrong")
+	}
+	if !EqualWithin(New(nil), "t", "a=b", 1e15, 1e15+1, 1e-12) ||
+		EqualWithin(New(nil), "t", "a=b", 1, 2, 1e-12) ||
+		EqualWithin(New(nil), "t", "a=b", math.NaN(), math.NaN(), 1) {
+		t.Fatal("EqualWithin verdicts wrong")
+	}
+}

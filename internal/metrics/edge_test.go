@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValueEdgeCases pins the metric algebra at the boundaries the
+// sweep machinery can actually produce: dead designs (zero BIPS),
+// zero or negative power denominators, and propagated NaNs.
+func TestValueEdgeCases(t *testing.T) {
+	tests := []struct {
+		name  string
+		kind  Kind
+		bips  float64
+		watts float64
+		want  float64 // NaN asserted via IsNaN
+	}{
+		{"bips ignores zero watts", BIPS, 1.5, 0, 1.5},
+		{"bips ignores negative watts", BIPS, 1.5, -7, 1.5},
+		{"zero bips zero metric", BIPS3PerWatt, 0, 10, 0},
+		{"zero watts m=1", BIPSPerWatt, 2, 0, math.NaN()},
+		{"zero watts m=2", BIPS2PerWatt, 2, 0, math.NaN()},
+		{"zero watts m=3", BIPS3PerWatt, 2, 0, math.NaN()},
+		{"negative watts m=3", BIPS3PerWatt, 2, -1, math.NaN()},
+		{"nan bips propagates", BIPS3PerWatt, math.NaN(), 10, math.NaN()},
+		{"nan bips performance-only", BIPS, math.NaN(), 10, math.NaN()},
+		{"unknown kind", Kind(42), 2, 10, math.NaN()},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.kind.Value(tc.bips, tc.watts)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Value(%g, %g) = %g, want NaN", tc.bips, tc.watts, got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("Value(%g, %g) = %g, want %g", tc.bips, tc.watts, got, tc.want)
+			}
+		})
+	}
+	// Tiny but positive watts stay finite — no overflow to +Inf at the
+	// denominators the leakage model can produce.
+	if v := BIPS3PerWatt.Value(1, 1e-300); math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+		t.Fatalf("Value(1, 1e-300) = %g, want finite positive", v)
+	}
+}
+
+// TestNormalizeEdgeCases pins Normalize against degenerate curves:
+// empty, single-point, all-negative (no positive max — untouched), and
+// curves containing NaN points (the NaN must not poison the scale of
+// the finite points).
+func TestNormalizeEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"empty", []float64{}, []float64{}},
+		{"single point", []float64{7}, []float64{1}},
+		{"single zero", []float64{0}, []float64{0}},
+		{"all negative untouched", []float64{-3, -1}, []float64{-3, -1}},
+		{"nan does not set the scale", []float64{math.NaN(), 2, 4}, []float64{math.NaN(), 0.5, 1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Normalize(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if math.IsNaN(tc.want[i]) {
+					if !math.IsNaN(got[i]) {
+						t.Fatalf("out[%d] = %g, want NaN", i, got[i])
+					}
+					continue
+				}
+				if got[i] != tc.want[i] {
+					t.Fatalf("out[%d] = %g, want %g (full: %v)", i, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/cache"
+	"repro/internal/invariant"
 	"repro/internal/telemetry"
 )
 
@@ -89,6 +90,14 @@ type Config struct {
 	// after simulation, for aggregation across runs and export.
 	//lint:fpexempt observer only: metrics export never alters simulated results
 	Metrics *telemetry.Registry
+
+	// Invariants, when non-nil, attaches the runtime conformance
+	// engine: per-cycle capacity laws and end-of-run conservation laws
+	// record violations (with cycle/unit context) into the Recorder
+	// and its conformance_violations_total counter. Nil disables the
+	// engine at the cost of one predictable branch per cycle.
+	//lint:fpexempt observer only: invariant checking never alters simulated results
+	Invariants *invariant.Recorder
 
 	// SampleInterval, when positive, records per-unit activity and
 	// instruction counts every SampleInterval cycles, producing the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/invariant"
 	"repro/internal/isa"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -150,6 +151,10 @@ type sim struct {
 	tel        *telemetry.Tracer
 	traceCycle bool
 
+	// inv mirrors cfg.Invariants; nil disables every invariant check
+	// site behind a single branch.
+	inv *invariant.Recorder
+
 	// Interval-sampling state: the cumulative counters at the last
 	// sample boundary.
 	lastSampleActive [NumUnits]uint64
@@ -188,6 +193,7 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 		cacheT:      uint64(cfg.Plan.Cache),
 		execLat:     uint64(max(1, cfg.Plan.Exec)),
 		tel:         cfg.Tracer,
+		inv:         cfg.Invariants,
 	}
 	s.res.Config = cfg
 	s.res.IssueHist = make([]uint64, cfg.Width+1)
@@ -209,6 +215,9 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 		s.step()
 	}
 	s.res.Cycles = s.cycle
+	if s.inv != nil {
+		s.checkRunInvariants()
+	}
 	s.res.Manifest = cfg.manifest()
 	s.res.Manifest.Finish(start)
 	if cfg.Metrics != nil {
@@ -237,6 +246,9 @@ func (s *sim) step() {
 	s.stepDecodeExit()
 	s.stepFetch()
 	s.recordActivity()
+	if s.inv != nil {
+		s.checkCycleInvariants()
+	}
 
 	if occ := int(s.next - s.retired); occ > s.res.MaxWindowOccupied {
 		s.res.MaxWindowOccupied = occ

@@ -1,0 +1,91 @@
+package power
+
+import (
+	"math"
+
+	"repro/internal/invariant"
+	"repro/internal/pipeline"
+)
+
+// Power sanity rules checked by the invariant engine. Stable names:
+// they key the conformance_violations_total telemetry series and the
+// conformance report.
+const (
+	RuleNonNegative = "power/nonnegative"
+	RuleAdditivity  = "power/additivity"
+	RuleFinite      = "power/finite"
+	RuleGatedBound  = "power/gated_bound"
+)
+
+// additivityTol bounds the relative residue allowed between a total
+// and the sum of its per-unit parts: the parts are accumulated in unit
+// order, so only float rounding separates them.
+const additivityTol = 1e-12
+
+// CheckBreakdown verifies the sanity laws of one evaluated Breakdown,
+// recording breaches into rec: every per-unit watt figure is
+// non-negative and finite, each unit's total is its dynamic + leakage
+// split, and the machine totals equal the per-unit sums. Returns true
+// when all laws held. Evaluate applies it automatically when the run
+// carries a Recorder in Config.Invariants.
+func CheckBreakdown(rec *invariant.Recorder, b Breakdown) bool {
+	if rec == nil {
+		return true
+	}
+	before := rec.Count()
+	mode := b.Mode()
+
+	var sumDyn, sumLeak float64
+	for u := 0; u < pipeline.NumUnits; u++ {
+		un := pipeline.Unit(u).String()
+		for _, part := range [3]struct {
+			what string
+			v    float64
+		}{
+			{"dynamic", b.PerUnitDynamic[u]},
+			{"leakage", b.PerUnitLeakage[u]},
+			{"total", b.PerUnit[u]},
+		} {
+			if math.IsNaN(part.v) || math.IsInf(part.v, 0) {
+				rec.Record(invariant.Violation{Rule: RuleFinite, Unit: un,
+					Detail: mode + " " + part.what + " watts not finite"})
+			} else if part.v < 0 {
+				rec.Violatef(RuleNonNegative, "%s %s %s watts = %g, want ≥ 0", mode, un, part.what, part.v)
+			}
+		}
+		invariant.EqualWithin(rec, RuleAdditivity, mode+" "+un+" dynamic+leakage vs unit total",
+			b.PerUnitDynamic[u]+b.PerUnitLeakage[u], b.PerUnit[u], additivityTol)
+		sumDyn += b.PerUnitDynamic[u]
+		sumLeak += b.PerUnitLeakage[u]
+	}
+	invariant.EqualWithin(rec, RuleAdditivity, mode+" Σ unit dynamic vs Dynamic", sumDyn, b.Dynamic, additivityTol)
+	invariant.EqualWithin(rec, RuleAdditivity, mode+" Σ unit leakage vs Leakage", sumLeak, b.Leakage, additivityTol)
+	invariant.NonNegative(rec, RuleNonNegative, mode+" latch count", b.Latches)
+
+	return rec.Count() == before
+}
+
+// CheckGatedNotAbove verifies the clock-gating law between the two
+// evaluations of one run: gated dynamic power never exceeds ungated
+// (gating can only remove switching), totals follow, and leakage —
+// which gating cannot touch — is identical. Returns true when the law
+// held.
+func CheckGatedNotAbove(rec *invariant.Recorder, gated, plain Breakdown) bool {
+	if rec == nil {
+		return true
+	}
+	before := rec.Count()
+	invariant.AtMost(rec, RuleGatedBound, "gated dynamic vs plain dynamic",
+		gated.Dynamic, plain.Dynamic, additivityTol)
+	invariant.AtMost(rec, RuleGatedBound, "gated total vs plain total",
+		gated.Total(), plain.Total(), additivityTol)
+	invariant.EqualWithin(rec, RuleGatedBound, "gated leakage vs plain leakage",
+		gated.Leakage, plain.Leakage, 0)
+	for u := 0; u < pipeline.NumUnits; u++ {
+		if gated.PerUnitDynamic[u] > plain.PerUnitDynamic[u] {
+			rec.Record(invariant.Violation{Rule: RuleGatedBound, Unit: pipeline.Unit(u).String(),
+				Detail: "gated unit dynamic exceeds plain"})
+		}
+	}
+	return rec.Count() == before
+}

@@ -1,0 +1,121 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestEvaluateCleanUnderInvariants runs Evaluate with the invariant
+// engine attached via Config.Invariants and asserts the power sanity
+// laws all hold on a genuine run, in both gating modes and at several
+// depths.
+func TestEvaluateCleanUnderInvariants(t *testing.T) {
+	m := DefaultModel()
+	for _, depth := range []int{2, 12, 25} {
+		rec := invariant.New(nil)
+		mc := pipeline.MustDefaultConfig(depth)
+		mc.Invariants = rec
+		g := workload.MustGenerator(workload.Representative(workload.Modern))
+		r, err := pipeline.Run(mc, trace.NewLimitStream(g, 5000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gated := m.Evaluate(r, true)
+		plain := m.Evaluate(r, false)
+		CheckGatedNotAbove(rec, gated, plain)
+		if !rec.OK() {
+			t.Errorf("depth %d: %d violations, e.g. %v", depth, rec.Count(), rec.Violations()[0])
+		}
+	}
+}
+
+// TestCheckBreakdownTrips corrupts breakdowns one law at a time and
+// asserts the corresponding rule fires.
+func TestCheckBreakdownTrips(t *testing.T) {
+	m := DefaultModel()
+	r := simResult(t, 12)
+	base := m.Evaluate(r, true)
+
+	cases := []struct {
+		name   string
+		rule   string
+		mutate func(b *Breakdown)
+	}{
+		{"negative unit watts", RuleNonNegative, func(b *Breakdown) {
+			b.PerUnitDynamic[pipeline.UnitExec] = -1
+			b.PerUnit[pipeline.UnitExec] = b.PerUnitDynamic[pipeline.UnitExec] + b.PerUnitLeakage[pipeline.UnitExec]
+			b.Dynamic = sumOf(b.PerUnitDynamic)
+		}},
+		{"non-finite watts", RuleFinite, func(b *Breakdown) {
+			b.PerUnitLeakage[pipeline.UnitCache] = math.NaN()
+		}},
+		{"unit split broken", RuleAdditivity, func(b *Breakdown) {
+			b.PerUnit[pipeline.UnitDecode] *= 1.5
+		}},
+		{"total not sum of units", RuleAdditivity, func(b *Breakdown) {
+			b.Dynamic *= 1.01
+		}},
+		{"negative latches", RuleNonNegative, func(b *Breakdown) {
+			b.Latches = -5
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := base
+			tc.mutate(&b)
+			rec := invariant.New(nil)
+			if CheckBreakdown(rec, b) {
+				t.Fatal("mutation not detected")
+			}
+			found := false
+			for _, rc := range rec.Summary() {
+				if rc.Rule == tc.rule {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("expected rule %s, got %+v", tc.rule, rec.Summary())
+			}
+		})
+	}
+}
+
+// TestCheckGatedNotAboveTrips asserts the gating-bound rule fires when
+// gated power exceeds ungated and when gating perturbs leakage.
+func TestCheckGatedNotAboveTrips(t *testing.T) {
+	m := DefaultModel()
+	r := simResult(t, 12)
+	gated := m.Evaluate(r, true)
+	plain := m.Evaluate(r, false)
+
+	if rec := invariant.New(nil); !CheckGatedNotAbove(rec, gated, plain) {
+		t.Fatalf("clean pair flagged: %v", rec.Violations())
+	}
+	// Swapping the pair makes "gated" the fully-switching machine.
+	if CheckGatedNotAbove(invariant.New(nil), plain, gated) {
+		t.Fatal("inverted gating bound not detected")
+	}
+	leaky := gated
+	leaky.Leakage *= 2
+	if CheckGatedNotAbove(invariant.New(nil), leaky, plain) {
+		t.Fatal("leakage drift not detected")
+	}
+	hot := gated
+	hot.PerUnitDynamic[pipeline.UnitFetch] = plain.PerUnitDynamic[pipeline.UnitFetch] * 2
+	if CheckGatedNotAbove(invariant.New(nil), hot, plain) {
+		t.Fatal("per-unit gating bound not detected")
+	}
+}
+
+func sumOf(v [pipeline.NumUnits]float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -308,7 +308,7 @@ func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
 	plan := r.Config.Plan
 	fs := 1 / r.Config.CycleTime()
 	cycles := float64(r.Cycles)
-	return m.breakdown(plan, gated, func(u pipeline.Unit) float64 {
+	b := m.breakdown(plan, gated, func(u pipeline.Unit) float64 {
 		latches := m.UnitLatches(plan, u)
 		act := 1.0
 		if gated && cycles > 0 {
@@ -320,6 +320,10 @@ func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
 		}
 		return m.Pd * latches * fs * act
 	})
+	if rec := r.Config.Invariants; rec != nil {
+		CheckBreakdown(rec, b)
+	}
+	return b
 }
 
 // SamplePower evaluates the power drawn during one activity-trace

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzProfileValidate drives arbitrary bytes through the JSON profile
+// decoder. The properties: the decoder never panics, any profile it
+// accepts passes Validate (the decoder must not hand out inconsistent
+// profiles), and an accepted profile survives a Write/Read round trip
+// unchanged — the exported schema loses nothing the generator needs.
+func FuzzProfileValidate(f *testing.F) {
+	for _, name := range []string{"si95-gcc", "oltp-bank", "web-appserver", "sf-applu"} {
+		prof, ok := ByName(name)
+		if !ok {
+			f.Fatalf("catalog workload %q missing", name)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, prof); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"name":"x","class":"Legacy","mix":{"rr":1}}`))
+	f.Add([]byte(`{"name":"","class":"SPECfp","mix":{"fp":0.5,"rr":0.5}}`))
+	f.Add([]byte(`{"name":"neg","class":"Modern","mix":{"rr":-1,"rx":2}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProfile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ReadProfile accepted a profile Validate rejects: %v", verr)
+		}
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, p); err != nil {
+			t.Fatalf("WriteProfile on accepted profile: %v", err)
+		}
+		p2, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nencoded: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip drift:\n got %+v\nwant %+v", p2, p)
+		}
+	})
+}
+
+// FuzzGeneratorWellFormed fuzzes the generator's behavioural knobs
+// directly. Any parameter combination Validate accepts must yield a
+// generator whose stream is structurally valid instruction by
+// instruction and exactly reproducible after Reset — the determinism
+// the whole sweep/cache/conformance stack is built on.
+func FuzzGeneratorWellFormed(f *testing.F) {
+	for _, name := range []string{"si95-gcc", "oltp-bank", "sf-applu"} {
+		p, ok := ByName(name)
+		if !ok {
+			f.Fatalf("catalog workload %q missing", name)
+		}
+		f.Add(p.Seed,
+			p.Mix[isa.RR], p.Mix[isa.RX], p.Mix[isa.Load], p.Mix[isa.Store], p.Mix[isa.Branch], p.Mix[isa.FP],
+			p.BranchSites, p.LoopFrac, p.BiasedFrac, p.AvgLoopLen, p.BiasP,
+			p.WorkingSetLines, p.HotFrac, p.HotLines, p.SeqFrac, p.RandFrac,
+			p.DepP, p.DepGeoP, p.LoadHoistP)
+	}
+
+	f.Fuzz(func(t *testing.T, seed uint64,
+		wRR, wRX, wLoad, wStore, wBranch, wFP float64,
+		branchSites int, loopFrac, biasedFrac float64, avgLoopLen int, biasP float64,
+		wsLines int, hotFrac float64, hotLines int, seqFrac, randFrac float64,
+		depP, depGeoP, loadHoistP float64) {
+
+		weights := []float64{wRR, wRX, wLoad, wStore, wBranch, wFP}
+		sum := 0.0
+		for i, w := range weights {
+			w = math.Abs(w)
+			if !(w < math.MaxFloat64) { // NaN or Inf
+				return
+			}
+			weights[i] = w
+			sum += w
+		}
+		if !(sum > 0) {
+			return
+		}
+		p := Profile{
+			Name: "fuzz", Class: Modern, Seed: seed,
+			Mix: [isa.NumClasses]float64{
+				isa.RR: weights[0] / sum, isa.RX: weights[1] / sum,
+				isa.Load: weights[2] / sum, isa.Store: weights[3] / sum,
+				isa.Branch: weights[4] / sum, isa.FP: weights[5] / sum,
+			},
+			BranchSites: branchSites, LoopFrac: loopFrac, BiasedFrac: biasedFrac,
+			AvgLoopLen: avgLoopLen, BiasP: biasP,
+			WorkingSetLines: wsLines, HotFrac: hotFrac, HotLines: hotLines,
+			SeqFrac: seqFrac, RandFrac: randFrac, StrideBytes: 64,
+			DepP: depP, DepGeoP: depGeoP, LoadHoistP: loadHoistP,
+			FPLatMin: 4, FPLatMax: 20,
+		}
+		gen, err := NewGenerator(p)
+		if err != nil {
+			// Validate rejected the combination; nothing to generate.
+			return
+		}
+
+		const n = 256
+		first := make([]isa.Instruction, n)
+		for i := 0; i < n; i++ {
+			in, ok := gen.Next()
+			if !ok {
+				t.Fatalf("generator ended after %d instructions", i)
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("instruction %d malformed: %v (%+v)", i, err, in)
+			}
+			if p.Mix[in.Class] == 0 {
+				t.Fatalf("instruction %d has class %s with zero mix weight", i, in.Class)
+			}
+			first[i] = in
+		}
+
+		gen.Reset()
+		for i := 0; i < n; i++ {
+			in, ok := gen.Next()
+			if !ok || in != first[i] {
+				t.Fatalf("replay diverged at instruction %d:\n got %+v\nwant %+v", i, in, first[i])
+			}
+		}
+	})
+}
