@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func writeTrajectory(t *testing.T, name string, recs ...bench.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	for _, rec := range recs {
+		if err := bench.Append(path, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func record(pointsPerSec float64, pointP95 float64) bench.Record {
+	rec := bench.NewRecord("test", time.Now())
+	rec.Points = 10
+	rec.PointsPerSec = pointsPerSec
+	rec.Phases = map[string]bench.Phase{
+		"point": {Count: 10, MeanUS: pointP95 / 2, P50US: pointP95 / 2, P95US: pointP95, P99US: pointP95, MaxUS: pointP95},
+	}
+	return rec
+}
+
+func runDiff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+func TestIdenticalRecordsPass(t *testing.T) {
+	path := writeTrajectory(t, "b.json", record(100, 5000), record(100, 5000))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("no PASS in:\n%s", out)
+	}
+}
+
+func TestThroughputRegressionFails(t *testing.T) {
+	// 40% throughput drop, well beyond the 20% default band.
+	path := writeTrajectory(t, "b.json", record(100, 5000), record(60, 5000))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "points_per_sec") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", out)
+	}
+}
+
+func TestPhaseQuantileRegressionFails(t *testing.T) {
+	path := writeTrajectory(t, "b.json", record(100, 5000), record(100, 9000))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "phase.point.p95_us") {
+		t.Fatalf("phase regression not reported:\n%s", out)
+	}
+}
+
+func TestNoiseBandTolerates(t *testing.T) {
+	// A 15% drop sits inside the default ±20% band.
+	path := writeTrajectory(t, "b.json", record(100, 5000), record(85, 5600))
+	if code, out := runDiff(t, "-baseline", path); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	// Tightening the band makes the same drop fail.
+	if code, _ := runDiff(t, "-baseline", path, "-noise", "0.05"); code != 1 {
+		t.Fatal("5% band did not flag a 15% drop")
+	}
+}
+
+func TestTinyPhasesIgnored(t *testing.T) {
+	// 2µs → 80µs is a huge relative change but below the 100µs floor.
+	path := writeTrajectory(t, "b.json", record(100, 2), record(100, 80))
+	if code, out := runDiff(t, "-baseline", path); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestSingleRecordAndMissingBaselinePass(t *testing.T) {
+	single := writeTrajectory(t, "b.json", record(100, 5000))
+	code, out := runDiff(t, "-baseline", single)
+	if code != 0 || !strings.Contains(out, "nothing to compare") {
+		t.Fatalf("single record: exit %d, output:\n%s", code, out)
+	}
+
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	code, out = runDiff(t, "-baseline", missing)
+	if code != 0 || !strings.Contains(out, "nothing to compare") {
+		t.Fatalf("missing baseline: exit %d, output:\n%s", code, out)
+	}
+
+	// Two-file mode with an empty baseline also passes with a message.
+	cand := writeTrajectory(t, "c.json", record(100, 5000))
+	code, out = runDiff(t, "-baseline", missing, "-candidate", cand)
+	if code != 0 || !strings.Contains(out, "nothing to compare") {
+		t.Fatalf("missing baseline vs candidate: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestTwoFileMode(t *testing.T) {
+	base := writeTrajectory(t, "base.json", record(100, 5000))
+	cand := writeTrajectory(t, "cand.json", record(50, 5000))
+	code, out := runDiff(t, "-baseline", base, "-candidate", cand)
+	if code != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	// Improvement direction passes.
+	if code, _ := runDiff(t, "-baseline", cand, "-candidate", base); code != 0 {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _ := runDiff(t); code != 2 {
+		t.Fatal("missing -baseline did not exit 2")
+	}
+	if code, _ := runDiff(t, "-bogus"); code != 2 {
+		t.Fatal("unknown flag did not exit 2")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := runDiff(t, "-baseline", bad); code != 2 {
+		t.Fatal("malformed trajectory did not exit 2")
+	}
+}
+
+func TestInvariantOverheadAbsoluteBand(t *testing.T) {
+	mk := func(off, on, frac float64) bench.Record {
+		rec := bench.NewRecord("conformance", time.Now())
+		rec.PointsPerSecOff = off
+		rec.PointsPerSecOn = on
+		rec.InvariantOverhead = frac
+		return rec
+	}
+	// Overhead growing 0.01 → 0.05 is within a 0.20 absolute band.
+	path := writeTrajectory(t, "b.json", mk(100, 99, 0.01), mk(100, 95, 0.05))
+	if code, out := runDiff(t, "-baseline", path); code != 0 {
+		t.Fatalf("small overhead growth flagged:\n%s", out)
+	}
+	// 0.01 → 0.40 is not.
+	path = writeTrajectory(t, "b2.json", mk(100, 99, 0.01), mk(100, 71, 0.40))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 1 || !strings.Contains(out, "invariant_overhead_frac") {
+		t.Fatalf("overhead regression missed: exit %d\n%s", code, out)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/invariant"
 	"repro/internal/logx"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -61,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outPath   = fs.String("out", "", "write the JSON report to this file")
 		jsonOut   = fs.Bool("json", false, "print the JSON report on stdout instead of the summary table")
 		benchOut  = fs.String("bench-out", "", "append a conformance bench record (throughput, invariant-engine overhead) to this JSONL file")
+		profDir   = fs.String("profile-dir", "", "capture CPU/heap/allocs pprof profiles and a hot-function summary into this directory")
 	)
 	logOpts := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -109,8 +111,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts = opts.WithDefaults()
+	var capture *profile.Capture
+	if *profDir != "" {
+		if capture, err = profile.Start(*profDir); err != nil {
+			log.Error("start profiling", "err", err)
+			return 1
+		}
+	}
 	start := time.Now()
 	rep, err := difftest.Run(opts)
+	if sum, perr := capture.Stop(); perr != nil {
+		log.Error("stop profiling", "err", perr)
+		return 1
+	} else if capture != nil {
+		log.Info("wrote profiles", "dir", capture.Dir(), "hot_funcs", len(sum.Top))
+	}
 	if err != nil {
 		log.Error("conformance harness failed", "err", err)
 		return 1

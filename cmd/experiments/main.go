@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/logx"
+	"repro/internal/profile"
 	"repro/internal/resultcache"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/promexp"
@@ -159,6 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		metricsOut = fs.String("metrics-out", "", "write a JSONL metrics dump (manifest + per-experiment timing and row counts) to this file")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, /progress and /dash on this address (e.g. localhost:6060)")
+		profDir    = fs.String("profile-dir", "", "capture CPU/heap/allocs pprof profiles and a hot-function summary into this directory")
 	)
 	logOpts := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -181,6 +183,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *metricsOut != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
 		reg.PublishExpvar("repro_metrics")
+	}
+	if *profDir != "" {
+		capture, err := profile.Start(*profDir)
+		if err != nil {
+			log.Error("start profiling", "err", err)
+			return 1
+		}
+		// Deferred so every exit path (summary, markdown, per-figure)
+		// still lands the capture; a stop failure is logged, not fatal —
+		// the experiment results are already out.
+		defer func() {
+			sum, err := capture.Stop()
+			if err != nil {
+				log.Error("stop profiling", "err", err)
+				return
+			}
+			log.Info("wrote profiles", "dir", capture.Dir(), "hot_funcs", len(sum.Top))
+		}()
 	}
 	runStart := time.Now()
 

@@ -25,6 +25,10 @@
 //	                                         # sweep so scrapers can collect
 //	sweep -bench-out BENCH_sweep.json        # append a throughput record
 //	sweep -log-level debug -log-format json  # structured diagnostics
+//	sweep -profile-dir prof/                 # CPU/heap/allocs pprof capture,
+//	                                         # hierarchical span trace
+//	                                         # (spans.jsonl + Chrome view) and
+//	                                         # a top-N hot-function summary
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -42,9 +47,11 @@ import (
 	"repro/internal/logx"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/profile"
 	"repro/internal/resultcache"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/promexp"
+	"repro/internal/telemetry/span"
 	"repro/internal/workload"
 )
 
@@ -122,6 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof, /debug/vars, /metrics, /progress and /dash on this address (e.g. localhost:6060)")
 		linger     = fs.Duration("linger", 0, "keep the -pprof server alive this long after the sweep finishes (for scrapers)")
 		benchOut   = fs.String("bench-out", "", "append a throughput record (wall time, points/sec, cache hit rate) to this JSONL file")
+		profileDir = fs.String("profile-dir", "", "capture CPU/heap/allocs pprof profiles, a span trace (spans.jsonl + spans_trace.json) and a hot-function summary into this directory")
 	)
 	logOpts := logx.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -139,9 +147,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var reg *telemetry.Registry
-	if *metricsOut != "" || *pprofAddr != "" || *benchOut != "" {
+	if *metricsOut != "" || *pprofAddr != "" || *benchOut != "" || *profileDir != "" {
 		reg = telemetry.NewRegistry()
 		reg.PublishExpvar("repro_metrics")
+	}
+
+	// -profile-dir turns on both cost-attribution layers at once: the
+	// pprof capture (where did the CPU go, by function) and the span
+	// tracer (where did the wall time go, by study phase).
+	var spans *span.Tracer
+	var capture *profile.Capture
+	if *profileDir != "" {
+		spans = span.NewTracer(reg, 0)
+		capture, err = profile.Start(*profileDir)
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	var (
@@ -185,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm, Cache: cache, Metrics: reg}
+	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm, Cache: cache, Metrics: reg, Spans: spans}
 	var liveHits atomic.Int64
 	if broker != nil {
 		_ = broker.Publish(telemetry.DashEvent{
@@ -268,6 +289,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		log.Warn(what, append(attrs, "err", err)...)
 	}
 
+	// The fit phase runs outside RunSweep, so it carries its own span.
+	fitSpan := spans.Start("fit", span.String("workload", prof.Name))
+
 	fmt.Fprintln(stdout)
 	for _, k := range metrics.Kinds {
 		for _, gated := range []bool{true, false} {
@@ -300,6 +324,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		noteFitError("theory fit failed", err)
 	}
+	fitSpan.End()
 
 	// One manifest describes the whole sweep; the per-depth config hash
 	// is taken from the traced (or nearest-to-reference) point.
@@ -316,6 +341,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		man.ConfigHash = s.Points[0].Result.Config.Fingerprint()
 	}
 	man.Finish(start)
+
+	if *profileDir != "" {
+		// Stop the capture before exporting: the exports themselves are
+		// bookkeeping, not sweep cost, and Stop writes the heap/allocs
+		// snapshots plus summary.json into the directory.
+		sum, err := capture.Stop()
+		if err != nil {
+			return fail(err)
+		}
+		for i, hf := range sum.Top {
+			if i >= 5 {
+				break
+			}
+			man.SetParam(fmt.Sprintf("hot_func_%d", i),
+				fmt.Sprintf("%s %.1f%%", hf.Name, 100*hf.Frac))
+		}
+		if err := writeTo(filepath.Join(*profileDir, "spans.jsonl"), func(f *os.File) error {
+			return spans.WriteJSONL(f, &man)
+		}); err != nil {
+			return fail(err)
+		}
+		if err := writeTo(filepath.Join(*profileDir, "spans_trace.json"), func(f *os.File) error {
+			return spans.WriteChromeTrace(f, &man)
+		}); err != nil {
+			return fail(err)
+		}
+		hot := "none (sweep too short for CPU samples)"
+		if len(sum.Top) > 0 {
+			hot = fmt.Sprintf("%s %.1f%%", sum.Top[0].Name, 100*sum.Top[0].Frac)
+		}
+		log.Info("wrote profiles", "dir", *profileDir,
+			"spans", spans.Len(), "spans_dropped", spans.Dropped(), "hottest", hot)
+	}
 
 	if reg != nil {
 		// Per-run pipeline counters and per-unit attribution were
@@ -379,6 +437,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rec.Phases = map[string]bench.Phase{
 				"point":        bench.PhaseFrom(reg.Histogram("sweep.point_us")),
 				"point_cached": bench.PhaseFrom(reg.Histogram("sweep.point_cached_us")),
+			}
+			if spans != nil {
+				// Span-phase quantiles make the trajectory answer not
+				// just "slower?" but "which phase got slower?".
+				for _, ph := range []string{"decode", "warmup", "simulate", "power", "fit"} {
+					if p := bench.PhaseFrom(reg.Histogram("span." + ph + "_us")); p.Count > 0 {
+						rec.Phases[ph] = p
+					}
+				}
 			}
 		}
 		rec.Finish(start)

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 // fastArgs keeps CLI tests quick: few depths, short seeded runs.
@@ -77,6 +82,97 @@ func TestRunWarmCacheByteIdentical(t *testing.T) {
 	}
 	if !strings.Contains(err2, "hits=5 misses=0") || !strings.Contains(err2, "hit_rate=100%") {
 		t.Fatalf("warm run cache summary unexpected:\n%s", err2)
+	}
+}
+
+// TestRunProfileDir is the cost-attribution acceptance check: one
+// -profile-dir run must leave pprof captures, a hot-function summary,
+// and a span trace whose per-point phase durations are consistent —
+// each point's phases sum to no more than the point span itself
+// (within clock tolerance), and the points nest under one workload
+// span covering them all.
+func TestRunProfileDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prof")
+	benchPath := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	code, _, stderr := runCLI(t, fastArgs("-profile-dir", dir, "-bench-out", benchPath))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "allocs.pprof", "summary.json", "spans.jsonl", "spans_trace.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact: %v", err)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type line struct {
+		Type    string  `json:"type"`
+		ID      uint64  `json:"id"`
+		Parent  uint64  `json:"parent"`
+		Name    string  `json:"name"`
+		StartUS float64 `json:"start_us"`
+		DurUS   float64 `json:"dur_us"`
+	}
+	var spans []line
+	for i, raw := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if i == 0 {
+			if l.Type != "manifest" {
+				t.Fatalf("first line type %q, want manifest", l.Type)
+			}
+			continue
+		}
+		spans = append(spans, l)
+	}
+	const tolUS = 2000 // monotonic-clock and bookkeeping tolerance
+	byID := map[uint64]line{}
+	kidSums := map[uint64]float64{}
+	var points, fits int
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		kidSums[s.Parent] += s.DurUS
+		switch s.Name {
+		case "point":
+			points++
+		case "fit":
+			fits++
+		}
+	}
+	if points != 5 || fits != 1 { // depths 4..8 from fastArgs
+		t.Fatalf("span census: %d points, %d fits (want 5, 1)", points, fits)
+	}
+	for id, sum := range kidSums {
+		parent, ok := byID[id]
+		if !ok {
+			continue // children of the root have parent 0
+		}
+		if sum > parent.DurUS+tolUS {
+			t.Errorf("span %s#%d: children sum to %.0fµs, span only %.0fµs",
+				parent.Name, id, sum, parent.DurUS)
+		}
+	}
+
+	// The bench record carries the span-phase quantiles.
+	recs, err := bench.Load(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("bench records = %d, want 1", len(recs))
+	}
+	for _, ph := range []string{"simulate", "power", "fit"} {
+		p, ok := recs[0].Phases[ph]
+		if !ok || p.Count == 0 {
+			t.Errorf("bench record missing span phase %q: %+v", ph, recs[0].Phases)
+		}
 	}
 }
 

@@ -5,12 +5,18 @@
 // It validates, at every call site:
 //
 //   - Registry.Counter/Gauge/Histogram(name): the registry-name rule
-//     (dotted names or LabelName-rendered series);
+//     (dotted names or LabelName-rendered series), plus the cycle-budget
+//     vocabulary for "pipeline.budget."-prefixed names;
 //   - telemetry.LabelName(family, kv...): the family against the strict
 //     exposition alphabet, constant label keys against the label rule
 //     (including reserved names like le), and that kv pairs up — a
 //     trailing odd key is silently dropped at runtime, which is always
-//     a bug at the call site.
+//     a bug at the call site; a constant "bucket" label value must be a
+//     canonical cycle-budget bucket name;
+//   - span.Tracer.Start / span.Span.Child(name): the span name against
+//     the canonical cost-attribution vocabulary (promexp.SpanNames) —
+//     the span histograms, trace viewers and benchdiff phase comparison
+//     all key on these names, so an ad-hoc name forks the taxonomy.
 //
 // Constant-folded arguments are checked exactly; concatenations with a
 // constant head ("resultcache." + name) have the head checked as a
@@ -24,6 +30,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/telemetry/promexp"
@@ -33,9 +40,20 @@ import (
 // registration points are checked.
 const TelemetryPath = "repro/internal/telemetry"
 
+// SpanPath is the import path of the span tracer whose Start/Child
+// names are checked against the shared vocabulary.
+const SpanPath = "repro/internal/telemetry/span"
+
 // registryMethods are the Registry entry points whose first argument
 // is a registry name.
 var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// spanMethods are the span entry points whose first argument is a span
+// name.
+var spanMethods = map[string]bool{"Start": true, "Child": true}
+
+// budgetPrefix marks registry names carrying a cycle-budget bucket.
+const budgetPrefix = "pipeline.budget."
 
 var Analyzer = &analysis.Analyzer{
 	Name: "metriclabel",
@@ -56,16 +74,27 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != TelemetryPath {
+			if !ok || fn.Pkg() == nil {
 				return true
 			}
-			switch {
-			case registryMethods[fn.Name()] && isRegistryMethod(fn):
-				if len(call.Args) > 0 {
-					checkRegistryName(pass, call.Args[0])
+			switch fn.Pkg().Path() {
+			case TelemetryPath:
+				switch {
+				case registryMethods[fn.Name()] && isRegistryMethod(fn):
+					if len(call.Args) > 0 {
+						checkRegistryName(pass, call.Args[0])
+					}
+				case fn.Name() == "LabelName" && fn.Type().(*types.Signature).Recv() == nil:
+					checkLabelName(pass, call)
 				}
-			case fn.Name() == "LabelName" && fn.Type().(*types.Signature).Recv() == nil:
-				checkLabelName(pass, call)
+			case SpanPath:
+				if spanMethods[fn.Name()] && fn.Type().(*types.Signature).Recv() != nil && len(call.Args) > 0 {
+					if name, ok := constString(pass, call.Args[0]); ok {
+						if err := promexp.ValidSpanName(name); err != nil {
+							pass.Reportf(call.Args[0].Pos(), "span name: %v", err)
+						}
+					}
+				}
 			}
 			return true
 		})
@@ -93,6 +122,10 @@ func checkRegistryName(pass *analysis.Pass, arg ast.Expr) {
 	if name, ok := constString(pass, arg); ok {
 		if err := promexp.ValidRegistryName(name); err != nil {
 			pass.Reportf(arg.Pos(), "metric registration: %v", err)
+		} else if rest, ok := strings.CutPrefix(name, budgetPrefix); ok {
+			if err := promexp.ValidBudgetBucket(rest); err != nil {
+				pass.Reportf(arg.Pos(), "metric registration: %v", err)
+			}
 		}
 		return
 	}
@@ -126,9 +159,19 @@ func checkLabelName(pass *analysis.Pass, call *ast.CallExpr) {
 			"LabelName called with an odd number of label arguments: the trailing key is silently dropped at runtime")
 	}
 	for i := 0; i+1 < len(kv); i += 2 {
-		if key, ok := constString(pass, kv[i]); ok {
-			if err := promexp.ValidLabelName(key); err != nil {
-				pass.Reportf(kv[i].Pos(), "LabelName key: %v", err)
+		key, ok := constString(pass, kv[i])
+		if !ok {
+			continue
+		}
+		if err := promexp.ValidLabelName(key); err != nil {
+			pass.Reportf(kv[i].Pos(), "LabelName key: %v", err)
+		}
+		// The bucket label is the budget vocabulary's exposition form.
+		if key == "bucket" {
+			if val, ok := constString(pass, kv[i+1]); ok {
+				if err := promexp.ValidBudgetBucket(val); err != nil {
+					pass.Reportf(kv[i+1].Pos(), "LabelName value: %v", err)
+				}
 			}
 		}
 	}

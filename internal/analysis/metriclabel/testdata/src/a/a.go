@@ -4,6 +4,7 @@ package a
 
 import (
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 )
 
 func register(reg *telemetry.Registry, dynamic string) {
@@ -35,4 +36,31 @@ func register(reg *telemetry.Registry, dynamic string) {
 	kv := []string{"unit", "fetch"}
 	reg.Gauge(telemetry.LabelName("f", kv...)).Set(0)
 	reg.Gauge(telemetry.LabelName("f", dynamic, "x")).Set(0)
+
+	// Cycle-budget registrations must use the canonical bucket names.
+	reg.Counter("pipeline.budget.useful_issue").Inc()
+	reg.Counter("pipeline.budget." + dynamic).Inc()
+	reg.Counter("pipeline.budget.useful_cycles").Inc() // want `metric registration: budget bucket "useful_cycles" is not in the promexp.BudgetBuckets vocabulary`
+
+	// A constant bucket label value is checked against the same table.
+	reg.Gauge(telemetry.LabelName("pipeline_cycle_budget_fraction", "bucket", "drain")).Set(0)
+	reg.Gauge(telemetry.LabelName("pipeline_cycle_budget_fraction", "bucket", dynamic)).Set(0)
+	reg.Gauge(telemetry.LabelName("pipeline_cycle_budget_fraction", "bucket", "stalls")).Set(0) // want `LabelName value: budget bucket "stalls" is not in the promexp.BudgetBuckets vocabulary`
+}
+
+func trace(tr *span.Tracer, dynamic string) {
+	// Span names come from the shared vocabulary.
+	root := tr.Start("study", span.Int("workloads", 2))
+	wl := root.Child("workload", span.String("workload", "w"))
+	wl.Child("simulate").End()
+
+	// Dynamic names cannot be checked statically.
+	tr.Start(dynamic).End()
+
+	// Violations: off-vocabulary and off-alphabet names.
+	root.Child("fitting").End()  // want `span name: span name "fitting" is not in the promexp.SpanNames vocabulary`
+	tr.Start("Power Eval").End() // want `span name: span name "Power Eval" does not match`
+	wl.Child("sim-phase").End()  // want `span name: span name "sim-phase" does not match`
+	wl.End()
+	root.End()
 }

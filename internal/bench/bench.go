@@ -7,7 +7,9 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -22,6 +24,7 @@ type Phase struct {
 	MeanUS float64 `json:"mean_us"`
 	P50US  float64 `json:"p50_us"`
 	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us,omitempty"`
 	MaxUS  float64 `json:"max_us"`
 }
 
@@ -37,6 +40,7 @@ func PhaseFrom(h *telemetry.Histogram) Phase {
 		MeanUS: h.Mean(),
 		P50US:  h.Quantile(0.50),
 		P95US:  h.Quantile(0.95),
+		P99US:  h.Quantile(0.99),
 		MaxUS:  h.Quantile(1),
 	}
 }
@@ -99,6 +103,34 @@ func (r *Record) Finish(start time.Time) {
 	if r.WallSec > 0 {
 		r.PointsPerSec = float64(r.Points) / r.WallSec
 	}
+}
+
+// Load reads a trajectory file back into records, in append order.
+// A missing file loads as an empty trajectory, not an error — a fresh
+// checkout has no history yet. Blank lines are skipped; a malformed
+// line is an error (the trajectory is append-only, so corruption means
+// something is wrong, not merely old).
+func Load(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var recs []Record
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("bench: %s line %d: %w", path, i+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
 }
 
 // Append writes the record as one JSON line at the end of path,

@@ -29,6 +29,54 @@ func TestPhaseFrom(t *testing.T) {
 	}
 }
 
+func TestPhaseFromEdgeCases(t *testing.T) {
+	// Single observation: every quantile is that observation.
+	var single telemetry.Histogram
+	single.Observe(250)
+	p := PhaseFrom(&single)
+	if p.Count != 1 || p.P50US != 250 || p.P95US != 250 || p.P99US != 250 || p.MaxUS != 250 {
+		t.Errorf("single-observation phase = %+v, want all quantiles 250", p)
+	}
+	// All-equal observations: quantiles collapse, count is preserved.
+	var equal telemetry.Histogram
+	equal.ObserveN(70, 500)
+	p = PhaseFrom(&equal)
+	if p.Count != 500 || p.P50US != 70 || p.P99US != 70 || p.MaxUS != 70 || p.MeanUS != 70 {
+		t.Errorf("all-equal phase = %+v, want 500×70", p)
+	}
+}
+
+func TestLoadRoundTripsAndTolerateMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	// Missing file: empty trajectory, no error.
+	recs, err := Load(path)
+	if err != nil || recs != nil {
+		t.Fatalf("Load(missing) = %v, %v", recs, err)
+	}
+	start := time.Now().Add(-time.Second)
+	rec := NewRecord("sweep", start)
+	rec.Points = 5
+	rec.Phases = map[string]Phase{"point": {Count: 5, P50US: 100, P95US: 200, P99US: 250, MaxUS: 300}}
+	rec.Finish(start)
+	if err := Append(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = Load(path)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Load = %d records, %v", len(recs), err)
+	}
+	if got := recs[0].Phases["point"]; got != rec.Phases["point"] {
+		t.Errorf("phase round trip: %+v != %+v", got, rec.Phases["point"])
+	}
+	// Corruption is an error, not a skip.
+	if err := os.WriteFile(path, []byte("{bad\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load(corrupt) did not error")
+	}
+}
+
 func TestAppendAccumulatesRecords(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
 	start := time.Now().Add(-2 * time.Second)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/resultcache"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/span"
 	"repro/internal/theory"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -80,6 +81,14 @@ type StudyConfig struct {
 	// order (not depth order). The hook must be safe for concurrent
 	// use and should return quickly — the sweep blocks on it.
 	Progress func(Progress)
+	// Spans, when non-nil, records the hierarchical cost-attribution
+	// trace of the run: a study → workload → point tree with a child
+	// span per phase (cache, decode, warmup, simulate, power), each
+	// feeding a "span.<name>_us" histogram when the tracer carries a
+	// registry. Like Metrics and Progress, Spans is an observer — it
+	// never changes simulated results. A nil tracer costs only nil
+	// checks.
+	Spans *span.Tracer
 	// Invariants, when non-nil, attaches the runtime conformance
 	// engine to every simulated design point: pipeline conservation
 	// and capacity laws check during simulation, power sanity laws
@@ -93,6 +102,19 @@ type StudyConfig struct {
 	// prog is the shared completion counter, preset by RunCatalog so
 	// per-workload sweeps report catalog-wide progress.
 	prog *progressState
+	// parentSpan is the enclosing span for nested phases: the study
+	// span inside RunCatalog, the workload span inside RunSweep.
+	parentSpan *span.Span
+}
+
+// startSpan opens a span under the configured parent (or a root span
+// when there is none). Returns nil — a universal no-op — when span
+// tracing is off.
+func (c *StudyConfig) startSpan(name string, attrs ...span.Attr) *span.Span {
+	if c.parentSpan != nil {
+		return c.parentSpan.Child(name, attrs...)
+	}
+	return c.Spans.Start(name, attrs...)
 }
 
 // Progress reports one completed design point to StudyConfig.Progress.
@@ -219,6 +241,10 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 	if cfg.prog == nil && cfg.observed() {
 		cfg.startProgress(len(cfg.Depths))
 	}
+	wsp := cfg.startSpan("workload",
+		span.String("workload", prof.Name), span.Int("depths", len(cfg.Depths)))
+	defer wsp.End()
+	cfg.parentSpan = wsp
 	points := make([]DepthPoint, len(cfg.Depths))
 	errs := make([]error, len(cfg.Depths))
 	sem := make(chan struct{}, cfg.Parallelism)
@@ -251,6 +277,9 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 // configured. The second return reports whether the point was served
 // from the cache.
 func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bool, error) {
+	psp := cfg.startSpan("point",
+		span.String("workload", prof.Name), span.Int("depth", depth))
+	defer psp.End()
 	mc, err := cfg.Machine(depth)
 	if err != nil {
 		return DepthPoint{}, false, fmt.Errorf("machine: %w", err)
@@ -264,7 +293,11 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bo
 	var key resultcache.Key
 	if useCache {
 		key = cacheKey(cfg, &mc, prof, depth)
-		if v, ok := cfg.Cache.Get(key); ok {
+		csp := psp.Child("cache", span.String("op", "get"))
+		v, ok := cfg.Cache.Get(key)
+		csp.End()
+		if ok {
+			psp.SetAttr("cache", "hit")
 			return DepthPoint{
 				Depth:      depth,
 				FO4:        v.FO4,
@@ -274,17 +307,24 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bo
 			}, true, nil
 		}
 	}
+	dsp := psp.Child("decode")
 	gen, err := workload.NewGenerator(prof)
+	dsp.End()
 	if err != nil {
 		return DepthPoint{}, false, err
 	}
 	if cfg.Warmup > 0 {
+		wsp := psp.Child("warmup", span.Int("instructions", cfg.Warmup))
 		warm(&mc, gen, cfg.Warmup)
+		wsp.End()
 	}
+	ssp := psp.Child("simulate", span.Int("instructions", cfg.Instructions))
 	res, err := pipeline.Run(mc, trace.NewLimitStream(gen, cfg.Instructions))
+	ssp.End()
 	if err != nil {
 		return DepthPoint{}, false, err
 	}
+	pwsp := psp.Child("power")
 	pt := DepthPoint{
 		Depth:      depth,
 		FO4:        mc.CycleTime(),
@@ -293,15 +333,18 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bo
 		PlainPower: cfg.Power.Evaluate(res, false),
 	}
 	power.CheckGatedNotAbove(mc.Invariants, pt.GatedPower, pt.PlainPower)
+	pwsp.End()
 	if useCache {
 		// A failed store is only a lost memoization, not a sweep
 		// failure; the cache has already counted it.
+		csp := psp.Child("cache", span.String("op", "put"))
 		_ = cfg.Cache.Put(key, resultcache.Value{
 			FO4:        pt.FO4,
 			Result:     res.Data(),
 			GatedPower: pt.GatedPower,
 			PlainPower: pt.PlainPower,
 		})
+		csp.End()
 	}
 	return pt, false, nil
 }
@@ -331,6 +374,10 @@ func RunCatalog(cfg StudyConfig, profs []workload.Profile) ([]*Sweep, error) {
 		// catalog-wide done/total figures.
 		cfg.startProgress(len(profs) * len(cfg.Depths))
 	}
+	ssp := cfg.startSpan("study",
+		span.Int("workloads", len(profs)), span.Int("depths", len(cfg.Depths)))
+	defer ssp.End()
+	cfg.parentSpan = ssp
 	sweeps := make([]*Sweep, len(profs))
 	errs := make([]error, len(profs))
 	sem := make(chan struct{}, cfg.Parallelism)

@@ -42,6 +42,9 @@ const (
 	// MutTheorySkew bends the theory curves and displaces the predicted
 	// optimum → theory/frequency, theory/convexity, theory/residual.
 	MutTheorySkew Mutation = "theory-skew"
+	// MutBudgetSkew inflates one cycle-budget bucket so the budget no
+	// longer sums to the cycle count → pipeline/cycle_budget.
+	MutBudgetSkew Mutation = "budget-skew"
 )
 
 // Mutations returns every injectable violation class, in a stable
@@ -58,6 +61,7 @@ func Mutations() []Mutation {
 		MutSeedDrift,
 		MutCodecDrop,
 		MutTheorySkew,
+		MutBudgetSkew,
 	}
 }
 
@@ -85,6 +89,10 @@ func (m Mutation) applyResult(res *pipeline.Result, gated, plain power.Breakdown
 	case MutStallOverflow:
 		mut := res.Data().Restore(res.Config)
 		mut.StallCycles[pipeline.StallBranch] = mut.Cycles + 1
+		return mut, gated, plain
+	case MutBudgetSkew:
+		mut := res.Data().Restore(res.Config)
+		mut.CycleBudget[pipeline.BudgetUsefulIssue]++
 		return mut, gated, plain
 	case MutNegativePower:
 		gated.PerUnitDynamic[pipeline.UnitExec] = -gated.PerUnitDynamic[pipeline.UnitExec]

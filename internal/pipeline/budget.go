@@ -1,0 +1,148 @@
+package pipeline
+
+import "fmt"
+
+// CycleBucket classifies where one simulated cycle went. The budget is
+// the simulator's self-applied version of the paper's per-stage CPI
+// decomposition (§4): every cycle of a run is attributed to exactly one
+// bucket, so the buckets sum to the run's total cycle count — a
+// conservation law the invariant engine enforces (RuleCycleBudget).
+//
+// The attribution point is the issue stage's once-per-cycle accounting
+// (finishIssueAccounting): a cycle either issued work, drained the
+// tail of the trace, or stalled for a classified cause. Stall causes
+// map to buckets one-to-one except the frontend, which splits into
+// instruction-cache-miss cycles and ordinary pipeline-fill cycles.
+type CycleBucket int
+
+// Cycle-budget buckets, in reporting order.
+const (
+	// BudgetUsefulIssue: at least one instruction issued.
+	BudgetUsefulIssue CycleBucket = iota
+	// BudgetICacheMiss: the execution queue ran dry while an
+	// instruction-cache miss blocked fetch.
+	BudgetICacheMiss
+	// BudgetFrontendFill: the execution queue ran dry with fetch
+	// unblocked — pipeline fill, redirect bubbles, queue backpressure.
+	BudgetFrontendFill
+	// BudgetMispredictRefill: the front end was frozen waiting for a
+	// mispredicted branch to resolve (the depth-scaled refill cost).
+	BudgetMispredictRefill
+	// BudgetDCacheMiss: the head instruction waited on a data-cache
+	// miss.
+	BudgetDCacheMiss
+	// BudgetDependency: the head instruction's source operands were
+	// not ready.
+	BudgetDependency
+	// BudgetAgenWindow: the head instruction was a memory op still in
+	// the address-generation/cache pipeline (window/structural stall
+	// on the address path).
+	BudgetAgenWindow
+	// BudgetFPStructural: the head instruction needed the busy
+	// (unpipelined) FPU.
+	BudgetFPStructural
+	// BudgetDrain: the trace was exhausted and the pipeline was
+	// emptying — cycles after the last fetch with nothing in flight to
+	// issue.
+	BudgetDrain
+
+	numCycleBuckets = iota
+)
+
+// NumCycleBuckets is the number of cycle-budget buckets.
+const NumCycleBuckets = int(numCycleBuckets)
+
+// String names the bucket. The names are the shared observability
+// vocabulary (promexp.BudgetBuckets): they key the pipeline.budget.*
+// counters, the pipeline_cycle_budget_fraction{bucket} series and the
+// conformance report, and are validated by the metriclabel analyzer.
+func (b CycleBucket) String() string {
+	switch b {
+	case BudgetUsefulIssue:
+		return "useful_issue"
+	case BudgetICacheMiss:
+		return "icache_miss"
+	case BudgetFrontendFill:
+		return "frontend_fill"
+	case BudgetMispredictRefill:
+		return "mispredict_refill"
+	case BudgetDCacheMiss:
+		return "dcache_miss"
+	case BudgetDependency:
+		return "dependency"
+	case BudgetAgenWindow:
+		return "agen_window"
+	case BudgetFPStructural:
+		return "fp_structural"
+	case BudgetDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("CycleBucket(%d)", int(b))
+	}
+}
+
+// CycleBucketNames returns the bucket name table in CycleBucket order,
+// for telemetry schemas and reports.
+func CycleBucketNames() []string {
+	out := make([]string, NumCycleBuckets)
+	for b := 0; b < NumCycleBuckets; b++ {
+		out[b] = CycleBucket(b).String()
+	}
+	return out
+}
+
+// budgetForStall maps a classified stall cause to its budget bucket.
+// iBusy reports whether an instruction-cache miss was in flight, which
+// splits the frontend cause into its miss and fill components.
+func budgetForStall(cause StallCause, iBusy bool) CycleBucket {
+	switch cause {
+	case StallBranch:
+		return BudgetMispredictRefill
+	case StallFrontend:
+		if iBusy {
+			return BudgetICacheMiss
+		}
+		return BudgetFrontendFill
+	case StallAgen:
+		return BudgetAgenWindow
+	case StallMemory:
+		return BudgetDCacheMiss
+	case StallDependency:
+		return BudgetDependency
+	case StallFP:
+		return BudgetFPStructural
+	default:
+		return BudgetFrontendFill
+	}
+}
+
+// BudgetTotal sums the cycle budget over all buckets; it equals Cycles
+// for any result the engine produced (RuleCycleBudget).
+func (r *Result) BudgetTotal() uint64 {
+	var t uint64
+	for _, n := range r.CycleBudget {
+		t += n
+	}
+	return t
+}
+
+// BudgetFraction returns the fraction of all cycles attributed to the
+// bucket.
+func (r *Result) BudgetFraction(b CycleBucket) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.CycleBudget[b]) / float64(r.Cycles)
+}
+
+// BudgetReport renders the cycle budget as a per-bucket table, the
+// run's answer to "where did the time go".
+func (r *Result) BudgetReport() string {
+	var b []byte
+	b = fmt.Appendf(b, "%-18s %12s %7s\n", "bucket", "cycles", "share")
+	for c := 0; c < NumCycleBuckets; c++ {
+		bk := CycleBucket(c)
+		b = fmt.Appendf(b, "%-18s %12d %6.1f%%\n", bk, r.CycleBudget[bk], 100*r.BudgetFraction(bk))
+	}
+	return string(b)
+}

@@ -34,6 +34,7 @@ const (
 	RuleBranchAcct   = "pipeline/branch_accounting"
 	RuleMemoryAcct   = "pipeline/memory_accounting"
 	RuleSampleAcct   = "pipeline/sample_accounting"
+	RuleCycleBudget  = "pipeline/cycle_budget"
 )
 
 // checkCycleInvariants verifies the per-cycle capacity laws: no stage
@@ -114,6 +115,11 @@ func (s *sim) checkRunInvariants() {
 //     UnitOps[cache], L1Misses ≤ UnitOps[cache]
 //   - window: MaxWindowOccupied ≤ WindowCap
 //   - sampling: Σ sample Retired ≤ Instructions
+//   - cycle budget: the per-bucket cycle attribution is exhaustive and
+//     exclusive — ΣCycleBudget = Cycles, the useful-issue bucket equals
+//     IssueCycles, and each stall-derived bucket reconciles with its
+//     StallCycles counter (the frontend cause splits into the
+//     icache_miss and frontend_fill buckets)
 func CheckResultInvariants(rec *invariant.Recorder, r *Result) bool {
 	if rec == nil {
 		return true
@@ -194,6 +200,28 @@ func CheckResultInvariants(rec *invariant.Recorder, r *Result) bool {
 	}
 	if sampled > r.Instructions {
 		rec.Violatef(RuleSampleAcct, "sampled retirements %d > instructions %d", sampled, r.Instructions)
+	}
+
+	if total := r.BudgetTotal(); total != r.Cycles {
+		rec.Violatef(RuleCycleBudget, "cycle budget sums to %d, run has %d cycles", total, r.Cycles)
+	}
+	if r.CycleBudget[BudgetUsefulIssue] != r.IssueCycles {
+		rec.Violatef(RuleCycleBudget, "useful-issue bucket %d ≠ issue cycles %d",
+			r.CycleBudget[BudgetUsefulIssue], r.IssueCycles)
+	}
+	budgetOf := map[StallCause]uint64{
+		StallBranch:     r.CycleBudget[BudgetMispredictRefill],
+		StallFrontend:   r.CycleBudget[BudgetICacheMiss] + r.CycleBudget[BudgetFrontendFill],
+		StallAgen:       r.CycleBudget[BudgetAgenWindow],
+		StallMemory:     r.CycleBudget[BudgetDCacheMiss],
+		StallDependency: r.CycleBudget[BudgetDependency],
+		StallFP:         r.CycleBudget[BudgetFPStructural],
+	}
+	for cause, got := range budgetOf {
+		if got != r.StallCycles[cause] {
+			rec.Violatef(RuleCycleBudget, "budget cycles %d for cause %s ≠ stall cycles %d",
+				got, cause, r.StallCycles[cause])
+		}
 	}
 
 	return rec.Count() == before

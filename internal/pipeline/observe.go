@@ -121,6 +121,9 @@ func (r *Result) PublishMetrics(reg *telemetry.Registry) {
 	for c := 0; c < NumStallCauses; c++ {
 		reg.Counter("pipeline.stall_cycles." + StallCause(c).String()).Add(r.StallCycles[c])
 	}
+	for b := 0; b < NumCycleBuckets; b++ {
+		reg.Counter("pipeline.budget." + CycleBucket(b).String()).Add(r.CycleBudget[b])
+	}
 	for u := 0; u < NumUnits; u++ {
 		un := Unit(u).String()
 		reg.Counter("pipeline.unit_ops." + un).Add(r.UnitOps[u])
@@ -152,6 +155,8 @@ func (r *Result) PublishMetrics(reg *telemetry.Registry) {
 //	                                 switched at all
 //	pipeline_unit_stages{unit}     — stages allocated under the plan
 //	pipeline_stall_fraction{cause} — stall cycles per total cycle
+//	pipeline_cycle_budget_fraction{bucket} — share of all cycles
+//	                                 attributed to the budget bucket
 //
 // Gauges describe the most recent run published into the registry.
 func (r *Result) PublishAttribution(reg *telemetry.Registry) {
@@ -173,6 +178,11 @@ func (r *Result) PublishAttribution(reg *telemetry.Registry) {
 			frac = float64(r.StallCycles[c]) / float64(r.Cycles)
 		}
 		reg.Gauge(telemetry.LabelName("pipeline_stall_fraction", "cause", StallCause(c).String())).Set(frac)
+	}
+	for b := 0; b < NumCycleBuckets; b++ {
+		bucket := CycleBucket(b)
+		reg.Gauge(telemetry.LabelName("pipeline_cycle_budget_fraction", "bucket", bucket.String())).
+			Set(r.BudgetFraction(bucket))
 	}
 }
 

@@ -99,6 +99,9 @@ type Result struct {
 	IssueCycles uint64   // cycles in which ≥1 instruction issued
 	IssueHist   []uint64 // [0..Width] instructions issued per cycle
 	StallCycles [NumStallCauses]uint64
+	// CycleBudget attributes every cycle of the run to exactly one
+	// CycleBucket; the buckets sum to Cycles (RuleCycleBudget).
+	CycleBudget [NumCycleBuckets]uint64
 	Hazards     HazardCounts
 
 	Branches          uint64

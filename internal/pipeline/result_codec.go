@@ -15,10 +15,11 @@ type ResultData struct {
 	Instructions uint64 `json:"instructions"`
 	Cycles       uint64 `json:"cycles"`
 
-	IssueCycles uint64                 `json:"issue_cycles"`
-	IssueHist   []uint64               `json:"issue_hist,omitempty"`
-	StallCycles [NumStallCauses]uint64 `json:"stall_cycles"`
-	Hazards     HazardCounts           `json:"hazards"`
+	IssueCycles uint64                  `json:"issue_cycles"`
+	IssueHist   []uint64                `json:"issue_hist,omitempty"`
+	StallCycles [NumStallCauses]uint64  `json:"stall_cycles"`
+	CycleBudget [NumCycleBuckets]uint64 `json:"cycle_budget"`
+	Hazards     HazardCounts            `json:"hazards"`
 
 	Branches          uint64           `json:"branches"`
 	TakenBranches     uint64           `json:"taken_branches"`
@@ -43,6 +44,7 @@ func (r *Result) Data() ResultData {
 		Cycles:            r.Cycles,
 		IssueCycles:       r.IssueCycles,
 		StallCycles:       r.StallCycles,
+		CycleBudget:       r.CycleBudget,
 		Hazards:           r.Hazards,
 		Branches:          r.Branches,
 		TakenBranches:     r.TakenBranches,
@@ -82,6 +84,7 @@ func (d ResultData) Restore(cfg Config) *Result {
 		Cycles:            d.Cycles,
 		IssueCycles:       d.IssueCycles,
 		StallCycles:       d.StallCycles,
+		CycleBudget:       d.CycleBudget,
 		Hazards:           d.Hazards,
 		Branches:          d.Branches,
 		TakenBranches:     d.TakenBranches,

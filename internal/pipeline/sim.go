@@ -351,12 +351,16 @@ func (s *sim) stepIssue() {
 	s.finishIssueAccounting(issued, cause, blocked)
 }
 
-// finishIssueAccounting updates issue statistics and stall-episode
-// counters after an issue attempt (shared by both issue disciplines).
+// finishIssueAccounting updates issue statistics, the cycle budget and
+// stall-episode counters after an issue attempt (shared by both issue
+// disciplines). It runs exactly once per cycle, which is what makes
+// the cycle budget exhaustive and exclusive: every cycle lands in
+// exactly one bucket here.
 func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) {
 	if issued > 0 {
 		s.res.IssueCycles++
 		s.res.IssueHist[issued]++
+		s.res.CycleBudget[BudgetUsefulIssue]++
 		s.prevWasStall = false
 		return
 	}
@@ -365,6 +369,7 @@ func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) 
 		// Execution queue empty: either the front end is frozen on a
 		// mispredicted branch, or it simply has not delivered yet.
 		if s.next == s.retired && s.traceDone {
+			s.res.CycleBudget[BudgetDrain]++
 			s.prevWasStall = false
 			return // drained: not a stall
 		}
@@ -374,6 +379,7 @@ func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) 
 			cause = StallFrontend
 		}
 	}
+	s.res.CycleBudget[budgetForStall(cause, s.cycle < s.iBusyUntil)]++
 	s.res.StallCycles[cause]++
 	if s.traceCycle {
 		s.tel.Emit(telemetry.Event{

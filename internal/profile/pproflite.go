@@ -1,0 +1,324 @@
+package profile
+
+// A minimal stdlib-only reader of the pprof profile format: gzipped
+// protobuf, schema at github.com/google/pprof/proto/profile.proto. We
+// decode only the handful of fields the hot-function summary needs —
+// sample types, samples (location stack + values), locations' leaf
+// lines, function names and the string table — with a hand-rolled
+// varint walker instead of a generated protobuf binding, because the
+// repo is dependency-free by policy.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Field numbers from profile.proto, for the messages we walk.
+const (
+	// Profile
+	fProfileSampleType  = 1
+	fProfileSample      = 2
+	fProfileLocation    = 4
+	fProfileFunction    = 5
+	fProfileStringTable = 6
+	// ValueType
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+	// Sample
+	fSampleLocationID = 1
+	fSampleValue      = 2
+	// Location
+	fLocationID   = 1
+	fLocationLine = 4
+	// Line
+	fLineFunctionID = 1
+	// Function
+	fFunctionID   = 1
+	fFunctionName = 2
+)
+
+type valueType struct {
+	typ, unit int64 // string-table indices
+}
+
+type sample struct {
+	locationIDs []uint64
+	values      []int64
+}
+
+type pprofProfile struct {
+	sampleTypes []valueType
+	samples     []sample
+	// locLeafFunc maps location ID to the function ID of its leaf
+	// (innermost, first-listed) line.
+	locLeafFunc map[uint64]uint64
+	funcName    map[uint64]int64 // function ID → name string index
+	strings     []string
+}
+
+// parseProfile decodes a pprof profile, transparently un-gzipping.
+func parseProfile(data []byte) (*pprofProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		data = raw
+	}
+	p := &pprofProfile{
+		locLeafFunc: make(map[uint64]uint64),
+		funcName:    make(map[uint64]int64),
+	}
+	err := walkMessage(data, func(field int, wire wireValue) error {
+		switch field {
+		case fProfileSampleType:
+			vt, err := parseValueType(wire.bytes)
+			if err != nil {
+				return err
+			}
+			p.sampleTypes = append(p.sampleTypes, vt)
+		case fProfileSample:
+			s, err := parseSample(wire.bytes)
+			if err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case fProfileLocation:
+			return p.parseLocation(wire.bytes)
+		case fProfileFunction:
+			return p.parseFunction(wire.bytes)
+		case fProfileStringTable:
+			p.strings = append(p.strings, string(wire.bytes))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// valueIndex picks which of the sample's parallel values to rank by:
+// the "cpu" type when present (CPU profiles carry [samples/count,
+// cpu/nanoseconds]), otherwise the last — pprof convention puts the
+// default display type last (e.g. heap's inuse_space).
+func (p *pprofProfile) valueIndex() int {
+	for i, vt := range p.sampleTypes {
+		if p.str(vt.typ) == "cpu" {
+			return i
+		}
+	}
+	if n := len(p.sampleTypes); n > 0 {
+		return n - 1
+	}
+	return 0
+}
+
+func (p *pprofProfile) valueUnit(i int) string {
+	if i < len(p.sampleTypes) {
+		return p.str(p.sampleTypes[i].unit)
+	}
+	return ""
+}
+
+// leafFunction resolves a location ID to its innermost function name.
+func (p *pprofProfile) leafFunction(loc uint64) string {
+	if fid, ok := p.locLeafFunc[loc]; ok {
+		if idx, ok := p.funcName[fid]; ok {
+			if name := p.str(idx); name != "" {
+				return name
+			}
+		}
+	}
+	return fmt.Sprintf("location#%d", loc)
+}
+
+func (p *pprofProfile) str(i int64) string {
+	if i >= 0 && int(i) < len(p.strings) {
+		return p.strings[i]
+	}
+	return ""
+}
+
+func parseValueType(data []byte) (valueType, error) {
+	var vt valueType
+	err := walkMessage(data, func(field int, wire wireValue) error {
+		switch field {
+		case fValueTypeType:
+			vt.typ = int64(wire.varint)
+		case fValueTypeUnit:
+			vt.unit = int64(wire.varint)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(data []byte) (sample, error) {
+	var s sample
+	err := walkMessage(data, func(field int, wire wireValue) error {
+		switch field {
+		case fSampleLocationID:
+			return wire.eachVarint(func(v uint64) {
+				s.locationIDs = append(s.locationIDs, v)
+			})
+		case fSampleValue:
+			return wire.eachVarint(func(v uint64) {
+				s.values = append(s.values, int64(v))
+			})
+		}
+		return nil
+	})
+	return s, err
+}
+
+func (p *pprofProfile) parseLocation(data []byte) error {
+	var id, leafFunc uint64
+	haveLeaf := false
+	err := walkMessage(data, func(field int, wire wireValue) error {
+		switch field {
+		case fLocationID:
+			id = wire.varint
+		case fLocationLine:
+			if haveLeaf {
+				return nil // lines are innermost-first; keep the first
+			}
+			return walkMessage(wire.bytes, func(f int, w wireValue) error {
+				if f == fLineFunctionID {
+					leafFunc = w.varint
+					haveLeaf = true
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if haveLeaf {
+		p.locLeafFunc[id] = leafFunc
+	}
+	return nil
+}
+
+func (p *pprofProfile) parseFunction(data []byte) error {
+	var id uint64
+	var name int64
+	err := walkMessage(data, func(field int, wire wireValue) error {
+		switch field {
+		case fFunctionID:
+			id = wire.varint
+		case fFunctionName:
+			name = int64(wire.varint)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	p.funcName[id] = name
+	return nil
+}
+
+// wireValue is one decoded protobuf field value: varint holds wire
+// type 0, bytes holds wire type 2. Repeated scalar fields may arrive
+// either way (packed length-delimited or one varint per occurrence) —
+// eachVarint handles both.
+type wireValue struct {
+	wireType int
+	varint   uint64
+	bytes    []byte
+}
+
+func (w wireValue) eachVarint(fn func(uint64)) error {
+	if w.wireType == 0 {
+		fn(w.varint)
+		return nil
+	}
+	data := w.bytes
+	for len(data) > 0 {
+		v, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profile: truncated packed varint")
+		}
+		fn(v)
+		data = data[n:]
+	}
+	return nil
+}
+
+// walkMessage iterates a protobuf message's fields, calling fn for
+// each varint (wire type 0) and length-delimited (wire type 2) field;
+// fixed64/fixed32 fields are skipped (the profile schema doesn't use
+// them for anything we read).
+func walkMessage(data []byte, fn func(field int, wire wireValue) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profile: truncated field key")
+		}
+		data = data[n:]
+		field := int(key >> 3)
+		wireType := int(key & 7)
+		var wv wireValue
+		wv.wireType = wireType
+		switch wireType {
+		case 0: // varint
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("profile: truncated varint in field %d", field)
+			}
+			wv.varint = v
+			data = data[n:]
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("profile: truncated fixed64 in field %d", field)
+			}
+			data = data[8:]
+			continue
+		case 2: // length-delimited
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("profile: truncated bytes in field %d", field)
+			}
+			wv.bytes = data[n : n+int(l)]
+			data = data[n+int(l):]
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("profile: truncated fixed32 in field %d", field)
+			}
+			data = data[4:]
+			continue
+		default:
+			return fmt.Errorf("profile: unsupported wire type %d in field %d", wireType, field)
+		}
+		if err := fn(field, wv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uvarint decodes a protobuf varint, returning the value and the
+// number of bytes consumed (0 on truncation).
+func uvarint(data []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		b := data[i]
+		v |= uint64(b&0x7f) << (7 * uint(i))
+		if b&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,185 @@
+// Package profile wraps runtime/pprof into a one-call capture for the
+// CLIs: Start begins a CPU profile into a directory, Stop finishes it,
+// snapshots heap and allocation profiles alongside, and summarizes the
+// top-N hot functions into a machine-readable summary.json (and the
+// run manifest, via Summary). The summarizer is a minimal stdlib-only
+// reader of the gzipped-protobuf profile format — enough to rank flat
+// (leaf-frame) sample weight by function, which is what the hot-loop
+// optimization work needs from CI artifacts without external tooling.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+)
+
+// File names written into the capture directory.
+const (
+	CPUFile     = "cpu.pprof"
+	HeapFile    = "heap.pprof"
+	AllocsFile  = "allocs.pprof"
+	SummaryFile = "summary.json"
+)
+
+// Capture is an in-progress profiling session. A nil *Capture is the
+// disabled state: Stop is a no-op, so CLIs can call it unconditionally.
+type Capture struct {
+	dir string
+	cpu *os.File
+}
+
+// Start creates dir (if needed) and begins a CPU profile there.
+func Start(dir string) (*Capture, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, CPUFile))
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return &Capture{dir: dir, cpu: f}, nil
+}
+
+// HotFunc is one entry of the flat hot-function ranking.
+type HotFunc struct {
+	// Name is the function at the sample's leaf frame.
+	Name string `json:"name"`
+	// Value is the function's flat sample weight in Unit.
+	Value int64 `json:"value"`
+	// Frac is Value over the profile total.
+	Frac float64 `json:"frac"`
+}
+
+// Summary is the digest of one capture, written as summary.json and
+// foldable into a run manifest.
+type Summary struct {
+	// Unit names the ranked value's unit ("nanoseconds" for CPU).
+	Unit string `json:"unit"`
+	// Total is the profile's total sample weight in Unit.
+	Total int64 `json:"total"`
+	// Top ranks the hottest functions by flat weight, descending.
+	Top []HotFunc `json:"top"`
+}
+
+// TopN is how many hot functions a capture summarizes.
+const TopN = 10
+
+// Stop finishes the CPU profile, snapshots the heap and allocation
+// profiles, and writes (and returns) the hot-function summary. Safe on
+// a nil Capture.
+func (c *Capture) Stop() (Summary, error) {
+	if c == nil {
+		return Summary{}, nil
+	}
+	pprof.StopCPUProfile()
+	if err := c.cpu.Close(); err != nil {
+		return Summary{}, fmt.Errorf("profile: %w", err)
+	}
+	// An up-to-date heap profile wants a GC first (the "heap" profile
+	// reports live objects as of the last collection).
+	runtime.GC()
+	for _, p := range []string{"heap", "allocs"} {
+		if err := writeLookup(filepath.Join(c.dir, p+".pprof"), p); err != nil {
+			return Summary{}, err
+		}
+	}
+	sum, err := SummarizeFile(filepath.Join(c.dir, CPUFile), TopN)
+	if err != nil {
+		return Summary{}, err
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return Summary{}, fmt.Errorf("profile: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(c.dir, SummaryFile), append(data, '\n'), 0o644); err != nil {
+		return Summary{}, fmt.Errorf("profile: %w", err)
+	}
+	return sum, nil
+}
+
+// Dir returns the capture directory ("" on a nil Capture).
+func (c *Capture) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+func writeLookup(path, name string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("profile: unknown profile %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	werr := p.WriteTo(f, 0)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("profile: %s: %w", name, werr)
+	}
+	return nil
+}
+
+// SummarizeFile parses a pprof profile file and ranks the topN hottest
+// functions by flat (leaf-frame) sample weight.
+func SummarizeFile(path string, topN int) (Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, fmt.Errorf("profile: %w", err)
+	}
+	return Summarize(data, topN)
+}
+
+// Summarize ranks the topN hottest functions of a raw (optionally
+// gzipped) protobuf profile by flat sample weight. An empty profile
+// (e.g. a CPU capture too short to sample) summarizes to zero totals,
+// not an error.
+func Summarize(data []byte, topN int) (Summary, error) {
+	p, err := parseProfile(data)
+	if err != nil {
+		return Summary{}, err
+	}
+	vi := p.valueIndex()
+	flat := make(map[string]int64)
+	var total int64
+	for _, s := range p.samples {
+		if vi >= len(s.values) || len(s.locationIDs) == 0 {
+			continue
+		}
+		v := s.values[vi]
+		total += v
+		flat[p.leafFunction(s.locationIDs[0])] += v
+	}
+	sum := Summary{Unit: p.valueUnit(vi), Total: total}
+	for name, v := range flat {
+		sum.Top = append(sum.Top, HotFunc{Name: name, Value: v})
+	}
+	sort.Slice(sum.Top, func(i, j int) bool {
+		if sum.Top[i].Value != sum.Top[j].Value {
+			return sum.Top[i].Value > sum.Top[j].Value
+		}
+		return sum.Top[i].Name < sum.Top[j].Name
+	})
+	if topN > 0 && len(sum.Top) > topN {
+		sum.Top = sum.Top[:topN]
+	}
+	if total > 0 {
+		for i := range sum.Top {
+			sum.Top[i].Frac = float64(sum.Top[i].Value) / float64(total)
+		}
+	}
+	return sum, nil
+}

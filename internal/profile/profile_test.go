@@ -1,0 +1,242 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"testing"
+)
+
+// --- protobuf encoding helpers for the synthetic profile ---
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendVarintField(b []byte, field int, v uint64) []byte {
+	b = appendUvarint(b, uint64(field)<<3|0)
+	return appendUvarint(b, v)
+}
+
+func appendBytesField(b []byte, field int, data []byte) []byte {
+	b = appendUvarint(b, uint64(field)<<3|2)
+	b = appendUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+func appendPacked(b []byte, field int, vals ...uint64) []byte {
+	var packed []byte
+	for _, v := range vals {
+		packed = appendUvarint(packed, v)
+	}
+	return appendBytesField(b, field, packed)
+}
+
+// syntheticProfile hand-encodes a two-sample CPU profile:
+//
+//	strings: ["", "samples", "count", "cpu", "nanoseconds", "hot", "cold"]
+//	hot: 2 samples × 30ns at location 1 (function 1, "hot")
+//	cold: 1 sample × 10ns at stack [2, 1] (leaf function 2, "cold")
+func syntheticProfile(t *testing.T, gzipped bool) []byte {
+	t.Helper()
+	var b []byte
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "hot", "cold"}
+	for _, s := range strs {
+		b = appendBytesField(b, fProfileStringTable, []byte(s))
+	}
+	var vt []byte
+	vt = appendVarintField(vt, fValueTypeType, 1) // samples
+	vt = appendVarintField(vt, fValueTypeUnit, 2) // count
+	b = appendBytesField(b, fProfileSampleType, vt)
+	vt = vt[:0]
+	vt = appendVarintField(vt, fValueTypeType, 3) // cpu
+	vt = appendVarintField(vt, fValueTypeUnit, 4) // nanoseconds
+	b = appendBytesField(b, fProfileSampleType, vt)
+
+	var s []byte
+	s = appendPacked(s, fSampleLocationID, 1)
+	s = appendPacked(s, fSampleValue, 2, 30)
+	b = appendBytesField(b, fProfileSample, s)
+	s = s[:0]
+	// Unpacked location IDs exercise the one-varint-per-occurrence path.
+	s = appendVarintField(s, fSampleLocationID, 2)
+	s = appendVarintField(s, fSampleLocationID, 1)
+	s = appendPacked(s, fSampleValue, 1, 10)
+	b = appendBytesField(b, fProfileSample, s)
+
+	for loc, fn := range map[uint64]uint64{1: 1, 2: 2} {
+		var line []byte
+		line = appendVarintField(line, fLineFunctionID, fn)
+		var l []byte
+		l = appendVarintField(l, fLocationID, loc)
+		l = appendBytesField(l, fLocationLine, line)
+		b = appendBytesField(b, fProfileLocation, l)
+	}
+	for id, name := range map[uint64]uint64{1: 5, 2: 6} {
+		var f []byte
+		f = appendVarintField(f, fFunctionID, id)
+		f = appendVarintField(f, fFunctionName, name)
+		b = appendBytesField(b, fProfileFunction, f)
+	}
+
+	if !gzipped {
+		return b
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSummarizeSyntheticProfile(t *testing.T) {
+	for _, gzipped := range []bool{false, true} {
+		sum, err := Summarize(syntheticProfile(t, gzipped), 10)
+		if err != nil {
+			t.Fatalf("gzipped=%v: %v", gzipped, err)
+		}
+		if sum.Unit != "nanoseconds" {
+			t.Errorf("unit = %q, want nanoseconds", sum.Unit)
+		}
+		if sum.Total != 40 {
+			t.Errorf("total = %d, want 40", sum.Total)
+		}
+		want := []HotFunc{
+			{Name: "hot", Value: 30, Frac: 0.75},
+			{Name: "cold", Value: 10, Frac: 0.25},
+		}
+		if len(sum.Top) != len(want) {
+			t.Fatalf("top = %+v, want %+v", sum.Top, want)
+		}
+		for i := range want {
+			if sum.Top[i] != want[i] {
+				t.Errorf("top[%d] = %+v, want %+v", i, sum.Top[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSummarizeTopNTruncates(t *testing.T) {
+	sum, err := Summarize(syntheticProfile(t, false), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Top) != 1 || sum.Top[0].Name != "hot" {
+		t.Fatalf("top-1 = %+v, want just hot", sum.Top)
+	}
+	// Total still covers the whole profile, not just the shown entries.
+	if sum.Total != 40 {
+		t.Errorf("total = %d, want 40", sum.Total)
+	}
+}
+
+func TestSummarizeEmptyAndTruncatedInput(t *testing.T) {
+	sum, err := Summarize(nil, 10)
+	if err != nil {
+		t.Fatalf("empty profile: %v", err)
+	}
+	if sum.Total != 0 || len(sum.Top) != 0 {
+		t.Fatalf("empty profile summarized to %+v", sum)
+	}
+	if _, err := Summarize([]byte{0x0a}, 10); err == nil {
+		t.Fatal("truncated profile did not error")
+	}
+}
+
+func TestSummarizeRealAllocsProfile(t *testing.T) {
+	// Round-trip through the runtime's own encoder: every Go test
+	// process has allocations, so the parse must find samples and
+	// resolve real function names.
+	var buf bytes.Buffer
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 1<<12)
+	}
+	_ = sink
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Summarize(buf.Bytes(), TopN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total <= 0 || len(sum.Top) == 0 {
+		t.Fatalf("allocs summary empty: %+v", sum)
+	}
+	for _, hf := range sum.Top {
+		if hf.Name == "" {
+			t.Fatalf("unresolved function name in %+v", sum.Top)
+		}
+	}
+}
+
+func TestCaptureWritesProfilesAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Start(filepath.Join(dir, "prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the capture isn't entirely idle; the summary is
+	// allowed to be empty (CPU sampling may not fire in a short test).
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	sum, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{CPUFile, HeapFile, AllocsFile, SummaryFile} {
+		fi, err := os.Stat(filepath.Join(c.Dir(), name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	// summary.json round-trips to the returned Summary.
+	data, err := os.ReadFile(filepath.Join(c.Dir(), SummaryFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Summary
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Total != sum.Total || len(onDisk.Top) != len(sum.Top) {
+		t.Fatalf("summary.json %+v != returned %+v", onDisk, sum)
+	}
+	// The heap and allocs snapshots parse with the same reader.
+	for _, name := range []string{HeapFile, AllocsFile} {
+		s, err := SummarizeFile(filepath.Join(c.Dir(), name), 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Unit == "" {
+			t.Errorf("%s: no value unit", name)
+		}
+	}
+}
+
+func TestNilCaptureStopIsNoop(t *testing.T) {
+	var c *Capture
+	if sum, err := c.Stop(); err != nil || sum.Total != 0 {
+		t.Fatalf("nil Stop = %+v, %v", sum, err)
+	}
+	if c.Dir() != "" {
+		t.Fatal("nil Dir not empty")
+	}
+}

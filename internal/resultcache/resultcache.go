@@ -44,7 +44,10 @@ import (
 //
 // v2: power.Breakdown gained the PerUnitDynamic/PerUnitLeakage
 // attribution split; v1 entries would restore with a zero split.
-const SchemaVersion = 2
+//
+// v3: ResultData gained the CycleBudget attribution; v2 entries would
+// restore with a zero budget and trip the cycle-budget invariant.
+const SchemaVersion = 3
 
 // DefaultMemEntries is the default capacity of the in-memory LRU
 // front (a full 55-workload × 24-depth catalog sweep is 1320 entries).

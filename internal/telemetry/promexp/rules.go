@@ -135,3 +135,72 @@ func validLabelBlock(block string) error {
 }
 
 var labelPairRe = regexp.MustCompile(`(` + LabelNamePattern + `)="`)
+
+// SpanNames is the canonical vocabulary of cost-attribution span names
+// (internal/telemetry/span). Spans outside this table are a lint error:
+// the span histograms ("span.<name>_us"), the trace viewers and the
+// benchdiff phase comparison all key on these names, so an ad-hoc name
+// would fork the timing taxonomy. Extend the table when a new phase is
+// instrumented.
+var SpanNames = map[string]bool{
+	"study":    true, // one RunCatalog invocation
+	"workload": true, // one workload's depth sweep
+	"point":    true, // one design point (depth × workload)
+	"cache":    true, // resultcache lookup or store
+	"decode":   true, // workload generator construction
+	"warmup":   true, // cache/predictor priming
+	"simulate": true, // the cycle-accurate pipeline run
+	"power":    true, // power-model evaluation (both disciplines)
+	"fit":      true, // cubic least-squares optimum extraction
+}
+
+// spanNameRe is the span-name alphabet: lower-case snake case, so
+// "span." + name + "_us" sanitizes to a valid metric name 1:1.
+var spanNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// ValidSpanName checks a span name against the alphabet and the
+// canonical vocabulary.
+func ValidSpanName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty span name")
+	}
+	if !spanNameRe.MatchString(name) {
+		return fmt.Errorf("span name %q does not match %s", name, spanNameRe)
+	}
+	if !SpanNames[name] {
+		return fmt.Errorf("span name %q is not in the promexp.SpanNames vocabulary", name)
+	}
+	return nil
+}
+
+// BudgetBuckets is the canonical vocabulary of cycle-budget bucket
+// names (pipeline.CycleBucket.String). They key the pipeline.budget.*
+// counters and the pipeline_cycle_budget_fraction{bucket} series; the
+// pipeline package's tests assert the enum and this table stay in
+// lockstep.
+var BudgetBuckets = map[string]bool{
+	"useful_issue":      true,
+	"icache_miss":       true,
+	"frontend_fill":     true,
+	"mispredict_refill": true,
+	"dcache_miss":       true,
+	"dependency":        true,
+	"agen_window":       true,
+	"fp_structural":     true,
+	"drain":             true,
+}
+
+// ValidBudgetBucket checks a cycle-budget bucket name against the
+// alphabet and the canonical vocabulary.
+func ValidBudgetBucket(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty budget bucket name")
+	}
+	if !spanNameRe.MatchString(name) {
+		return fmt.Errorf("budget bucket %q does not match %s", name, spanNameRe)
+	}
+	if !BudgetBuckets[name] {
+		return fmt.Errorf("budget bucket %q is not in the promexp.BudgetBuckets vocabulary", name)
+	}
+	return nil
+}

@@ -68,6 +68,25 @@ func TestHistogramQuantileOutOfRangeArgs(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileAllEqual(t *testing.T) {
+	// Identical observations collapse every quantile to that value: min
+	// and max coincide, so the in-bucket interpolation must clamp to
+	// them rather than spread across the power-of-two bucket.
+	var h Histogram
+	h.ObserveN(300, 1000)
+	if h.Count() != 1000 || h.Sum() != 300_000 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := h.Quantile(q); v != 300 {
+			t.Errorf("Quantile(%g) = %g, want 300", q, v)
+		}
+	}
+	if m := h.Mean(); m != 300 {
+		t.Errorf("Mean() = %g, want 300", m)
+	}
+}
+
 func TestHistogramQuantileZeroSamples(t *testing.T) {
 	var h Histogram
 	h.ObserveN(0, 10) // ten observations of value zero

@@ -1,0 +1,167 @@
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// jsonlSpan is the JSONL rendering of one completed span, following
+// the event tracer's conventions: a type tag first, then the payload,
+// durations in microseconds.
+type jsonlSpan struct {
+	Type    string            `json:"type"`
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS float64           `json:"start_us"`
+	DurUS   float64           `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+func (r Record) jsonl() jsonlSpan {
+	js := jsonlSpan{
+		Type:    "span",
+		ID:      r.ID,
+		Parent:  r.Parent,
+		Name:    r.Name,
+		StartUS: float64(r.StartNS) / 1e3,
+		DurUS:   float64(r.DurNS) / 1e3,
+	}
+	if len(r.Attrs) > 0 {
+		js.Attrs = make(map[string]string, len(r.Attrs))
+		for _, a := range r.Attrs {
+			js.Attrs[a.Key] = a.Value
+		}
+	}
+	return js
+}
+
+// WriteJSONL writes the completed spans as JSON Lines: the manifest
+// first (when non-nil, tagged "manifest" as in the event tracer), then
+// one span per line in start order.
+func (t *Tracer) WriteJSONL(w io.Writer, m *telemetry.Manifest) error {
+	if t == nil {
+		return errors.New("span: nil tracer")
+	}
+	enc := json.NewEncoder(w)
+	if m != nil {
+		if err := enc.Encode(m.Tagged()); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Records() {
+		if err := enc.Encode(r.jsonl()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent mirrors the event tracer's trace_event rendering: ph="X"
+// complete events, timestamps and durations in microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace writes the completed spans in Chrome trace_event
+// format, loadable by chrome://tracing and https://ui.perfetto.dev.
+// Each root span's subtree renders on its own track (tid = root span
+// ID), so concurrent workload sweeps appear as parallel lanes. The
+// manifest, when non-nil, is embedded as trace metadata.
+func (t *Tracer) WriteChromeTrace(w io.Writer, m *telemetry.Manifest) error {
+	if t == nil {
+		return errors.New("span: nil tracer")
+	}
+	records := t.Records()
+
+	// Resolve each span's root to assign tracks. Parents sort before
+	// children only when they started earlier, so resolve via the id
+	// map rather than relying on order.
+	parent := make(map[uint64]uint64, len(records))
+	for _, r := range records {
+		parent[r.ID] = r.Parent
+	}
+	rootOf := func(id uint64) uint64 {
+		for {
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(records)+8)
+	out = append(out, chromeEvent{Name: "process_name", Phase: "M", PID: chromePID,
+		Args: map[string]any{"name": "sweep"}})
+	named := make(map[uint64]bool)
+	for _, r := range records {
+		root := rootOf(r.ID)
+		tid := int(root)
+		if !named[root] {
+			named[root] = true
+			out = append(out, chromeEvent{Name: "thread_name", Phase: "M", PID: chromePID,
+				TID: tid, Args: map[string]any{"name": laneName(records, root)}})
+		}
+		args := make(map[string]any, len(r.Attrs))
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Value
+		}
+		out = append(out, chromeEvent{
+			Name:  r.Name,
+			Cat:   "span",
+			Phase: "X",
+			TS:    float64(r.StartNS) / 1e3,
+			Dur:   float64(r.DurNS) / 1e3,
+			PID:   chromePID,
+			TID:   tid,
+			Args:  args,
+		})
+	}
+
+	trace := chromeTrace{TraceEvents: out}
+	if m != nil {
+		meta, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		var mm map[string]any
+		if err := json.Unmarshal(meta, &mm); err != nil {
+			return err
+		}
+		trace.Metadata = mm
+	}
+	return json.NewEncoder(w).Encode(trace)
+}
+
+// laneName labels a track after its root span, preferring the workload
+// attribute when present ("workload:si95-gcc" beats "workload 3").
+func laneName(records []Record, root uint64) string {
+	for _, r := range records {
+		if r.ID != root {
+			continue
+		}
+		if wl, ok := r.Attr("workload"); ok {
+			return r.Name + ":" + wl
+		}
+		return r.Name
+	}
+	return "spans"
+}

@@ -1,0 +1,256 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/promexp"
+)
+
+func TestNilTracerIsFullyDisabled(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("study", String("k", "v"))
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// Every operation on the nil span chain must be a no-op.
+	child := sp.Child("point", Int("depth", 10))
+	child.SetAttr("a", "b")
+	child.End()
+	sp.End()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Records() != nil {
+		t.Fatal("nil tracer accumulated state")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil tracer WriteJSONL did not error")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil tracer WriteChromeTrace did not error")
+	}
+}
+
+func TestSpanHierarchyAndDurations(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	study := tr.Start("study", Int("workloads", 2))
+	wl := study.Child("workload", String("workload", "w1"))
+	pt := wl.Child("point", Int("depth", 10))
+	sim := pt.Child("simulate")
+	sim.End()
+	pt.End()
+	wl.End()
+	study.End()
+
+	if tr.Len() != 4 {
+		t.Fatalf("recorded %d spans, want 4", tr.Len())
+	}
+	recs := tr.Records()
+	// Start order: study opened first, then workload, point, simulate.
+	wantNames := []string{"study", "workload", "point", "simulate"}
+	for i, r := range recs {
+		if r.Name != wantNames[i] {
+			t.Fatalf("record %d is %q, want %q", i, r.Name, wantNames[i])
+		}
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["workload"].Parent != byName["study"].ID ||
+		byName["point"].Parent != byName["workload"].ID ||
+		byName["simulate"].Parent != byName["point"].ID {
+		t.Fatal("parent chain broken")
+	}
+	// Durations nest: every child's interval lies within its parent's.
+	for _, pair := range [][2]string{{"study", "workload"}, {"workload", "point"}, {"point", "simulate"}} {
+		p, c := byName[pair[0]], byName[pair[1]]
+		if c.StartNS < p.StartNS || c.StartNS+c.DurNS > p.StartNS+p.DurNS {
+			t.Errorf("%s [%d,%d] outside parent %s [%d,%d]",
+				pair[1], c.StartNS, c.StartNS+c.DurNS, pair[0], p.StartNS, p.StartNS+p.DurNS)
+		}
+	}
+	if wl, ok := byName["workload"].Attr("workload"); !ok || wl != "w1" {
+		t.Errorf("workload attr = %q, %v", wl, ok)
+	}
+	if kids := tr.Children(byName["point"].ID); len(kids) != 1 || kids[0].Name != "simulate" {
+		t.Errorf("Children(point) = %+v", kids)
+	}
+	if pts := tr.ByName("point"); len(pts) != 1 {
+		t.Errorf("ByName(point) = %+v", pts)
+	}
+}
+
+func TestSpanHistogramsReachRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tr := NewTracer(reg, 0)
+	for i := 0; i < 3; i++ {
+		tr.Start("simulate").End()
+	}
+	h := reg.Histogram("span.simulate_us")
+	if h.Count() != 3 {
+		t.Fatalf("span.simulate_us count = %d, want 3", h.Count())
+	}
+	// The quantiles are well-defined even for near-zero durations.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if v := h.Quantile(q); v < 0 {
+			t.Errorf("quantile %v = %v", q, v)
+		}
+	}
+}
+
+func TestCapacityDropsExcessSpans(t *testing.T) {
+	tr := NewTracer(nil, 2)
+	for i := 0; i < 5; i++ {
+		tr.Start("point").End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("buffered %d spans, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped %d spans, want 3", tr.Dropped())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	root := tr.Start("study")
+	root.Child("workload", String("workload", "w")).End()
+	root.End()
+	man := telemetry.NewManifest("test")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, &man); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3 (manifest + 2 spans)", len(lines))
+	}
+	var first struct {
+		Type string `json:"type"`
+		Tool string `json:"tool"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != "manifest" || first.Tool != "test" {
+		t.Fatalf("first line = %+v, want manifest", first)
+	}
+	var sp jsonlSpan
+	if err := json.Unmarshal([]byte(lines[2]), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Type != "span" || sp.Name != "workload" || sp.Parent == 0 {
+		t.Fatalf("span line = %+v", sp)
+	}
+	if sp.Attrs["workload"] != "w" {
+		t.Fatalf("span attrs = %+v", sp.Attrs)
+	}
+	if sp.DurUS < 0 || sp.StartUS < 0 {
+		t.Fatalf("negative timing: %+v", sp)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	w1 := tr.Start("workload", String("workload", "w1"))
+	w1.Child("point", Int("depth", 4)).End()
+	w1.End()
+	w2 := tr.Start("workload", String("workload", "w2"))
+	w2.End()
+	man := telemetry.NewManifest("test")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, &man); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Metadata["tool"] != "test" {
+		t.Fatalf("metadata = %+v", trace.Metadata)
+	}
+	var complete, lanes int
+	tids := map[float64]bool{}
+	for _, ev := range trace.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			tids[ev["tid"].(float64)] = true
+		case "M":
+			if ev["name"] == "thread_name" {
+				lanes++
+			}
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("%d complete events, want 3", complete)
+	}
+	// The two root spans render on distinct tracks.
+	if len(tids) != 2 || lanes != 2 {
+		t.Fatalf("tracks = %v, thread_name events = %d, want 2 lanes", tids, lanes)
+	}
+}
+
+func TestConcurrentSpanEmission(t *testing.T) {
+	// Hammer one tracer from many goroutines — the race detector shard
+	// of CI turns this into a data-race proof.
+	reg := telemetry.NewRegistry()
+	tr := NewTracer(reg, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			root := tr.Start("workload", Int("goroutine", g))
+			for i := 0; i < 50; i++ {
+				pt := root.Child("point", Int("depth", i))
+				pt.Child("simulate").End()
+				pt.End()
+			}
+			root.End()
+		}(g)
+	}
+	wg.Wait()
+	want := 8 * (1 + 50*2)
+	if tr.Len() != want {
+		t.Fatalf("recorded %d spans, want %d", tr.Len(), want)
+	}
+	// IDs are unique.
+	seen := map[uint64]bool{}
+	for _, r := range tr.Records() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate span ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if n := reg.Histogram("span.point_us").Count(); n != 8*50 {
+		t.Fatalf("span.point_us count = %d, want %d", n, 8*50)
+	}
+}
+
+func TestLintAgainstSharedVocabulary(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	tr.Start("simulate").End()
+	tr.Start("bogus_phase").End()
+	errs := tr.Lint(promexp.ValidSpanName)
+	if len(errs) != 1 {
+		t.Fatalf("lint errors = %v, want exactly one (bogus_phase)", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "bogus_phase") {
+		t.Fatalf("lint error %v does not name the offender", errs[0])
+	}
+	// Every name in the shared table is itself a valid metric stem.
+	for name := range promexp.SpanNames {
+		if err := promexp.ValidRegistryName("span." + name + "_us"); err != nil {
+			t.Errorf("table name %q: %v", name, err)
+		}
+	}
+}
