@@ -110,6 +110,11 @@ func compare(old, new_ *bench.Record, noise, minPhaseUS float64, w io.Writer) in
 	if old.PointsPerSec > 0 && new_.PointsPerSec > 0 {
 		higher("points_per_sec", old.PointsPerSec, new_.PointsPerSec)
 	}
+	// Server (depthd-load) records measure HTTP throughput alongside
+	// design-point throughput.
+	if old.RequestsPerSec > 0 && new_.RequestsPerSec > 0 {
+		higher("requests_per_sec", old.RequestsPerSec, new_.RequestsPerSec)
+	}
 	if old.PointsPerSecOff > 0 && new_.PointsPerSecOff > 0 {
 		higher("points_per_sec_invariants_off", old.PointsPerSecOff, new_.PointsPerSecOff)
 	}

@@ -163,3 +163,46 @@ func TestInvariantOverheadAbsoluteBand(t *testing.T) {
 		t.Fatalf("overhead regression missed: exit %d\n%s", code, out)
 	}
 }
+
+// serveRecord mimics what the depthd load harness appends to
+// BENCH_serve.json: request throughput plus round-trip quantiles, no
+// per-point phases.
+func serveRecord(reqPerSec, roundTripP95 float64) bench.Record {
+	rec := bench.NewRecord("depthd-load", time.Now())
+	rec.Points = 384
+	rec.PointsPerSec = reqPerSec * 3 // points ride along with requests
+	rec.Requests = 112
+	rec.RequestsPerSec = reqPerSec
+	rec.CacheHits = 384
+	rec.CacheHitRate = 0.97
+	rec.Phases = map[string]bench.Phase{
+		"round_trip": {Count: 32, MeanUS: roundTripP95 / 2, P50US: roundTripP95 / 2, P95US: roundTripP95, P99US: roundTripP95, MaxUS: roundTripP95},
+	}
+	return rec
+}
+
+func TestServeTrajectoryCompares(t *testing.T) {
+	path := writeTrajectory(t, "BENCH_serve.json", serveRecord(700, 50000), serveRecord(720, 48000))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	for _, want := range []string{"requests_per_sec", "phase.round_trip.p95_us", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeRequestThroughputRegressionFails(t *testing.T) {
+	// 40% request-throughput drop with stable latency: the serve-only
+	// axis must gate on its own.
+	path := writeTrajectory(t, "BENCH_serve.json", serveRecord(700, 50000), serveRecord(420, 50000))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "requests_per_sec") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("serve regression not reported:\n%s", out)
+	}
+}

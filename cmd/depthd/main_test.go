@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// syncBuf is a goroutine-safe buffer: the boot test reads stdout while
+// run is still writing to it.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-queue-cap") {
+		t.Errorf("usage text missing flags:\n%s", errb.String())
+	}
+}
+
+func TestRunBadLogLevel(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-log-level", "shout"}, &out, &errb); code != 2 {
+		t.Errorf("bad log level: exit %d, want 2", code)
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bogus"}, &out, &errb); code != 1 {
+		t.Errorf("bad addr: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "listen") {
+		t.Errorf("stderr missing listen error:\n%s", errb.String())
+	}
+}
+
+// TestBootSubmitDrain boots a real depthd on a random port, drives one
+// study over HTTP, then shuts it down via context cancellation and
+// checks the graceful-drain exit path.
+func TestBootSubmitDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout syncBuf
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-cache-dir", t.TempDir(),
+			"-drain-timeout", "10s",
+		}, &stdout, io.Discard)
+	}()
+
+	// The first stdout line announces the resolved address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line in stdout: %q", stdout.String())
+		}
+		if s := stdout.String(); strings.Contains(s, "depthd listening on ") {
+			line := s[strings.Index(s, "depthd listening on ")+len("depthd listening on "):]
+			base = "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"workloads":["` + workload.Names()[0] + `"],"depths":[4,8],"instructions":2000,"warmup":-1}`
+	resp, err = http.Post(base+"/v1/studies", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/studies/" + st.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		r.Body.Close()
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("graceful shutdown: exit %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("depthd did not exit after context cancel")
+	}
+}

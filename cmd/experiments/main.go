@@ -34,6 +34,7 @@ import (
 	"repro/internal/logx"
 	"repro/internal/profile"
 	"repro/internal/resultcache"
+	"repro/internal/serve/spec"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/promexp"
 	"repro/internal/workload"
@@ -179,6 +180,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// The run shape is vetted by the shared study-spec rules, the same
+	// validation depthd applies to submitted studies and sweep applies
+	// to its flags — one home for instruction/warmup/catalog bounds.
+	shape := spec.Spec{Instructions: *n, Warmup: *warm}
+	if *nwl < 0 || *nwl > workload.Count {
+		log.Error("workload cap out of range", "workloads", *nwl, "catalog", workload.Count)
+		return 2
+	}
+	if *nwl > 0 {
+		shape.Workloads = workload.Names()[:*nwl]
+	}
+	if err := shape.Validate(spec.DefaultLimits()); err != nil {
+		log.Error("invalid run shape", "err", err)
+		return 2
+	}
+	shape = shape.Normalize()
+
 	var reg *telemetry.Registry
 	if *metricsOut != "" || *pprofAddr != "" {
 		reg = telemetry.NewRegistry()
@@ -233,8 +251,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := experiments.Options{
-		Instructions: *n,
-		Warmup:       *warm,
+		Instructions: shape.Instructions,
+		Warmup:       shape.Warmup,
 		Workloads:    *nwl,
 		Parallelism:  *par,
 		Cache:        cache,

@@ -81,3 +81,26 @@ func TestRunWarmCacheByteIdentical(t *testing.T) {
 		t.Fatalf("warm run cache summary unexpected:\n%s", err2)
 	}
 }
+
+// TestRunShapeValidation covers the shared study-spec checks on the
+// experiments front end: instruction bounds, warmup form and the
+// catalog cap all flow through internal/serve/spec.
+func TestRunShapeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative workload cap", []string{"-workloads", "-1", "-fig", "theory"}},
+		{"workload cap beyond catalog", []string{"-workloads", "99", "-fig", "theory"}},
+		{"instructions beyond trace cap", []string{"-n", "6000000", "-fig", "theory"}},
+		{"bad warmup", []string{"-warmup", "-7", "-fig", "theory"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if code := run(tc.args, &out, &errBuf); code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, errBuf.String())
+			}
+		})
+	}
+}

@@ -49,10 +49,10 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/resultcache"
+	"repro/internal/serve/spec"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/promexp"
 	"repro/internal/telemetry/span"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -186,14 +186,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"dash", "http://"+dbg.Addr()+"/dash")
 	}
 
-	prof, ok := workload.ByName(*name)
-	if !ok {
-		return fail(fmt.Errorf("unknown workload %q", *name))
+	// The CLI flags compile to the same study spec depthd serves, so
+	// validation (depth bounds, workload membership, machine presets)
+	// has one home for every front end.
+	sp := spec.Spec{
+		Workloads:    []string{*name},
+		MinDepth:     *minDepth,
+		MaxDepth:     *maxDepth,
+		Instructions: *n,
+		Warmup:       *warm,
+		Machine:      *mach,
+		OutOfOrder:   *ooo,
 	}
-	var depths []int
-	for d := *minDepth; d <= *maxDepth; d++ {
-		depths = append(depths, d)
+	if err := sp.Validate(spec.DefaultLimits()); err != nil {
+		return fail(err)
 	}
+	sp = sp.Normalize()
+	profs, err := sp.Profiles()
+	if err != nil {
+		return fail(err)
+	}
+	prof := profs[0]
+	depths := sp.Depths
 
 	var tracer *telemetry.Tracer
 	if *tracePath != "" {
@@ -206,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	start := time.Now()
-	cfg := core.StudyConfig{Depths: depths, Instructions: *n, Warmup: *warm, Cache: cache, Metrics: reg, Spans: spans}
+	cfg := core.StudyConfig{Depths: depths, Instructions: sp.Instructions, Warmup: sp.Warmup, Cache: cache, Metrics: reg, Spans: spans}
 	var liveHits atomic.Int64
 	if broker != nil {
 		_ = broker.Publish(telemetry.DashEvent{
@@ -245,13 +259,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			})
 		}
 	}
+	machine := sp.MachineFunc()
 	cfg.Machine = func(d int) (pipeline.Config, error) {
-		mc, err := pipeline.PresetConfig(pipeline.Preset(*mach), d)
+		mc, err := machine(d)
 		if err != nil {
 			return mc, err
-		}
-		if *ooo {
-			mc.OutOfOrder = true
 		}
 		// One depth of the sweep can carry the event tracer; attaching
 		// it to every depth would interleave runs in a single ring.

@@ -195,3 +195,32 @@ func TestRunCacheReadonlyAndClear(t *testing.T) {
 		t.Fatalf("cleared cache still produced hits:\n%s", stderr)
 	}
 }
+
+// TestRunSharedSpecValidation drives the flag combinations that the
+// shared study-spec rules (internal/serve/spec — the same validation
+// depthd applies to submitted studies) must reject.
+func TestRunSharedSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"depth below simulable range", []string{"-workload", "si95-gcc", "-min", "1", "-max", "8"}, "depth"},
+		{"depth above simulable range", []string{"-workload", "si95-gcc", "-min", "4", "-max", "99"}, "depth"},
+		{"inverted depth range", []string{"-workload", "si95-gcc", "-min", "20", "-max", "4"}, "depth"},
+		{"unknown machine preset", []string{"-workload", "si95-gcc", "-machine", "quantum"}, "machine"},
+		{"instructions beyond trace cap", []string{"-workload", "si95-gcc", "-n", "6000000"}, "instructions"},
+		{"bad warmup", []string{"-workload", "si95-gcc", "-warmup", "-7"}, "warmup"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+			}
+			if tc.want != "" && !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}

@@ -55,6 +55,10 @@ var spanMethods = map[string]bool{"Start": true, "Child": true}
 // budgetPrefix marks registry names carrying a cycle-budget bucket.
 const budgetPrefix = "pipeline.budget."
 
+// servePrefix marks registry names owned by the depthd study server;
+// they must come from the promexp.ServeMetrics vocabulary.
+const servePrefix = "serve."
+
 var Analyzer = &analysis.Analyzer{
 	Name: "metriclabel",
 	Doc: "checks telemetry Counter/Gauge/Histogram registrations and " +
@@ -124,6 +128,10 @@ func checkRegistryName(pass *analysis.Pass, arg ast.Expr) {
 			pass.Reportf(arg.Pos(), "metric registration: %v", err)
 		} else if rest, ok := strings.CutPrefix(name, budgetPrefix); ok {
 			if err := promexp.ValidBudgetBucket(rest); err != nil {
+				pass.Reportf(arg.Pos(), "metric registration: %v", err)
+			}
+		} else if strings.HasPrefix(name, servePrefix) {
+			if err := promexp.ValidServeMetric(name); err != nil {
 				pass.Reportf(arg.Pos(), "metric registration: %v", err)
 			}
 		}

@@ -64,3 +64,18 @@ func trace(tr *span.Tracer, dynamic string) {
 	wl.End()
 	root.End()
 }
+
+func serveMetrics(reg *telemetry.Registry, tr *span.Tracer, dynamic string) {
+	// serve.* registrations must use the canonical server vocabulary.
+	reg.Counter("serve.jobs_submitted").Inc()
+	reg.Gauge("serve.queue_depth").Set(0)
+	reg.Counter("serve." + dynamic).Inc()
+	reg.Counter("serve.job_count").Inc() // want `metric registration: serve metric "serve.job_count" is not in the promexp.ServeMetrics vocabulary`
+	reg.Gauge("serve.queue_len").Set(0)  // want `metric registration: serve metric "serve.queue_len" is not in the promexp.ServeMetrics vocabulary`
+
+	// The server's request/job spans are vocabulary names.
+	req := tr.Start("request", span.String("method", "GET"))
+	req.Child("job").End()
+	req.End()
+	tr.Start("handler").End() // want `span name: span name "handler" is not in the promexp.SpanNames vocabulary`
+}

@@ -59,6 +59,13 @@ type Record struct {
 	WallSec      float64 `json:"wall_sec"`
 	PointsPerSec float64 `json:"points_per_sec"`
 
+	// Server-run figures (the depthd load harness): HTTP request count
+	// and throughput. Requests differ from Points — one request may
+	// cover a whole study or none (status polls), so both axes are
+	// recorded.
+	Requests       uint64  `json:"requests,omitempty"`
+	RequestsPerSec float64 `json:"requests_per_sec,omitempty"`
+
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheMisses  uint64  `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -102,6 +109,9 @@ func (r *Record) Finish(start time.Time) {
 	r.WallSec = time.Since(start).Seconds()
 	if r.WallSec > 0 {
 		r.PointsPerSec = float64(r.Points) / r.WallSec
+		if r.Requests > 0 {
+			r.RequestsPerSec = float64(r.Requests) / r.WallSec
+		}
 	}
 }
 

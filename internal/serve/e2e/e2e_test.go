@@ -1,0 +1,248 @@
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/serve/spec"
+	"repro/internal/workload"
+)
+
+// e2eSpec is the canonical study the end-to-end tests submit: two
+// workloads over a depth range, small enough to finish in well under a
+// second, expressed in the sugar form (min/max) so the server's
+// normalization path is on the wire.
+func e2eSpec() spec.Spec {
+	names := workload.Names()
+	return spec.Spec{
+		Workloads:    []string{names[0], names[1]},
+		MinDepth:     4,
+		MaxDepth:     10,
+		Instructions: 2000,
+		Warmup:       -1,
+	}
+}
+
+// TestServedResultBitIdenticalToDirect is the tentpole proof: submit a
+// study over HTTP, stream its SSE progress, fetch the result, and
+// compare it byte-for-byte against running the identical spec directly
+// through core.RunCatalog (no server, no cache) folded through the
+// same BuildResult encoding.
+func TestServedResultBitIdenticalToDirect(t *testing.T) {
+	h := Boot(t, serve.Options{Workers: 1})
+	sp := e2eSpec()
+	st := h.Submit(t, sp)
+
+	// Subscribe immediately so frames arrive live, not just replayed.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	events := h.StreamEvents(t, ctx, st.ID)
+
+	fin := h.WaitDone(t, st.ID, serve.StateDone)
+	if fin.Points != sp.Points() {
+		t.Fatalf("points = %d, want %d", fin.Points, sp.Points())
+	}
+	served := h.ResultBytes(t, st.ID)
+
+	// Direct path: same spec, fresh engine, no cache.
+	cfg, err := sp.StudyConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := sp.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps, err := core.RunCatalog(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(serve.BuildResult(sp, sweeps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(served), bytes.TrimSpace(direct)) {
+		t.Errorf("served result is not bit-identical to the direct run\nserved: %s\ndirect: %s",
+			served, direct)
+	}
+
+	// The SSE stream carried the whole lifecycle: running, one frame
+	// per design point, and the terminal done frame that closed it.
+	var points, dones int
+	for _, ev := range events {
+		switch ev.Kind {
+		case "point":
+			points++
+		case "done":
+			dones++
+			if ev.State != serve.StateDone {
+				t.Errorf("terminal frame state = %s", ev.State)
+			}
+		}
+	}
+	if points != fin.Points || dones != 1 {
+		t.Errorf("streamed %d point frames and %d done frames, want %d and 1: %+v",
+			points, dones, fin.Points, events)
+	}
+
+	// The result decodes and carries the spec's fingerprint.
+	var res serve.Result
+	if err := json.Unmarshal(served, &res); err != nil {
+		t.Fatalf("decode served result: %v", err)
+	}
+	if res.SpecFingerprint != fin.SpecFingerprint {
+		t.Errorf("result fingerprint %s != job fingerprint %s",
+			res.SpecFingerprint, fin.SpecFingerprint)
+	}
+	if len(res.Workloads) != 2 {
+		t.Errorf("result has %d workloads, want 2", len(res.Workloads))
+	}
+}
+
+// TestLateSubscriberSeesFullReplay covers the SSE replay contract over
+// real HTTP: a subscriber that connects after the job finished still
+// receives every frame, in order, and the stream then closes.
+func TestLateSubscriberSeesFullReplay(t *testing.T) {
+	h := Boot(t, serve.Options{Workers: 1})
+	st := h.Submit(t, e2eSpec())
+	h.WaitDone(t, st.ID, serve.StateDone)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	events := h.StreamEvents(t, ctx, st.ID)
+	if len(events) == 0 {
+		t.Fatal("late subscriber got no replay")
+	}
+	if first := events[0]; first.Kind != "state" || first.State != serve.StateRunning {
+		t.Errorf("replay starts with %+v, want the running transition", first)
+	}
+	if last := events[len(events)-1]; last.Kind != "done" {
+		t.Errorf("replay ends with %+v, want the done frame", last)
+	}
+	// done counters in the frames are monotone.
+	prev := -1
+	for _, ev := range events {
+		if ev.Done < prev {
+			t.Errorf("done counter went backwards: %+v", events)
+			break
+		}
+		prev = ev.Done
+	}
+}
+
+// TestChurnQueueCancelDrain exercises the queue/cancel/drain lifecycle
+// under concurrency (run with -race): several clients submit small
+// studies while others cancel a deterministic subset, then the server
+// drains gracefully; every admitted job must reach a terminal state
+// and the lifecycle counters must balance.
+func TestChurnQueueCancelDrain(t *testing.T) {
+	h := Boot(t, serve.Options{Workers: 2, QueueCap: 64})
+	names := workload.Names()
+	const clients, perClient = 4, 5
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				sp := spec.Spec{
+					// Distinct depth pairs so jobs do real, varied work.
+					Workloads:    []string{names[(c*perClient+i)%len(names)]},
+					Depths:       []int{2 + (c+i)%10, 20 + (c+i)%10},
+					Instructions: 1000,
+					Warmup:       -1,
+				}
+				st, code, body := h.TrySubmit(t, sp)
+				if code != http.StatusAccepted {
+					t.Errorf("churn submit: %d: %s", code, body)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, st.ID)
+				mu.Unlock()
+				// Every third submission is canceled right away —
+				// sometimes still queued, sometimes already running,
+				// sometimes already finished; all must stay coherent.
+				if (c+i)%3 == 0 {
+					h.Cancel(t, st.ID)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Graceful drain: intake closes, the backlog still finishes. The
+	// HTTP listener stays up (only Shutdown tears it down), so the
+	// post-drain state is observable over the wire.
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer dcancel()
+	if err := h.Server.Drain(dctx); err != nil {
+		t.Fatalf("drain after churn: %v", err)
+	}
+	var done, canceled int
+	for _, id := range ids {
+		st := h.Status(t, id)
+		switch st.State {
+		case serve.StateDone:
+			done++
+			if raw := h.ResultBytes(t, id); len(raw) == 0 {
+				t.Errorf("done job %s has empty result", id)
+			}
+		case serve.StateCanceled:
+			canceled++
+		default:
+			t.Errorf("after drain, job %s in state %s (error %q)", id, st.State, st.Error)
+		}
+	}
+	if done+canceled != clients*perClient {
+		t.Errorf("terminal jobs %d+%d, want %d", done, canceled, clients*perClient)
+	}
+	if h.Counter("serve.jobs_failed") != 0 {
+		t.Errorf("serve.jobs_failed = %d, want 0", h.Counter("serve.jobs_failed"))
+	}
+	sub, comp, canc := h.Counter("serve.jobs_submitted"),
+		h.Counter("serve.jobs_completed"), h.Counter("serve.jobs_canceled")
+	if sub != uint64(clients*perClient) || comp+canc != sub {
+		t.Errorf("lifecycle counters unbalanced: submitted=%d completed=%d canceled=%d",
+			sub, comp, canc)
+	}
+	// Intake is closed after drain.
+	_, code, _ := h.TrySubmit(t, e2eSpec())
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: got %d, want 503", code)
+	}
+}
+
+// TestMetricsScrapeDuringLoad checks the exposition endpoint stays
+// coherent while jobs run and after they finish.
+func TestMetricsScrapeDuringLoad(t *testing.T) {
+	h := Boot(t, serve.Options{Workers: 2})
+	st := h.Submit(t, e2eSpec())
+	h.WaitDone(t, st.ID, serve.StateDone)
+	body := h.Metrics(t)
+	for _, family := range []string{
+		"serve_jobs_submitted", "serve_jobs_completed",
+		"serve_http_requests", "sweep_points_completed",
+		"span_request_us", "span_job_us", "span_study_us",
+	} {
+		if !contains(body, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return bytes.Contains([]byte(haystack), []byte(needle))
+}

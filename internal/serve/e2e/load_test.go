@@ -1,0 +1,145 @@
+package e2e
+
+import (
+	"encoding/json"
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/serve"
+	"repro/internal/serve/spec"
+	"repro/internal/workload"
+)
+
+// -serve-bench-out appends a load-test record to a BENCH trajectory
+// file (conventionally BENCH_serve.json); CI uploads it as an
+// artifact and cmd/benchdiff gates regressions against it.
+var serveBenchOut = flag.String("serve-bench-out", "", "append a depthd load-test bench record to this file")
+
+// TestLoadCachedRepeatsAreCacheLookups is the load harness: N
+// concurrent clients hammer the server, a warm wave first fills the
+// cache, then every repeat submission of the same spec must complete
+// without re-simulating a single design point — asserted through the
+// engine's own telemetry counters, not timing.
+func TestLoadCachedRepeatsAreCacheLookups(t *testing.T) {
+	const (
+		clients   = 8
+		perClient = 4
+	)
+	h := Boot(t, serve.Options{Workers: 4, QueueCap: 128})
+	names := workload.Names()
+	sp := spec.Spec{
+		Workloads:    []string{names[0], names[1], names[2]},
+		Depths:       []int{4, 8, 12, 16},
+		Instructions: 2000,
+		Warmup:       -1,
+	}
+
+	// Warm wave: one run simulates every point exactly once.
+	warm := h.Submit(t, sp)
+	fin := h.WaitDone(t, warm.ID, serve.StateDone)
+	if fin.Points != sp.Points() {
+		t.Fatalf("warm run points = %d, want %d", fin.Points, sp.Points())
+	}
+	simulatedAfterWarm := h.Counter("sweep.points_completed") - h.Counter("sweep.cache_hits")
+	if simulatedAfterWarm != uint64(sp.Points()) {
+		t.Fatalf("warm run simulated %d points, want %d", simulatedAfterWarm, sp.Points())
+	}
+	warmResult := h.ResultBytes(t, warm.ID)
+
+	// Load wave: every client repeats the identical spec.
+	start := time.Now()
+	lr := h.RunLoad(t, clients, perClient, func(c, i int) spec.Spec { return sp })
+
+	// O(cache lookup): the simulated-point count did not move — all
+	// load-wave points were served from the result cache.
+	simulatedAfterLoad := h.Counter("sweep.points_completed") - h.Counter("sweep.cache_hits")
+	if simulatedAfterLoad != simulatedAfterWarm {
+		t.Errorf("load wave re-simulated %d points; repeats must be cache lookups",
+			simulatedAfterLoad-simulatedAfterWarm)
+	}
+	wantHits := uint64(clients * perClient * sp.Points())
+	if hits := h.Counter("sweep.cache_hits"); hits < wantHits {
+		t.Errorf("sweep.cache_hits = %d, want >= %d", hits, wantHits)
+	}
+	if h.Counter("serve.jobs_failed") != 0 || h.Counter("serve.jobs_canceled") != 0 {
+		t.Errorf("load wave had failures/cancels: failed=%d canceled=%d",
+			h.Counter("serve.jobs_failed"), h.Counter("serve.jobs_canceled"))
+	}
+
+	// Every served repeat is byte-identical to the warm result.
+	for _, id := range doneJobIDs(t, h) {
+		if got := string(h.ResultBytes(t, id)); got != string(warmResult) {
+			t.Errorf("job %s result differs from warm result", id)
+			break
+		}
+	}
+
+	if lr.RoundTrip.Count != uint64(lr.Studies) {
+		t.Errorf("latency samples = %d, want %d", lr.RoundTrip.Count, lr.Studies)
+	}
+	t.Logf("load: %d studies, %d requests in %.3fs (round-trip p50 %.0fµs p95 %.0fµs p99 %.0fµs)",
+		lr.Studies, lr.Requests, lr.WallSec,
+		lr.RoundTrip.P50US, lr.RoundTrip.P95US, lr.RoundTrip.P99US)
+
+	if *serveBenchOut != "" {
+		writeBenchRecord(t, h, lr, sp, start)
+	}
+}
+
+// doneJobIDs lists every done job currently retained by the server.
+func doneJobIDs(t *testing.T, h *Harness) []string {
+	t.Helper()
+	var out []string
+	for _, st := range listJobs(t, h) {
+		if st.State == serve.StateDone {
+			out = append(out, st.ID)
+		}
+	}
+	return out
+}
+
+func listJobs(t *testing.T, h *Harness) []serve.JobStatus {
+	t.Helper()
+	resp, err := h.client.Get(h.Base + "/v1/studies")
+	if err != nil {
+		t.Fatalf("GET /v1/studies: %v", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []serve.JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode job list: %v", err)
+	}
+	return out.Jobs
+}
+
+// writeBenchRecord appends the load-test summary to the BENCH
+// trajectory named by -serve-bench-out.
+func writeBenchRecord(t *testing.T, h *Harness, lr LoadResult, sp spec.Spec, start time.Time) {
+	t.Helper()
+	rec := bench.NewRecord("depthd-load", start)
+	rec.Points = lr.Studies * sp.Points()
+	rec.Requests = lr.Requests
+	rec.CacheHits = h.Counter("resultcache.hits")
+	rec.CacheMisses = h.Counter("resultcache.misses")
+	if total := rec.CacheHits + rec.CacheMisses; total > 0 {
+		rec.CacheHitRate = float64(rec.CacheHits) / float64(total)
+	}
+	rec.Phases = map[string]bench.Phase{
+		"round_trip": lr.RoundTrip,
+		"request":    bench.PhaseFrom(h.Registry().Histogram("span.request_us")),
+		"job":        bench.PhaseFrom(h.Registry().Histogram("span.job_us")),
+	}
+	rec.Finish(start)
+	// Finish derives throughput from submit-to-assert wall time, which
+	// slightly understates the server's rate; it is stable enough for
+	// trajectory comparison, which is all benchdiff needs.
+	if err := bench.Append(*serveBenchOut, rec); err != nil {
+		t.Fatalf("append bench record: %v", err)
+	}
+	t.Logf("bench: appended depthd-load record to %s (%.1f req/s, hit rate %.2f)",
+		*serveBenchOut, rec.RequestsPerSec, rec.CacheHitRate)
+}

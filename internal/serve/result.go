@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/serve/spec"
+)
+
+// Result is the deterministic payload of a completed study: a pure
+// function of the (normalized) spec, independent of cache state, the
+// worker that ran it, or the wall clock. The e2e harness relies on
+// this — a served result must be bit-identical to the same spec run
+// directly through core.RunCatalog and folded through BuildResult —
+// so job-varying figures (cache hits, elapsed time) live on JobStatus,
+// never here.
+type Result struct {
+	SpecFingerprint string `json:"spec_fingerprint"`
+	// Metric and Gated record the figure of merit the per-point Metric
+	// values and the optima are reported under.
+	Metric    string           `json:"metric"`
+	Gated     bool             `json:"gated"`
+	Points    int              `json:"points"`
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+// WorkloadResult is one workload's sweep: its design points and the
+// cubic-fit optimum of the chosen metric.
+type WorkloadResult struct {
+	Workload string        `json:"workload"`
+	Class    string        `json:"class"`
+	Points   []PointResult `json:"points"`
+	// Optimum is the cubic-fit peak; absent when the fit failed (a
+	// monotone metric curve over a short depth range), in which case
+	// FitError says why — a fit failure is a property of the curve,
+	// not a job failure.
+	Optimum  *OptimumResult `json:"optimum,omitempty"`
+	FitError string         `json:"fit_error,omitempty"`
+}
+
+// PointResult is one simulated design point.
+type PointResult struct {
+	Depth int     `json:"depth"`
+	FO4   float64 `json:"fo4"`
+	IPC   float64 `json:"ipc"`
+	BIPS  float64 `json:"bips"`
+	// Both gating disciplines are always reported; Metric is evaluated
+	// under the spec's chosen one.
+	WattsGated float64 `json:"watts_gated"`
+	WattsPlain float64 `json:"watts_plain"`
+	Metric     float64 `json:"metric"`
+}
+
+// OptimumResult is the paper's cubic least-squares peak analysis for
+// one workload's metric curve.
+type OptimumResult struct {
+	Depth    float64 `json:"depth"`
+	FO4      float64 `json:"fo4"`
+	Interior bool    `json:"interior"`
+	R2       float64 `json:"r2"`
+}
+
+// BuildResult folds sweeps into the study's deterministic result
+// payload. Both the server worker and the e2e harness's direct path
+// call it, so "served equals direct" reduces to "RunCatalog is
+// deterministic" — which the difftest layer already guarantees.
+func BuildResult(sp spec.Spec, sweeps []*core.Sweep) *Result {
+	sp = sp.Normalize()
+	kind, gated := sp.Metric(), sp.IsGated()
+	res := &Result{
+		SpecFingerprint: sp.Fingerprint(),
+		Metric:          kind.String(),
+		Gated:           gated,
+	}
+	for _, sw := range sweeps {
+		wr := WorkloadResult{
+			Workload: sw.Workload.Name,
+			Class:    sw.Workload.Class.String(),
+			Points:   make([]PointResult, 0, len(sw.Points)),
+		}
+		for _, p := range sw.Points {
+			bips := p.Result.BIPS()
+			watts := p.PlainPower.Total()
+			if gated {
+				watts = p.GatedPower.Total()
+			}
+			wr.Points = append(wr.Points, PointResult{
+				Depth:      p.Depth,
+				FO4:        p.FO4,
+				IPC:        p.Result.IPC(),
+				BIPS:       bips,
+				WattsGated: p.GatedPower.Total(),
+				WattsPlain: p.PlainPower.Total(),
+				Metric:     kind.Value(bips, watts),
+			})
+			res.Points++
+		}
+		if o, err := sw.FindOptimum(kind, gated); err != nil {
+			wr.FitError = err.Error()
+		} else {
+			wr.Optimum = &OptimumResult{
+				Depth:    o.Depth,
+				FO4:      o.FO4,
+				Interior: o.Interior,
+				R2:       o.R2,
+			}
+		}
+		res.Workloads = append(res.Workloads, wr)
+	}
+	return res
+}

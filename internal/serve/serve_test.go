@@ -1,0 +1,544 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve/spec"
+	"repro/internal/workload"
+)
+
+// smallSpec is a fast two-point study used throughout the tests.
+func smallSpec() spec.Spec {
+	return spec.Spec{
+		Workloads:    []string{workload.Names()[0]},
+		Depths:       []int{4, 8},
+		Instructions: 2000,
+		Warmup:       -1,
+	}
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func submit(t *testing.T, base string, sp spec.Spec) (JobStatus, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/studies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/studies: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/studies/" + id)
+	if err != nil {
+		t.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status: %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, base, id string, want ...State) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStatus(t, base, id)
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s (error %q), want one of %v",
+				id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want one of %v", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func cancelJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/studies/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode cancel response: %v", err)
+	}
+	return st
+}
+
+func TestSubmitLifecycleAndResult(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1})
+	sp := smallSpec()
+	st, resp := submit(t, hs.URL, sp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", resp.StatusCode)
+	}
+	if st.State != StateQueued && st.State != StateRunning && st.State != StateDone {
+		t.Fatalf("fresh job in state %s", st.State)
+	}
+	if st.Points != 2 {
+		t.Fatalf("points = %d, want 2", st.Points)
+	}
+	fin := waitState(t, hs.URL, st.ID, StateDone)
+	if fin.DonePoints != 2 {
+		t.Errorf("done_points = %d, want 2", fin.DonePoints)
+	}
+	if fin.StartedAt == "" || fin.FinishedAt == "" {
+		t.Errorf("timestamps missing: %+v", fin)
+	}
+
+	// The served result must be byte-identical to a direct run of the
+	// same spec through core.RunCatalog + BuildResult.
+	resp2, err := http.Get(hs.URL + "/v1/studies/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := readAll(t, resp2)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("result: got %d: %s", resp2.StatusCode, served)
+	}
+	cfg, err := sp.StudyConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := sp.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps, err := core.RunCatalog(cfg, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := json.Marshal(BuildResult(sp, sweeps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(served), bytes.TrimSpace(direct)) {
+		t.Errorf("served result differs from direct run:\nserved: %s\ndirect: %s", served, direct)
+	}
+
+	if got := s.Registry().Counter("serve.jobs_completed").Value(); got != 1 {
+		t.Errorf("serve.jobs_completed = %d, want 1", got)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) ([]byte, int) {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return buf.Bytes(), resp.StatusCode
+}
+
+func TestSubmitRejectsInvalidSpec(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	for _, body := range []string{
+		`{"workloads":["no-such-workload"]}`,
+		`{"depths":[1]}`,
+		`{"unknown_field":true}`,
+		`not json`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/studies", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, code := readAll(t, resp)
+		if code != http.StatusBadRequest {
+			t.Errorf("submit %q: got %d (%s), want 400", body, code, msg)
+		}
+	}
+	if got := s.Registry().Counter("serve.jobs_rejected").Value(); got != 4 {
+		t.Errorf("serve.jobs_rejected = %d, want 4", got)
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	for _, path := range []string{"/v1/studies/nope", "/v1/studies/nope/result", "/v1/studies/nope/events"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, code := readAll(t, resp)
+		if code != http.StatusNotFound {
+			t.Errorf("GET %s: got %d, want 404", path, code)
+		}
+	}
+}
+
+// blockedServer returns a server whose single worker parks each job
+// until release is closed (or the job is canceled), making queue
+// admission and cancellation deterministic.
+func blockedServer(t *testing.T, opts Options) (*Server, *httptest.Server, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	opts.Workers = 1
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.beforeRun = func(j *Job) {
+		select {
+		case <-release:
+		case <-j.ctx.Done():
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs, release
+}
+
+func TestQueueFullRejectsWith429(t *testing.T) {
+	_, hs, release := blockedServer(t, Options{QueueCap: 1})
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateRunning) // worker holds A; queue empty
+	b, resp := submit(t, hs.URL, smallSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: got %d, want 202", resp.StatusCode)
+	}
+	_, resp = submit(t, hs.URL, smallSpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	close(release)
+	waitState(t, hs.URL, a.ID, StateDone)
+	waitState(t, hs.URL, b.ID, StateDone)
+}
+
+func TestResultConflictWhileRunning(t *testing.T) {
+	_, hs, release := blockedServer(t, Options{})
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateRunning)
+	resp, err := http.Get(hs.URL + "/v1/studies/" + a.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := readAll(t, resp)
+	if code != http.StatusConflict {
+		t.Errorf("result while running: got %d, want 409", code)
+	}
+	close(release)
+	waitState(t, hs.URL, a.ID, StateDone)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s, hs, release := blockedServer(t, Options{QueueCap: 2})
+	defer close(release)
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateRunning)
+	b, _ := submit(t, hs.URL, smallSpec())
+	st := cancelJob(t, hs.URL, b.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("canceled queued job in state %s, want canceled", st.State)
+	}
+	if got := s.Registry().Counter("serve.jobs_canceled").Value(); got != 1 {
+		t.Errorf("serve.jobs_canceled = %d, want 1", got)
+	}
+	// Idempotent: canceling again changes nothing.
+	st = cancelJob(t, hs.URL, b.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("re-cancel: state %s", st.State)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s, hs, release := blockedServer(t, Options{})
+	defer close(release)
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateRunning)
+	cancelJob(t, hs.URL, a.ID)
+	fin := waitState(t, hs.URL, a.ID, StateCanceled)
+	if fin.Error == "" {
+		t.Error("canceled job has empty error message")
+	}
+	if got := s.Registry().Counter("serve.jobs_canceled").Value(); got != 1 {
+		t.Errorf("serve.jobs_canceled = %d, want 1", got)
+	}
+	// A canceled job serves 409 on result.
+	resp, err := http.Get(hs.URL + "/v1/studies/" + a.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := readAll(t, resp)
+	if code != http.StatusConflict {
+		t.Errorf("result of canceled job: got %d, want 409", code)
+	}
+}
+
+func TestDrainFinishesBacklogAndClosesIntake(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1, QueueCap: 4})
+	a, _ := submit(t, hs.URL, smallSpec())
+	b, _ := submit(t, hs.URL, smallSpec())
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		if st := getStatus(t, hs.URL, id); st.State != StateDone {
+			t.Errorf("after drain, job %s in state %s, want done", id, st.State)
+		}
+	}
+	// Intake is closed: submissions 503, readyz 503, healthz still 200.
+	_, resp := submit(t, hs.URL, smallSpec())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: got %d, want 503", resp.StatusCode)
+	}
+	r2, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := readAll(t, r2); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: got %d, want 503", code)
+	}
+	r3, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := readAll(t, r3); code != http.StatusOK {
+		t.Errorf("healthz while draining: got %d, want 200", code)
+	}
+}
+
+func TestDrainTimeoutCancelsStuckJobs(t *testing.T) {
+	s, hs, release := blockedServer(t, Options{QueueCap: 2})
+	defer close(release) // workers exit via job ctx; release is belt and braces
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateRunning)
+	b, _ := submit(t, hs.URL, smallSpec())
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain with stuck worker returned nil, want deadline error")
+	}
+	waitState(t, hs.URL, a.ID, StateCanceled)
+	waitState(t, hs.URL, b.ID, StateCanceled)
+}
+
+func TestListReturnsSubmissionOrder(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1, QueueCap: 8})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, resp := submit(t, hs.URL, smallSpec())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	resp, err := http.Get(hs.URL + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 3 {
+		t.Fatalf("list returned %d jobs, want 3", len(out.Jobs))
+	}
+	for i, st := range out.Jobs {
+		if st.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s", i, st.ID, ids[i])
+		}
+	}
+}
+
+func TestEventsReplayAfterDone(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1})
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateDone)
+	resp, err := http.Get(hs.URL + "/v1/studies/" + a.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// running + 2 points + done = 4 frames, every one tagged with the job.
+	if len(events) != 4 {
+		t.Fatalf("replayed %d events, want 4: %+v", len(events), events)
+	}
+	for _, ev := range events {
+		if ev.JobID != a.ID {
+			t.Errorf("event for job %q, want %q", ev.JobID, a.ID)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Kind != "done" || last.State != StateDone || last.Done != 2 {
+		t.Errorf("terminal frame = %+v", last)
+	}
+}
+
+func TestRepeatSubmissionHitsCache(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1})
+	sp := smallSpec()
+	a, _ := submit(t, hs.URL, sp)
+	waitState(t, hs.URL, a.ID, StateDone)
+	b, _ := submit(t, hs.URL, sp)
+	fin := waitState(t, hs.URL, b.ID, StateDone)
+	if fin.CacheHits != fin.Points {
+		t.Errorf("repeat submission: cache_hits = %d, want %d (all points)", fin.CacheHits, fin.Points)
+	}
+	if a.ID == b.ID {
+		t.Error("distinct submissions share a job ID")
+	}
+	if hits := s.Registry().Counter("resultcache.hits").Value(); hits < 2 {
+		t.Errorf("resultcache.hits = %d, want >= 2", hits)
+	}
+	// Identical specs share a fingerprint (and thus the ID suffix).
+	if sa, sb := getStatus(t, hs.URL, a.ID), getStatus(t, hs.URL, b.ID); sa.SpecFingerprint != sb.SpecFingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", sa.SpecFingerprint, sb.SpecFingerprint)
+	}
+}
+
+func TestJobEvictionKeepsLiveJobs(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1, QueueCap: 8, MaxJobs: 2})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		// Vary the spec so each job simulates fresh (different depths).
+		sp := smallSpec()
+		sp.Depths = []int{4 + i, 20 + i}
+		st, resp := submit(t, hs.URL, sp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+		waitState(t, hs.URL, st.ID, StateDone)
+	}
+	// Only the most recent MaxJobs=2 jobs survive.
+	resp, err := http.Get(hs.URL + "/v1/studies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(out.Jobs))
+	}
+	for _, st := range out.Jobs {
+		if st.ID != ids[2] && st.ID != ids[3] {
+			t.Errorf("retained old job %s, want only %v", st.ID, ids[2:])
+		}
+	}
+	// Evicted jobs are gone from the status endpoint.
+	r2, err := http.Get(hs.URL + "/v1/studies/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := readAll(t, r2); code != http.StatusNotFound {
+		t.Errorf("evicted job status: got %d, want 404", code)
+	}
+}
+
+func TestMetricsEndpointExposesServeFamilies(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1})
+	a, _ := submit(t, hs.URL, smallSpec())
+	waitState(t, hs.URL, a.ID, StateDone)
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, code := readAll(t, resp)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"serve_jobs_submitted", "serve_jobs_completed", "serve_http_requests",
+		"span_request_us", "span_job_us",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestJobIDFormat(t *testing.T) {
+	id := jobID(7, "deadbeefcafef00d")
+	if id != "j000007-deadbeef" {
+		t.Errorf("jobID = %q", id)
+	}
+	if short := jobID(1, "ab"); short != "j000001-ab" {
+		t.Errorf("short fingerprint jobID = %q", short)
+	}
+}

@@ -1,0 +1,263 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func ptrF(f float64) *float64 { return &f }
+func ptrB(b bool) *bool       { return &b }
+
+// TestValidate is the shared validation table: every entry point
+// (depthd's HTTP boundary, cmd/sweep, cmd/experiments) rejects these
+// specs with these messages.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		lim  Limits
+		want string // "" = valid; else substring of the error
+	}{
+		{name: "zero spec is the full default study", spec: Spec{}},
+		{name: "explicit small study", spec: Spec{
+			Workloads: []string{"si95-gcc", "oltp-bank"}, Depths: []int{4, 8, 12},
+			Instructions: 2000, Warmup: -1, Machine: "narrow", MetricExponent: 2,
+		}},
+		{name: "range form", spec: Spec{MinDepth: 5, MaxDepth: 9}},
+		{name: "max sim depth boundary", spec: Spec{Depths: []int{pipeline.MaxSimDepth}}},
+
+		{name: "depths and range together", spec: Spec{Depths: []int{4}, MinDepth: 2},
+			want: "mutually exclusive"},
+		{name: "depth below simulator minimum", spec: Spec{Depths: []int{1, 4}},
+			want: "depth 1 outside"},
+		{name: "depth above simulator maximum", spec: Spec{Depths: []int{4, 41}},
+			want: "depth 41 outside"},
+		{name: "depths not ascending", spec: Spec{Depths: []int{8, 4}},
+			want: "strictly ascending"},
+		{name: "duplicate depth", spec: Spec{Depths: []int{4, 4}},
+			want: "strictly ascending"},
+		{name: "min above max", spec: Spec{MinDepth: 10, MaxDepth: 5},
+			want: "min_depth 10 exceeds max_depth 5"},
+		{name: "min out of range", spec: Spec{MinDepth: 1, MaxDepth: 5},
+			want: "min_depth 1 outside"},
+		{name: "max out of range", spec: Spec{MinDepth: 2, MaxDepth: 99},
+			want: "max_depth 99 outside"},
+		{name: "too many depths for the limit", spec: Spec{MinDepth: 2, MaxDepth: 20},
+			lim: Limits{MaxDepths: 4}, want: "19 depths exceeds the per-study limit of 4"},
+
+		{name: "unknown workload", spec: Spec{Workloads: []string{"spec-nope"}},
+			want: `unknown workload "spec-nope"`},
+		{name: "duplicate workload", spec: Spec{Workloads: []string{"si95-gcc", "si95-gcc"}},
+			want: "listed twice"},
+		{name: "too many workloads", spec: Spec{Workloads: []string{"si95-gcc", "oltp-bank", "sf-swim"}},
+			lim: Limits{MaxWorkloads: 2}, want: "3 workloads exceeds"},
+		{name: "empty workloads means all, against the limit", spec: Spec{},
+			lim: Limits{MaxWorkloads: 10}, want: "55 workloads exceeds"},
+		{name: "points limit", spec: Spec{Workloads: []string{"si95-gcc", "oltp-bank"}, Depths: []int{4, 8, 12}},
+			lim: Limits{MaxPoints: 5}, want: "6 design points"},
+
+		{name: "negative instructions", spec: Spec{Instructions: -5},
+			want: "instructions must be non-negative"},
+		{name: "instructions above limit", spec: Spec{Instructions: 100_000},
+			lim: Limits{MaxInstructions: 50_000}, want: "100000 instructions exceeds"},
+		{name: "warmup below -1", spec: Spec{Warmup: -2},
+			want: "warmup must be -1"},
+		{name: "warmup above limit", spec: Spec{Warmup: 100_000},
+			lim: Limits{MaxInstructions: 50_000}, want: "warmup instructions exceeds"},
+
+		{name: "unknown machine preset", spec: Spec{Machine: "cray"},
+			want: `unknown machine preset "cray"`},
+
+		{name: "exponent 4 out of range", spec: Spec{MetricExponent: 4},
+			want: "metric_exponent must be 1, 2 or 3"},
+		{name: "fractional exponent", spec: Spec{MetricExponent: 2.5},
+			want: "metric_exponent must be 1, 2 or 3"},
+		{name: "negative exponent", spec: Spec{MetricExponent: -1},
+			want: "metric_exponent must be 1, 2 or 3"},
+
+		{name: "leakage fraction 1 invalid", spec: Spec{LeakageFraction: ptrF(1)},
+			want: "leakage_fraction must be in [0, 1)"},
+		{name: "negative leakage", spec: Spec{LeakageFraction: ptrF(-0.1)},
+			want: "leakage_fraction must be in [0, 1)"},
+		{name: "zero beta invalid", spec: Spec{BetaUnit: ptrF(0)},
+			want: "beta_unit must be in (0, 3]"},
+		{name: "huge beta invalid", spec: Spec{BetaUnit: ptrF(5)},
+			want: "beta_unit must be in (0, 3]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate(tc.lim)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = ok, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	n := Spec{}.Normalize()
+	if len(n.Workloads) != workload.Count {
+		t.Errorf("workloads = %d, want the full catalog (%d)", len(n.Workloads), workload.Count)
+	}
+	if len(n.Depths) != DefaultMaxDepth-pipeline.MinSimDepth+1 {
+		t.Errorf("depths = %d, want %d", len(n.Depths), DefaultMaxDepth-pipeline.MinSimDepth+1)
+	}
+	if n.MinDepth != 0 || n.MaxDepth != 0 {
+		t.Errorf("normalized form must zero the range fields, got [%d, %d]", n.MinDepth, n.MaxDepth)
+	}
+	if n.Instructions != core.DefaultInstructions || n.Warmup != core.DefaultWarmup {
+		t.Errorf("instructions/warmup = %d/%d, want defaults", n.Instructions, n.Warmup)
+	}
+	if n.Machine != "zseries" || n.MetricExponent != 3 {
+		t.Errorf("machine/exponent = %s/%g, want zseries/3", n.Machine, n.MetricExponent)
+	}
+	if n.Gated == nil || !*n.Gated {
+		t.Error("gated must default to true")
+	}
+	if n.LeakageFraction == nil || *n.LeakageFraction != DefaultLeakageFraction {
+		t.Error("leakage fraction must default to the study baseline")
+	}
+	if n.BetaUnit == nil || *n.BetaUnit != power.DefaultBetaUnit {
+		t.Error("beta_unit must default to the study baseline")
+	}
+}
+
+func TestNormalizeNegativeWarmupCanonicalizes(t *testing.T) {
+	// Any "no warm-up" request (-1, or core's "negative means none")
+	// must normalize to the single canonical -1, or identical studies
+	// would fingerprint differently.
+	if w := (Spec{Warmup: -1}).Normalize().Warmup; w != -1 {
+		t.Errorf("warmup -1 normalized to %d", w)
+	}
+}
+
+// TestFingerprintCanonical: raw and normalized forms of the same study
+// share a fingerprint; different studies do not.
+func TestFingerprintCanonical(t *testing.T) {
+	raw := Spec{Workloads: []string{"si95-gcc"}, MinDepth: 4, MaxDepth: 6}
+	explicit := Spec{Workloads: []string{"si95-gcc"}, Depths: []int{4, 5, 6},
+		Instructions: core.DefaultInstructions, Warmup: core.DefaultWarmup,
+		Machine: "zseries", MetricExponent: 3, Gated: ptrB(true),
+		LeakageFraction: ptrF(DefaultLeakageFraction), BetaUnit: ptrF(power.DefaultBetaUnit)}
+	if raw.Fingerprint() != explicit.Fingerprint() {
+		t.Error("equivalent raw and explicit specs must fingerprint identically")
+	}
+	other := Spec{Workloads: []string{"si95-gcc"}, MinDepth: 4, MaxDepth: 7}
+	if raw.Fingerprint() == other.Fingerprint() {
+		t.Error("different depth ranges must fingerprint differently")
+	}
+	ooo := raw
+	ooo.OutOfOrder = true
+	if raw.Fingerprint() == ooo.Fingerprint() {
+		t.Error("out-of-order flag must change the fingerprint")
+	}
+}
+
+func TestModelDefaultsMatchBaseline(t *testing.T) {
+	// The default knobs must reproduce power.DefaultModel exactly:
+	// cached design points keyed on the baseline model stay valid when
+	// submitted through a spec.
+	if got, want := (Spec{}).Model().Fingerprint(), power.DefaultModel().Fingerprint(); got != want {
+		t.Errorf("default spec model fingerprint %s != baseline %s", got, want)
+	}
+	lf := Spec{LeakageFraction: ptrF(0.30)}
+	if lf.Model().Fingerprint() == power.DefaultModel().Fingerprint() {
+		t.Error("leakage_fraction knob must change the model")
+	}
+}
+
+func TestMetricMapping(t *testing.T) {
+	for _, tc := range []struct {
+		m    float64
+		want string
+	}{{0, "BIPS^3/W"}, {1, "BIPS/W"}, {2, "BIPS^2/W"}, {3, "BIPS^3/W"}} {
+		if got := (Spec{MetricExponent: tc.m}).Metric().String(); got != tc.want {
+			t.Errorf("exponent %g → %s, want %s", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestStudyConfigShape(t *testing.T) {
+	sp := Spec{Workloads: []string{"si95-gcc"}, Depths: []int{4, 8},
+		Instructions: 1000, Warmup: -1, Machine: "narrow"}
+	cfg, err := sp.StudyConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Depths) != 2 || cfg.Depths[0] != 4 || cfg.Depths[1] != 8 {
+		t.Errorf("depths = %v", cfg.Depths)
+	}
+	if cfg.Instructions != 1000 || cfg.Warmup != -1 {
+		t.Errorf("instructions/warmup = %d/%d", cfg.Instructions, cfg.Warmup)
+	}
+	mc, err := cfg.Machine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Width != 2 {
+		t.Errorf("narrow preset width = %d, want 2", mc.Width)
+	}
+	if _, err := (Spec{Workloads: []string{"nope"}}).StudyConfig(); err == nil {
+		t.Error("StudyConfig must reject an invalid spec")
+	}
+}
+
+func TestProfilesResolveInSpecOrder(t *testing.T) {
+	sp := Spec{Workloads: []string{"sf-swim", "si95-gcc"}}
+	profs, err := sp.Profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 || profs[0].Name != "sf-swim" || profs[1].Name != "si95-gcc" {
+		t.Fatalf("profiles = %v", profs)
+	}
+}
+
+// TestJSONRoundTrip: the wire form survives a decode/encode cycle, so
+// a job's recorded spec resubmits identically.
+func TestJSONRoundTrip(t *testing.T) {
+	in := `{"workloads":["si95-gcc"],"depths":[4,8],"instructions":2000,"warmup":-1,"ooo":true,"metric_exponent":2,"gated":false,"leakage_fraction":0.2}`
+	var sp Spec
+	if err := json.Unmarshal([]byte(in), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != sp.Fingerprint() {
+		t.Error("round-tripped spec changed identity")
+	}
+	if back.IsGated() {
+		t.Error("gated=false lost in round trip")
+	}
+}
+
+func TestPointsCount(t *testing.T) {
+	sp := Spec{Workloads: []string{"si95-gcc", "oltp-bank"}, Depths: []int{4, 8, 12}}
+	if got := sp.Points(); got != 6 {
+		t.Errorf("Points() = %d, want 6", got)
+	}
+}

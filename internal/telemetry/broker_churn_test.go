@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// streamInts reads one subscriber's SSE stream to completion and
+// returns the integer payloads in arrival order.
+func streamInts(t *testing.T, hs *httptest.Server) []int {
+	t.Helper()
+	resp, err := hs.Client().Get(hs.URL)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer resp.Body.Close()
+	var got []int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimPrefix(line, "data: "))
+		if err != nil {
+			t.Fatalf("non-integer frame %q: %v", line, err)
+		}
+		got = append(got, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return got
+}
+
+// TestBrokerSubscriberJoinsMidRun subscribes while a producer is
+// actively publishing: the subscriber must see the already-published
+// history as a prefix, then live events, all in publish order, and the
+// stream must end cleanly at Close.
+func TestBrokerSubscriberJoinsMidRun(t *testing.T) {
+	b := NewBroker(0)
+	hs := httptest.NewServer(b)
+	defer hs.Close()
+
+	const preroll, live = 100, 100
+	for i := 0; i < preroll; i++ {
+		if err := b.Publish(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := preroll; i < preroll+live; i++ {
+			if err := b.Publish(i); err != nil {
+				t.Errorf("publish %d: %v", i, err)
+				return
+			}
+		}
+		b.Close()
+	}()
+
+	got := streamInts(t, hs)
+	<-done
+	if len(got) < preroll {
+		t.Fatalf("mid-run subscriber saw %d events, want at least the %d-event history", len(got), preroll)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("events out of order at %d: %v", i, got[i-2:i+1])
+		}
+	}
+	for i := 0; i < preroll; i++ {
+		if got[i] != i {
+			t.Fatalf("history prefix broken at %d: got %d", i, got[i])
+		}
+	}
+}
+
+// TestBrokerSlowConsumerUnderChurn parks a subscriber that never
+// drains while several producers publish far more events than its
+// channel buffers: Publish must never block, fast subscribers must
+// keep receiving, and Close must still disconnect everyone.
+func TestBrokerSlowConsumerUnderChurn(t *testing.T) {
+	b := NewBroker(64)
+	slow, _, closed := b.subscribe()
+	if closed {
+		t.Fatal("fresh broker reports closed")
+	}
+	// Fast consumer drains concurrently and counts.
+	fast, _, _ := b.subscribe()
+	fastDone := make(chan int)
+	go func() {
+		n := 0
+		for range fast {
+			n++
+		}
+		fastDone <- n
+	}()
+
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					if err := b.Publish(p*perProducer + i); err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publishers blocked behind a slow consumer")
+	}
+	b.Close()
+
+	if n := <-fastDone; n == 0 {
+		t.Error("fast consumer starved while slow consumer was parked")
+	}
+	// The slow consumer's channel was closed by Close after skipping
+	// everything beyond its buffer.
+	buffered := 0
+	for range slow {
+		buffered++
+	}
+	if buffered > cap(slow) {
+		t.Errorf("slow consumer buffered %d > cap %d", buffered, cap(slow))
+	}
+}
+
+// TestBrokerCloseMidStream closes the broker while an HTTP subscriber
+// is streaming live: the subscriber's body must end (no hang, no
+// error) and the frames received must be an ordered prefix.
+func TestBrokerCloseMidStream(t *testing.T) {
+	b := NewBroker(0)
+	hs := httptest.NewServer(b)
+	defer hs.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := b.Publish(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make(chan []int)
+	go func() { got <- streamInts(t, hs) }()
+	// Let the subscriber attach, then slam the broker shut while the
+	// stream is live.
+	time.Sleep(10 * time.Millisecond)
+	for i := 10; i < 20; i++ {
+		if err := b.Publish(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	select {
+	case events := <-got:
+		if len(events) < 10 {
+			t.Fatalf("subscriber saw %d events, want at least the 10-event history", len(events))
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i] <= events[i-1] {
+				t.Fatalf("events out of order: %v", events)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("subscriber still streaming after Close")
+	}
+	// Publishing after Close stays a no-op, and late subscribers still
+	// get the replay then an immediate end-of-stream.
+	if err := b.Publish(99); err != nil {
+		t.Fatal(err)
+	}
+	late := streamInts(t, hs)
+	for _, v := range late {
+		if v == 99 {
+			t.Error("post-Close publish leaked into the replay")
+		}
+	}
+}
+
+// TestBrokerSubscriberChurnRace hammers subscribe/stream/leave from
+// many goroutines while producers publish and the broker finally
+// closes — the lifecycle the depthd job broker sees when dashboards
+// connect and disconnect mid-study. Run with -race.
+func TestBrokerSubscriberChurnRace(t *testing.T) {
+	b := NewBroker(128)
+	hs := httptest.NewServer(b)
+	defer hs.Close()
+
+	stop := make(chan struct{})
+	var producers sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		producers.Add(1)
+		go func(p int) {
+			defer producers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := b.Publish(map[string]int{"producer": p, "seq": i}); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	var subs sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			for k := 0; k < 5; k++ {
+				resp, err := hs.Client().Get(hs.URL)
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				// Read a handful of frames, then walk away mid-stream.
+				sc := bufio.NewScanner(resp.Body)
+				for read := 0; read < 20 && sc.Scan(); {
+					line := sc.Text()
+					if !strings.HasPrefix(line, "data: ") {
+						continue
+					}
+					var frame map[string]int
+					if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &frame); err != nil {
+						t.Errorf("bad frame %q: %v", line, err)
+					}
+					read++
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	subs.Wait()
+	close(stop)
+	producers.Wait()
+	b.Close()
+
+	// The broker is quiescent: a final subscriber gets the bounded
+	// replay and an immediate close.
+	if got := streamIntsAny(t, hs); got > 128 {
+		t.Errorf("replay after churn returned %d frames, history cap is 128", got)
+	}
+}
+
+// streamIntsAny counts frames without decoding them.
+func streamIntsAny(t *testing.T, hs *httptest.Server) int {
+	t.Helper()
+	resp, err := hs.Client().Get(hs.URL)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer resp.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			n++
+		}
+	}
+	return n
+}

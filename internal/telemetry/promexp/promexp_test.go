@@ -159,3 +159,24 @@ func TestHandlerContentType(t *testing.T) {
 		t.Fatalf("handler output fails lint: %v", err)
 	}
 }
+
+func TestServeMetricVocabulary(t *testing.T) {
+	for name := range ServeMetrics {
+		if err := ValidServeMetric(name); err != nil {
+			t.Errorf("vocabulary name %q rejected: %v", name, err)
+		}
+	}
+	for _, bad := range []string{"serve.job_count", "serve.", "serve.Queue-Depth", ""} {
+		if err := ValidServeMetric(bad); err == nil {
+			t.Errorf("ValidServeMetric accepted %q", bad)
+		}
+	}
+}
+
+func TestServeSpanNamesInVocabulary(t *testing.T) {
+	for _, name := range []string{"request", "job"} {
+		if err := ValidSpanName(name); err != nil {
+			t.Errorf("serve span %q rejected: %v", name, err)
+		}
+	}
+}

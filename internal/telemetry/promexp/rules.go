@@ -152,6 +152,8 @@ var SpanNames = map[string]bool{
 	"simulate": true, // the cycle-accurate pipeline run
 	"power":    true, // power-model evaluation (both disciplines)
 	"fit":      true, // cubic least-squares optimum extraction
+	"request":  true, // one depthd HTTP request (internal/serve)
+	"job":      true, // one depthd study job, queue-to-terminal
 }
 
 // spanNameRe is the span-name alphabet: lower-case snake case, so
@@ -201,6 +203,36 @@ func ValidBudgetBucket(name string) error {
 	}
 	if !BudgetBuckets[name] {
 		return fmt.Errorf("budget bucket %q is not in the promexp.BudgetBuckets vocabulary", name)
+	}
+	return nil
+}
+
+// ServeMetrics is the canonical vocabulary of the depthd study
+// server's serve.* registry names (internal/serve). The e2e harness,
+// the CI smoke scrape and the dashboards key on them; a serve-side
+// metric outside this table is a lint error, same as an ad-hoc span
+// name.
+var ServeMetrics = map[string]bool{
+	"serve.http_requests":  true, // counter: requests accepted by the mux
+	"serve.http_errors":    true, // counter: responses with status >= 400
+	"serve.jobs_submitted": true, // counter: studies admitted to the queue
+	"serve.jobs_rejected":  true, // counter: 400/429/503 submissions
+	"serve.jobs_completed": true, // counter: jobs reaching done
+	"serve.jobs_failed":    true, // counter: jobs reaching failed
+	"serve.jobs_canceled":  true, // counter: jobs reaching canceled
+	"serve.jobs_running":   true, // gauge: jobs currently executing
+	"serve.queue_depth":    true, // gauge: jobs waiting in the queue
+}
+
+// ValidServeMetric checks a serve.* registry name against the
+// canonical vocabulary (names without the serve. prefix are not this
+// predicate's concern).
+func ValidServeMetric(name string) error {
+	if err := ValidRegistryName(name); err != nil {
+		return err
+	}
+	if !ServeMetrics[name] {
+		return fmt.Errorf("serve metric %q is not in the promexp.ServeMetrics vocabulary", name)
 	}
 	return nil
 }
