@@ -134,6 +134,34 @@ func compare(old, new_ *bench.Record, noise, minPhaseUS float64, w io.Writer) in
 			"invariant_overhead_frac", old.InvariantOverhead, new_.InvariantOverhead, delta, status)
 	}
 
+	// Ledger shedding is a fraction near zero, so like the invariant
+	// overhead it compares on an absolute band: a load test that starts
+	// dropping a meaningful share of its canonical events regressed,
+	// whatever the baseline was.
+	if old.LedgerEvents > 0 && new_.LedgerEvents > 0 {
+		delta := new_.LedgerDropFrac - old.LedgerDropFrac
+		status := "ok"
+		if delta > noise {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-34s %10.4f -> %10.4f  (%+.4f abs)  %s\n",
+			"ledger_drop_frac", old.LedgerDropFrac, new_.LedgerDropFrac, delta, status)
+	}
+	// Burn rate only regresses when it grows beyond the noise band AND
+	// the run actually ends over budget (burn > 1): drifting from 0.1
+	// to 0.3 is headroom, not an alert.
+	if old.MaxBurnRate > 0 && new_.MaxBurnRate > 0 {
+		rel := new_.MaxBurnRate/old.MaxBurnRate - 1
+		status := "ok"
+		if rel > noise && new_.MaxBurnRate > 1 {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-34s %10.4f -> %10.4f  (%+6.1f%%)  %s\n",
+			"max_burn_rate", old.MaxBurnRate, new_.MaxBurnRate, rel*100, status)
+	}
+
 	// Phase quantiles, lower-better, for phases both records measured.
 	names := make([]string, 0, len(old.Phases))
 	for name := range old.Phases {

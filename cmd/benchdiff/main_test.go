@@ -194,6 +194,48 @@ func TestServeTrajectoryCompares(t *testing.T) {
 	}
 }
 
+// obsRecord is a serve record carrying the observability figures.
+func obsRecord(written, dropped uint64, maxBurn float64) bench.Record {
+	rec := serveRecord(700, 50000)
+	rec.SetLedger(written, dropped)
+	rec.MaxBurnRate = maxBurn
+	return rec
+}
+
+func TestLedgerDropFracAbsoluteBand(t *testing.T) {
+	// A few drops inside the 0.20 absolute band pass.
+	path := writeTrajectory(t, "b.json", obsRecord(1000, 0, 0.1), obsRecord(950, 50, 0.1))
+	if code, out := runDiff(t, "-baseline", path); code != 0 {
+		t.Fatalf("5%% drop fraction flagged:\n%s", out)
+	}
+	// Shedding 40% of the canonical events is a regression.
+	path = writeTrajectory(t, "b2.json", obsRecord(1000, 0, 0.1), obsRecord(600, 400, 0.1))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 1 || !strings.Contains(out, "ledger_drop_frac") {
+		t.Fatalf("drop-fraction regression missed: exit %d\n%s", code, out)
+	}
+}
+
+func TestMaxBurnRateGatesOnlyOverBudget(t *testing.T) {
+	// Growth that stays under burn 1.0 is headroom, not a regression —
+	// even tripling from 0.1 to 0.3.
+	path := writeTrajectory(t, "b.json", obsRecord(1000, 0, 0.1), obsRecord(1000, 0, 0.3))
+	if code, out := runDiff(t, "-baseline", path); code != 0 {
+		t.Fatalf("under-budget burn growth flagged:\n%s", out)
+	}
+	// Growing past 1.0 (over budget) beyond the noise band fails.
+	path = writeTrajectory(t, "b2.json", obsRecord(1000, 0, 0.8), obsRecord(1000, 0, 2.5))
+	code, out := runDiff(t, "-baseline", path)
+	if code != 1 || !strings.Contains(out, "max_burn_rate") {
+		t.Fatalf("over-budget burn regression missed: exit %d\n%s", code, out)
+	}
+	// A high-but-stable burn (within noise) does not flip the gate.
+	path = writeTrajectory(t, "b3.json", obsRecord(1000, 0, 2.0), obsRecord(1000, 0, 2.1))
+	if code, out := runDiff(t, "-baseline", path); code != 0 {
+		t.Fatalf("stable burn flagged:\n%s", out)
+	}
+}
+
 func TestServeRequestThroughputRegressionFails(t *testing.T) {
 	// 40% request-throughput drop with stable latency: the serve-only
 	// axis must gate on its own.

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/workload"
 )
 
@@ -67,37 +68,42 @@ func TestRunBadListenAddr(t *testing.T) {
 	}
 }
 
+// bootDepthd starts run() with the given extra flags and returns the
+// resolved base URL (parsed from the announced listen line) plus the
+// exit-code channel.
+func bootDepthd(t *testing.T, ctx context.Context, extra ...string) (string, chan int) {
+	t.Helper()
+	var stdout syncBuf
+	done := make(chan int, 1)
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "1",
+		"-drain-timeout", "10s",
+	}, extra...)
+	go func() { done <- run(ctx, args, &stdout, io.Discard) }()
+
+	// The first stdout line announces the resolved address.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line in stdout: %q", stdout.String())
+		}
+		if s := stdout.String(); strings.Contains(s, "depthd listening on ") {
+			line := s[strings.Index(s, "depthd listening on ")+len("depthd listening on "):]
+			return "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0]), done
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestBootSubmitDrain boots a real depthd on a random port, drives one
 // study over HTTP, then shuts it down via context cancellation and
 // checks the graceful-drain exit path.
 func TestBootSubmitDrain(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var stdout syncBuf
-	done := make(chan int, 1)
-	go func() {
-		done <- run(ctx, []string{
-			"-addr", "127.0.0.1:0",
-			"-workers", "1",
-			"-cache-dir", t.TempDir(),
-			"-drain-timeout", "10s",
-		}, &stdout, io.Discard)
-	}()
-
-	// The first stdout line announces the resolved address.
-	var base string
+	base, done := bootDepthd(t, ctx, "-cache-dir", t.TempDir())
 	deadline := time.Now().Add(10 * time.Second)
-	for base == "" {
-		if time.Now().After(deadline) {
-			t.Fatalf("no listen line in stdout: %q", stdout.String())
-		}
-		if s := stdout.String(); strings.Contains(s, "depthd listening on ") {
-			line := s[strings.Index(s, "depthd listening on ")+len("depthd listening on "):]
-			base = "http://" + strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
-		} else {
-			time.Sleep(5 * time.Millisecond)
-		}
-	}
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -148,5 +154,92 @@ func TestBootSubmitDrain(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("depthd did not exit after context cancel")
+	}
+}
+
+// TestBootObservabilityFlags boots depthd with the full observability
+// flag set, runs a study, and checks the mounted surfaces answer and
+// the ledger reaches disk on drain.
+func TestBootObservabilityFlags(t *testing.T) {
+	ledgerDir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, done := bootDepthd(t, ctx,
+		"-tsdb", "-tsdb-interval", "10ms", "-tsdb-retain", "2048",
+		"-ledger-dir", ledgerDir,
+		"-stall-timeout", "30s", "-dump-dir", t.TempDir(),
+	)
+
+	body := `{"workloads":["` + workload.Names()[0] + `"],"depths":[4,8],"instructions":2000,"warmup":-1}`
+	resp, err := http.Post(base+"/v1/studies", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/studies/" + st.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		r.Body.Close()
+	}
+
+	// The scraper needs a couple of beats before /v1/query has series.
+	for {
+		r, err := http.Get(base + "/v1/query?metric=serve.jobs_completed&since=30s")
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		code := r.StatusCode
+		r.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/v1/query stuck at %d", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, path := range []string{"/v1/slo", "/dash"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, r.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("graceful shutdown: exit %d, want 0", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("depthd did not exit after context cancel")
+	}
+	events, err := ledger.Replay(ledgerDir)
+	if err != nil {
+		t.Fatalf("ledger replay: %v", err)
+	}
+	if sum := ledger.Summarize(events); sum["job:done"] != 1 {
+		t.Errorf("ledger summary %v, want one job:done", sum)
 	}
 }

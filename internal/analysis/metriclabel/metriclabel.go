@@ -6,7 +6,9 @@
 //
 //   - Registry.Counter/Gauge/Histogram(name): the registry-name rule
 //     (dotted names or LabelName-rendered series), plus the cycle-budget
-//     vocabulary for "pipeline.budget."-prefixed names;
+//     vocabulary for "pipeline.budget."-prefixed names and the closed
+//     serve./tsdb./slo./ledger. vocabularies for the server and its
+//     observability subsystems;
 //   - telemetry.LabelName(family, kv...): the family against the strict
 //     exposition alphabet, constant label keys against the label rule
 //     (including reserved names like le), and that kv pairs up — a
@@ -58,6 +60,16 @@ const budgetPrefix = "pipeline.budget."
 // servePrefix marks registry names owned by the depthd study server;
 // they must come from the promexp.ServeMetrics vocabulary.
 const servePrefix = "serve."
+
+// vocabPrefixes maps the remaining owned registry-name prefixes to the
+// promexp predicate validating the full name — the history store, the
+// SLO engine and the request/job ledger each keep their meta-metric
+// vocabulary closed the same way serve.* does.
+var vocabPrefixes = map[string]func(string) error{
+	"tsdb.":   promexp.ValidTSDBMetric,
+	"slo.":    promexp.ValidSLOMetric,
+	"ledger.": promexp.ValidLedgerMetric,
+}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "metriclabel",
@@ -134,6 +146,15 @@ func checkRegistryName(pass *analysis.Pass, arg ast.Expr) {
 			if err := promexp.ValidServeMetric(name); err != nil {
 				pass.Reportf(arg.Pos(), "metric registration: %v", err)
 			}
+		} else {
+			for prefix, valid := range vocabPrefixes {
+				if strings.HasPrefix(name, prefix) {
+					if err := valid(name); err != nil {
+						pass.Reportf(arg.Pos(), "metric registration: %v", err)
+					}
+					break
+				}
+			}
 		}
 		return
 	}
@@ -174,10 +195,18 @@ func checkLabelName(pass *analysis.Pass, call *ast.CallExpr) {
 		if err := promexp.ValidLabelName(key); err != nil {
 			pass.Reportf(kv[i].Pos(), "LabelName key: %v", err)
 		}
-		// The bucket label is the budget vocabulary's exposition form.
+		// The bucket label is the budget vocabulary's exposition form;
+		// the objective label is the SLO vocabulary's.
 		if key == "bucket" {
 			if val, ok := constString(pass, kv[i+1]); ok {
 				if err := promexp.ValidBudgetBucket(val); err != nil {
+					pass.Reportf(kv[i+1].Pos(), "LabelName value: %v", err)
+				}
+			}
+		}
+		if key == "objective" {
+			if val, ok := constString(pass, kv[i+1]); ok {
+				if err := promexp.ValidSLOObjective(val); err != nil {
 					pass.Reportf(kv[i+1].Pos(), "LabelName value: %v", err)
 				}
 			}

@@ -87,9 +87,31 @@ type Record struct {
 	// fractional slowdown of enabling the engine.
 	InvariantOverhead float64 `json:"invariant_overhead_frac,omitempty"`
 
+	// Observability figures (the depthd load harness with the ledger
+	// and SLO engine on): canonical ledger throughput and loss, and the
+	// worst fast-window burn rate at the end of the run. A load test
+	// that drops ledger events or ends while burning is visible in the
+	// trajectory, not just in that run's logs.
+	LedgerEvents uint64 `json:"ledger_events,omitempty"`
+	LedgerDrops  uint64 `json:"ledger_drops,omitempty"`
+	// LedgerDropFrac is Drops/(Events+Drops) — the shed fraction.
+	LedgerDropFrac float64 `json:"ledger_drop_frac,omitempty"`
+	// MaxBurnRate is the highest fast-window SLO burn rate across
+	// objectives at the end of the run (1.0 = burning the budget
+	// exactly at the sustainable pace).
+	MaxBurnRate float64 `json:"max_burn_rate,omitempty"`
+
 	// Phases holds per-phase duration histograms, e.g. "point" for
 	// simulated design points and "point_cached" for cache hits.
 	Phases map[string]Phase `json:"phases,omitempty"`
+}
+
+// SetLedger fills the ledger figures and derives the drop fraction.
+func (r *Record) SetLedger(written, dropped uint64) {
+	r.LedgerEvents, r.LedgerDrops = written, dropped
+	if total := written + dropped; total > 0 {
+		r.LedgerDropFrac = float64(dropped) / float64(total)
+	}
 }
 
 // NewRecord stamps a record with the environment and start time.

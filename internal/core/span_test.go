@@ -171,3 +171,40 @@ func TestSweepWithoutSpansIsUnchanged(t *testing.T) {
 		}
 	}
 }
+
+func TestParentNestsStudyUnderCallerSpan(t *testing.T) {
+	// depthd's pattern: the caller owns a job span; with Parent set,
+	// the study tree nests under it so a per-job Rollup sees the
+	// phases.
+	reg := telemetry.NewRegistry()
+	cfg, tr := spanCfg(reg)
+	job := tr.Start("job")
+	cfg.Parent = job
+	prof := workload.Representative(workload.SPECInt)
+	if _, err := RunSweep(cfg, prof); err != nil {
+		t.Fatal(err)
+	}
+	job.End()
+
+	wls := tr.ByName("workload")
+	if len(wls) != 1 || wls[0].Parent != job.ID() {
+		t.Fatalf("workload span not nested under the job span: %+v", wls)
+	}
+	roll := tr.Rollup(job.ID())
+	if roll["point"].Count != len(cfg.Depths) {
+		t.Fatalf("job rollup points = %d, want %d", roll["point"].Count, len(cfg.Depths))
+	}
+	if roll["simulate"].TotalNS <= 0 {
+		t.Fatalf("job rollup simulate total = %d, want > 0", roll["simulate"].TotalNS)
+	}
+
+	// Parent without Spans stays fully disabled.
+	cfg2 := quickCfg()
+	cfg2.Parent = job
+	if _, err := RunSweep(cfg2, prof); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.ByName("workload")); got != 1 {
+		t.Fatalf("Parent without Spans emitted spans (workloads = %d)", got)
+	}
+}

@@ -98,6 +98,12 @@ type StudyConfig struct {
 	// Recorder is shared across the sweep's workers (it is
 	// concurrency-safe), so violation counts aggregate study-wide.
 	Invariants *invariant.Recorder
+	// Parent, when non-nil, nests the run's span tree under an
+	// enclosing span owned by the caller — depthd sets it to the job
+	// span so a job's study/workload/point phases roll up under the
+	// job in ledger events. Must be a span of the same tracer as
+	// Spans; ignored when Spans is nil.
+	Parent *span.Span
 
 	// prog is the shared completion counter, preset by RunCatalog so
 	// per-workload sweeps report catalog-wide progress.
@@ -113,6 +119,9 @@ type StudyConfig struct {
 func (c *StudyConfig) startSpan(name string, attrs ...span.Attr) *span.Span {
 	if c.parentSpan != nil {
 		return c.parentSpan.Child(name, attrs...)
+	}
+	if c.Parent != nil && c.Spans != nil {
+		return c.Parent.Child(name, attrs...)
 	}
 	return c.Spans.Start(name, attrs...)
 }

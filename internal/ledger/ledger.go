@@ -1,0 +1,266 @@
+// Package ledger is depthd's canonical request/job event log: exactly
+// one wide, structured JSONL event per terminal HTTP request and per
+// terminal job, in the "canonical log line" style — everything an
+// operator needs to answer "what happened to job X" on a single line
+// (spec fingerprint, queue wait, cache hits, per-phase durations
+// rolled up from the span tree, outcome), greppable with stock tools
+// and replayable with Replay.
+//
+// The writer is bounded and non-blocking: Record never waits on disk.
+// Events queue into a fixed channel drained by one background
+// goroutine; when the queue is full the event is dropped and counted
+// (ledger.events_dropped) — under overload the ledger degrades by
+// shedding its own events, never by adding request latency. Close
+// drains the queue, so a clean shutdown loses nothing.
+//
+// A nil *Writer is the disabled state (no -ledger-dir): Record and
+// Close are no-ops, so call sites carry no conditionals.
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// EventsFile is the JSONL file name inside the ledger directory.
+const EventsFile = "events.jsonl"
+
+// DefaultCapacity bounds the in-flight event queue.
+const DefaultCapacity = 1024
+
+// PhaseStat aggregates one span name within a job's subtree.
+type PhaseStat struct {
+	Count   int   `json:"count"`
+	TotalUS int64 `json:"total_us"`
+}
+
+// Event is one wide ledger line. Kind selects which field group is
+// meaningful; unused fields stay at their zero values and are elided
+// from the JSON.
+type Event struct {
+	// At is the terminal time, RFC3339Nano UTC.
+	At string `json:"at"`
+	// Kind is "request" or "job".
+	Kind string `json:"kind"`
+
+	// Request fields (one event per completed HTTP request).
+	Method string `json:"method,omitempty"`
+	Path   string `json:"path,omitempty"`
+	Status int    `json:"status,omitempty"`
+	DurUS  int64  `json:"dur_us,omitempty"`
+
+	// Job fields (one event per job reaching a terminal state).
+	JobID           string `json:"job_id,omitempty"`
+	SpecFingerprint string `json:"spec_fingerprint,omitempty"`
+	// Outcome is the terminal state: done, failed or canceled.
+	Outcome     string `json:"outcome,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Workloads   int    `json:"workloads,omitempty"`
+	Points      int    `json:"points,omitempty"`
+	CacheHits   int    `json:"cache_hits,omitempty"`
+	QueueWaitUS int64  `json:"queue_wait_us,omitempty"`
+	RunUS       int64  `json:"run_us,omitempty"`
+	Stalled     bool   `json:"stalled,omitempty"`
+	// Phases is the span rollup of the job's subtree: per-phase counts
+	// and total durations (decode, simulate, power, cache, ...).
+	Phases map[string]PhaseStat `json:"phases,omitempty"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the ledger directory, created if missing. Required.
+	Dir string
+	// Capacity bounds the event queue; DefaultCapacity if ≤ 0.
+	Capacity int
+	// Registry, when non-nil, receives ledger.events_written and
+	// ledger.events_dropped.
+	Registry *telemetry.Registry
+}
+
+// Writer appends events to <dir>/events.jsonl. Construct with Open;
+// nil is the disabled state.
+type Writer struct {
+	f   *os.File
+	bw  *bufio.Writer
+	reg *telemetry.Registry
+
+	ch        chan Event
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu      sync.Mutex
+	closed  bool
+	written uint64
+	dropped uint64
+}
+
+// Open creates the directory and opens the events file for append —
+// restarts extend the ledger, they do not truncate it.
+func Open(opts Options) (*Writer, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("ledger: empty directory")
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(opts.Dir, EventsFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	w := &Writer{
+		f:    f,
+		bw:   bufio.NewWriter(f),
+		reg:  opts.Registry,
+		ch:   make(chan Event, opts.Capacity),
+		done: make(chan struct{}),
+	}
+	go w.drain()
+	return w, nil
+}
+
+// drain is the single writer goroutine: it serializes queued events
+// until the channel closes, then flushes.
+func (w *Writer) drain() {
+	defer close(w.done)
+	enc := json.NewEncoder(w.bw)
+	for ev := range w.ch {
+		if err := enc.Encode(ev); err != nil {
+			continue // an unencodable event sheds, the ledger survives
+		}
+		w.mu.Lock()
+		w.written++
+		w.mu.Unlock()
+		if w.reg != nil {
+			w.reg.Counter("ledger.events_written").Inc()
+		}
+	}
+	w.bw.Flush()
+}
+
+// Record enqueues one event without blocking: when the queue is full
+// the event is dropped and counted. Safe on nil and after Close
+// (post-close events count as drops).
+func (w *Writer) Record(ev Event) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.dropped++
+		w.mu.Unlock()
+		if w.reg != nil {
+			w.reg.Counter("ledger.events_dropped").Inc()
+		}
+		return
+	}
+	select {
+	case w.ch <- ev:
+		w.mu.Unlock()
+	default:
+		w.dropped++
+		w.mu.Unlock()
+		if w.reg != nil {
+			w.reg.Counter("ledger.events_dropped").Inc()
+		}
+	}
+}
+
+// Close stops intake, drains every queued event to disk, flushes and
+// closes the file. Safe on nil and idempotent.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.closeOnce.Do(func() {
+		// Record holds mu across its channel send, so no send can race
+		// the close: once closed is set, every later Record drops.
+		w.mu.Lock()
+		w.closed = true
+		w.mu.Unlock()
+		close(w.ch)
+	})
+	<-w.done
+	return w.f.Close()
+}
+
+// Written and Dropped report the writer's lifetime totals. Safe on nil.
+func (w *Writer) Written() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+func (w *Writer) Dropped() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Replay reads every event back from a ledger directory in append
+// order — the audit path: recount outcomes, rebuild per-job phase
+// totals, or diff a load test's ledger against its bench record.
+func Replay(dir string) ([]Event, error) {
+	f, err := os.Open(filepath.Join(dir, EventsFile))
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	defer f.Close()
+	var out []Event
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return out, fmt.Errorf("ledger: event %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// Summarize folds replayed events into outcome counts — the shape CI
+// asserts on ("exactly one job event, outcome done").
+func Summarize(events []Event) map[string]int {
+	sum := make(map[string]int)
+	for _, ev := range events {
+		key := ev.Kind
+		if ev.Kind == "job" && ev.Outcome != "" {
+			key = ev.Kind + ":" + ev.Outcome
+		}
+		sum[key]++
+	}
+	return sum
+}
+
+// PhaseNames returns the sorted phase names present across events —
+// convenience for table output and tests.
+func PhaseNames(events []Event) []string {
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		for name := range ev.Phases {
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,200 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestNilWriterIsDisabled(t *testing.T) {
+	var w *Writer
+	w.Record(Event{Kind: "request"})
+	if err := w.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if w.Written() != 0 || w.Dropped() != 0 {
+		t.Fatal("nil writer accumulated state")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	w, err := Open(Options{Dir: dir, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Event{At: "2026-01-01T00:00:00Z", Kind: "request",
+		Method: "POST", Path: "/v1/studies", Status: 202, DurUS: 120})
+	w.Record(Event{At: "2026-01-01T00:00:01Z", Kind: "job",
+		JobID: "j-1", SpecFingerprint: "abcd", Outcome: "done",
+		Workloads: 2, Points: 48, CacheHits: 3,
+		QueueWaitUS: 1500, RunUS: 250_000, Phases: map[string]PhaseStat{
+			"simulate": {Count: 48, TotalUS: 200_000},
+			"power":    {Count: 48, TotalUS: 20_000},
+		}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("replayed %d events, want 2", len(events))
+	}
+	if events[0].Kind != "request" || events[0].Status != 202 {
+		t.Fatalf("request event = %+v", events[0])
+	}
+	job := events[1]
+	if job.Outcome != "done" || job.Phases["simulate"].Count != 48 {
+		t.Fatalf("job event = %+v", job)
+	}
+	if w.Written() != 2 || w.Dropped() != 0 {
+		t.Fatalf("written=%d dropped=%d, want 2/0", w.Written(), w.Dropped())
+	}
+	if v := reg.Counter("ledger.events_written").Value(); v != 2 {
+		t.Fatalf("ledger.events_written = %d, want 2", v)
+	}
+
+	if sum := Summarize(events); sum["request"] != 1 || sum["job:done"] != 1 {
+		t.Fatalf("Summarize = %v", sum)
+	}
+	if names := PhaseNames(events); len(names) != 2 || names[0] != "power" || names[1] != "simulate" {
+		t.Fatalf("PhaseNames = %v", names)
+	}
+
+	// The on-disk shape is one JSON object per line (wide events,
+	// greppable) — no pretty-printing, no envelope.
+	raw, err := os.ReadFile(filepath.Join(dir, EventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file has %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[1], `"spec_fingerprint":"abcd"`) {
+		t.Fatalf("job line = %s", lines[1])
+	}
+	// Zero-valued request fields are elided from job lines.
+	if strings.Contains(lines[1], `"status"`) {
+		t.Fatalf("job line leaks request fields: %s", lines[1])
+	}
+}
+
+func TestAppendAcrossReopens(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		w, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Record(Event{Kind: "request", Status: 200})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("restart truncated the ledger: %d events, want 2", len(events))
+	}
+}
+
+func TestBoundedDropIsDeterministic(t *testing.T) {
+	// White-box: a writer whose drain goroutine never runs. Capacity 2
+	// admits exactly 2 events; every further Record must drop, without
+	// blocking.
+	reg := telemetry.NewRegistry()
+	w := &Writer{ch: make(chan Event, 2), done: make(chan struct{}), reg: reg}
+	for i := 0; i < 5; i++ {
+		w.Record(Event{Kind: "request", Status: 200 + i})
+	}
+	if w.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want exactly 3 (5 records into capacity 2)", w.Dropped())
+	}
+	if v := reg.Counter("ledger.events_dropped").Value(); v != 3 {
+		t.Fatalf("ledger.events_dropped = %d, want 3", v)
+	}
+}
+
+func TestRecordAfterCloseDrops(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Event{Kind: "request"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Record(Event{Kind: "request"}) // must not panic or block
+	if w.Dropped() != 1 {
+		t.Fatalf("post-close record: dropped = %d, want 1", w.Dropped())
+	}
+	if err := w.Close(); err == nil || !os.IsNotExist(err) {
+		// double Close re-closes the file; any error is acceptable as
+		// long as it does not panic — but the common case is ErrClosed.
+		_ = err
+	}
+	events, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("replayed %d events, want 1", len(events))
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				w.Record(Event{Kind: "request", Status: 200})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(events)) != w.Written() {
+		t.Fatalf("replayed %d, writer counted %d", len(events), w.Written())
+	}
+	if w.Written()+w.Dropped() != workers*each {
+		t.Fatalf("written %d + dropped %d != %d records", w.Written(), w.Dropped(), workers*each)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	if _, err := Replay(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Replay of a missing ledger did not error")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open with no directory did not error")
+	}
+}

@@ -115,6 +115,10 @@ func (c *Capture) Dir() string {
 }
 
 func writeLookup(path, name string) error {
+	return writeLookupDebug(path, name, 0)
+}
+
+func writeLookupDebug(path, name string, debug int) error {
 	p := pprof.Lookup(name)
 	if p == nil {
 		return fmt.Errorf("profile: unknown profile %q", name)
@@ -123,7 +127,7 @@ func writeLookup(path, name string) error {
 	if err != nil {
 		return fmt.Errorf("profile: %w", err)
 	}
-	werr := p.WriteTo(f, 0)
+	werr := p.WriteTo(f, debug)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
@@ -131,6 +135,18 @@ func writeLookup(path, name string) error {
 		return fmt.Errorf("profile: %s: %w", name, werr)
 	}
 	return nil
+}
+
+// GoroutineDump writes a human-readable dump of every goroutine's
+// stack (pprof "goroutine" profile at debug level 2 — the same format
+// a fatal panic prints) to path, creating the parent directory if
+// needed. This is the watchdog's postmortem capture: when a job
+// stalls, the dump shows where every worker is blocked.
+func GoroutineDump(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	return writeLookupDebug(path, "goroutine", 2)
 }
 
 // SummarizeFile parses a pprof profile file and ranks the topN hottest

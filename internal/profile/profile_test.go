@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"testing"
 )
 
@@ -238,5 +239,27 @@ func TestNilCaptureStopIsNoop(t *testing.T) {
 	}
 	if c.Dir() != "" {
 		t.Fatal("nil Dir not empty")
+	}
+}
+
+func TestGoroutineDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dumps", "stall-1.txt")
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // a parked goroutine the dump must show
+		<-block
+		close(done)
+	}()
+	if err := GoroutineDump(path); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	<-done
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "goroutine") || !strings.Contains(string(data), "TestGoroutineDump") {
+		t.Fatalf("dump does not look like a debug=2 goroutine dump:\n%.400s", data)
 	}
 }

@@ -3,12 +3,15 @@ package e2e
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ledger"
 	"repro/internal/serve"
 	"repro/internal/serve/spec"
+	"repro/internal/slo"
 	"repro/internal/workload"
 )
 
@@ -21,13 +24,25 @@ var serveBenchOut = flag.String("serve-bench-out", "", "append a depthd load-tes
 // concurrent clients hammer the server, a warm wave first fills the
 // cache, then every repeat submission of the same spec must complete
 // without re-simulating a single design point — asserted through the
-// engine's own telemetry counters, not timing.
+// engine's own telemetry counters, not timing. The full observability
+// stack runs underneath the load (history scraper, SLO engine,
+// request/job ledger), so the test also proves the /v1/query p99
+// agrees with the live registry under fire and that the ledger holds
+// exactly one event per job.
 func TestLoadCachedRepeatsAreCacheLookups(t *testing.T) {
 	const (
 		clients   = 8
 		perClient = 4
 	)
-	h := Boot(t, serve.Options{Workers: 4, QueueCap: 128})
+	ledgerDir := t.TempDir()
+	h := Boot(t, serve.Options{
+		Workers: 4, QueueCap: 128,
+		History:         true,
+		HistoryInterval: 25 * time.Millisecond,
+		SLOWindows:      slo.Windows{Fast: time.Second, Slow: 10 * time.Second},
+		LedgerDir:       ledgerDir,
+		LedgerCap:       1 << 16, // no shedding in-test: job counts assert exactly
+	})
 	names := workload.Names()
 	sp := spec.Spec{
 		Workloads:    []string{names[0], names[1], names[2]},
@@ -83,9 +98,94 @@ func TestLoadCachedRepeatsAreCacheLookups(t *testing.T) {
 		lr.Studies, lr.Requests, lr.WallSec,
 		lr.RoundTrip.P50US, lr.RoundTrip.P95US, lr.RoundTrip.P99US)
 
+	// History proof: the p99 served by /v1/query over the run agrees
+	// with the live registry histogram and sits below the slowest
+	// client round trip (every request belongs to some round trip; the
+	// 2× slack absorbs the histogram's power-of-two bucket rounding).
+	q99 := queryP99(t, h, "span.request_us")
+	live := h.Registry().Histogram("span.request_us").Quantile(0.99)
+	if q99 < live/2 || q99 > live*2 {
+		t.Errorf("/v1/query p99 = %.0fµs, live registry p99 = %.0fµs; want within one bucket",
+			q99, live)
+	}
+	if q99 <= 0 || q99 > 2*lr.RoundTrip.MaxUS {
+		t.Errorf("/v1/query p99 = %.0fµs outside (0, 2×max round trip %.0fµs]",
+			q99, lr.RoundTrip.MaxUS)
+	}
+
 	if *serveBenchOut != "" {
 		writeBenchRecord(t, h, lr, sp, start)
 	}
+
+	// Ledger proof: drain the server (flushes the writer), then replay
+	// the file — exactly one job event per study, all done, none shed.
+	if dropped := h.Server.Ledger().Dropped(); dropped != 0 {
+		t.Errorf("ledger dropped %d events under load with a %d-deep queue", dropped, 1<<16)
+	}
+	if err := h.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	events, err := ledger.Replay(ledgerDir)
+	if err != nil {
+		t.Fatalf("ledger replay: %v", err)
+	}
+	sum := ledger.Summarize(events)
+	wantJobs := lr.Studies + 1 // load wave + warm run
+	if sum["job:done"] != wantJobs || sum["job:failed"] != 0 || sum["job:canceled"] != 0 {
+		t.Errorf("ledger job events %v, want exactly %d job:done", sum, wantJobs)
+	}
+	if uint64(sum["request"]) < lr.Requests {
+		t.Errorf("ledger request events = %d, want >= %d client requests",
+			sum["request"], lr.Requests)
+	}
+}
+
+// queryP99 polls /v1/query until the scraper has caught up with the
+// live histogram, then returns the served quantile-over-time.
+func queryP99(t *testing.T, h *Harness, metric string) float64 {
+	t.Helper()
+	liveCount := h.Registry().Histogram(metric).Count()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := h.client.Get(h.Base + "/v1/query?metric=" + metric + "&fn=raw&since=2s")
+		if err != nil {
+			t.Fatalf("GET /v1/query: %v", err)
+		}
+		var qr struct {
+			Series []struct {
+				Points []struct{ Count uint64 }
+			}
+		}
+		err = json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if err == nil && len(qr.Series) == 1 {
+			if pts := qr.Series[0].Points; len(pts) > 0 && pts[len(pts)-1].Count >= liveCount {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scraper never caught up to %d %s observations", liveCount, metric)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := h.client.Get(h.Base + "/v1/query?metric=" + metric +
+		"&fn=quantile&q=0.99&since=" + fmt.Sprintf("%ds", int(time.Since(h.bootAt).Seconds())+5))
+	if err != nil {
+		t.Fatalf("GET /v1/query quantile: %v", err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Series []struct {
+			Value *float64 `json:"value"`
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decode quantile: %v", err)
+	}
+	if len(qr.Series) != 1 || qr.Series[0].Value == nil {
+		t.Fatalf("quantile query returned no value")
+	}
+	return *qr.Series[0].Value
 }
 
 // doneJobIDs lists every done job currently retained by the server.
@@ -132,6 +232,17 @@ func writeBenchRecord(t *testing.T, h *Harness, lr LoadResult, sp spec.Spec, sta
 		"round_trip": lr.RoundTrip,
 		"request":    bench.PhaseFrom(h.Registry().Histogram("span.request_us")),
 		"job":        bench.PhaseFrom(h.Registry().Histogram("span.job_us")),
+	}
+	// Observability figures: ledger throughput/loss at the end of the
+	// wave and the worst fast-window burn rate, so a load test that
+	// sheds its ledger or finishes while burning shows in the
+	// trajectory.
+	if lw := h.Server.Ledger(); lw != nil {
+		rec.SetLedger(lw.Written(), lw.Dropped())
+	}
+	if ev := h.Server.SLO(); ev != nil {
+		ev.Evaluate()
+		rec.MaxBurnRate = ev.MaxBurn()
 	}
 	rec.Finish(start)
 	// Finish derives throughput from submit-to-assert wall time, which

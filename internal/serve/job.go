@@ -62,10 +62,14 @@ type JobStatus struct {
 	Spec            spec.Spec `json:"spec"`
 	// Points is the study's design-point total; DonePoints and
 	// CacheHits advance as the sweep fills in.
-	Points      int    `json:"points"`
-	DonePoints  int    `json:"done_points"`
-	CacheHits   int    `json:"cache_hits"`
-	Error       string `json:"error,omitempty"`
+	Points     int    `json:"points"`
+	DonePoints int    `json:"done_points"`
+	CacheHits  int    `json:"cache_hits"`
+	Error      string `json:"error,omitempty"`
+	// Stalled reports that the watchdog flagged this job for making no
+	// progress within the stall deadline. Sticky: a job that stalls and
+	// then finishes keeps the flag for the postmortem.
+	Stalled     bool   `json:"stalled,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
@@ -96,6 +100,11 @@ type Job struct {
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
+	// lastBeat is the progress heartbeat the watchdog reads: the start
+	// of the run, advanced by every completed design point.
+	lastBeat time.Time
+	// stalled is the watchdog's sticky no-progress flag.
+	stalled bool
 }
 
 // newJob builds a queued job for a normalized spec under the given
@@ -129,6 +138,7 @@ func (j *Job) Status() JobStatus {
 		DonePoints:      j.donePoints,
 		CacheHits:       j.cacheHits,
 		Error:           j.errMsg,
+		Stalled:         j.stalled,
 		SubmittedAt:     j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
@@ -169,15 +179,42 @@ func (j *Job) markRunning(now time.Time) bool {
 	}
 	j.state = StateRunning
 	j.started = now
+	j.lastBeat = now
 	j.publishLocked(Event{Kind: "state", State: StateRunning})
 	return true
 }
 
-// notePoint records one completed design point and streams it.
+// stallCheck is the watchdog's probe: when the job is running and its
+// heartbeat is older than the deadline, the sticky stalled flag is set.
+// It reports (newly flagged, currently flagged) so the caller counts
+// each stall exactly once.
+func (j *Job) stallCheck(now time.Time, deadline time.Duration) (newly, stalled bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false, j.stalled
+	}
+	if !j.stalled && now.Sub(j.lastBeat) > deadline {
+		j.stalled = true
+		return true, true
+	}
+	return false, j.stalled
+}
+
+// StalledNow reports the sticky watchdog flag.
+func (j *Job) StalledNow() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stalled
+}
+
+// notePoint records one completed design point, advances the watchdog
+// heartbeat and streams the progress frame.
 func (j *Job) notePoint(p core.Progress) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.donePoints = p.Done
+	j.lastBeat = time.Now()
 	if p.CacheHit {
 		j.cacheHits++
 	}

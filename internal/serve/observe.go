@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/slo"
+	"repro/internal/telemetry/span"
+)
+
+// Default SLO parameters for the built-in objectives. The latency
+// threshold is deliberately generous — depthd's API handlers answer in
+// microseconds, so only a genuinely degraded server trips it.
+const (
+	// defaultRequestP99US bounds p99 request latency (span.request_us).
+	defaultRequestP99US = 500_000 // 500ms
+	// defaultErrorBudget is the allowed job failure fraction.
+	defaultErrorBudget = 0.01
+	// defaultQueueTarget is the allowed mean queue utilization.
+	defaultQueueTarget = 0.8
+	// defaultStallBudget is the allowed stall rate: ~one per hour of
+	// serving. Any stall inside a fast window burns far past this.
+	defaultStallBudget = 1.0 / 3600
+)
+
+// defaultObjectives is the built-in SLO set for a depthd server with
+// the given queue capacity.
+func defaultObjectives(queueCap int) []slo.Objective {
+	return []slo.Objective{
+		{
+			Name: "request_latency_p99", Kind: slo.Latency,
+			Metric: "span.request_us", Quantile: 0.99, Threshold: defaultRequestP99US,
+		},
+		{
+			Name: "job_error_rate", Kind: slo.ErrorRate,
+			Metric:      "serve.jobs_failed",
+			Denominator: "serve.jobs_submitted",
+			Target:      defaultErrorBudget,
+		},
+		{
+			Name: "queue_saturation", Kind: slo.Saturation,
+			Metric: "serve.queue_depth", Capacity: float64(queueCap), Target: defaultQueueTarget,
+		},
+		{
+			Name: "job_stalls", Kind: slo.EventRate,
+			Metric: "serve.jobs_stalled_total", Target: defaultStallBudget,
+		},
+	}
+}
+
+// ledgerStamp renders a ledger event timestamp.
+func ledgerStamp(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }
+
+// noteTerminalJob emits the job's single canonical ledger event. Call
+// it exactly where the terminal transition was won (finish returned
+// true): finishJob for worker-terminated jobs, handleCancel for
+// queued-canceled ones. jsp may be nil (the job never ran); with a job
+// span, the event carries the span subtree rolled up into per-phase
+// durations.
+func (s *Server) noteTerminalJob(j *Job, jsp *span.Span, now time.Time) {
+	if s.ledger == nil {
+		return
+	}
+	st := j.Status()
+	ev := ledger.Event{
+		At:              ledgerStamp(now),
+		Kind:            "job",
+		JobID:           j.ID,
+		SpecFingerprint: j.Fingerprint,
+		Outcome:         string(st.State),
+		Error:           st.Error,
+		Workloads:       len(j.Spec.Workloads),
+		Points:          st.DonePoints,
+		CacheHits:       st.CacheHits,
+		Stalled:         st.Stalled,
+	}
+	j.mu.Lock()
+	if !j.started.IsZero() {
+		ev.QueueWaitUS = j.started.Sub(j.submitted).Microseconds()
+		if !j.finished.IsZero() {
+			ev.RunUS = j.finished.Sub(j.started).Microseconds()
+		}
+	} else if !j.finished.IsZero() {
+		// Canceled while queued: the whole life was queue wait.
+		ev.QueueWaitUS = j.finished.Sub(j.submitted).Microseconds()
+	}
+	j.mu.Unlock()
+	if jsp != nil {
+		if roll := s.spans.Rollup(jsp.ID()); len(roll) > 0 {
+			ev.Phases = make(map[string]ledger.PhaseStat, len(roll))
+			for name, e := range roll {
+				ev.Phases[name] = ledger.PhaseStat{
+					Count:   e.Count,
+					TotalUS: e.TotalNS / int64(time.Microsecond),
+				}
+			}
+		}
+	}
+	s.ledger.Record(ev)
+}
+
+// noteRequest emits one canonical ledger event per completed HTTP
+// request (called from instrument, after the handler returns).
+func (s *Server) noteRequest(method, path string, status int, dur time.Duration, now time.Time) {
+	if s.ledger == nil {
+		return
+	}
+	s.ledger.Record(ledger.Event{
+		At:     ledgerStamp(now),
+		Kind:   "request",
+		Method: method,
+		Path:   path,
+		Status: status,
+		DurUS:  dur.Microseconds(),
+	})
+}

@@ -1,0 +1,222 @@
+package serve
+
+import "net/http"
+
+// opsDashHandler serves the embedded single-file operations dashboard
+// at GET /dash: SLO burn-rate table from /v1/slo, headline tiles and
+// history sparklines from /v1/query — the operator's at-a-glance view
+// of a running depthd. Polling (not SSE): the history store already
+// retains the data, so the page just re-queries it; no per-client
+// server state. Mounted only when Options.History is on, since every
+// panel reads the tsdb.
+func opsDashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(opsDashHTML))
+	})
+}
+
+const opsDashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>depthd operations</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --page: #f9f9f7;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --baseline: #c3c2b7;
+    --series-1: #2a78d6; --ok: #2e7d32; --bad: #c62828;
+    --border: rgba(11,11,11,0.10);
+    font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+    color: var(--text-primary); background: var(--page);
+    margin: 0; padding: 20px;
+  }
+  @media (prefers-color-scheme: dark) {
+    .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --page: #0d0d0d;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --baseline: #383835;
+      --series-1: #3987e5; --ok: #66bb6a; --bad: #ef5350;
+      --border: rgba(255,255,255,0.10);
+    }
+  }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--text-secondary); font-size: 13px; margin-bottom: 16px; }
+  .card { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 14px 16px; margin-bottom: 14px; }
+  .card h2 { font-size: 13px; font-weight: 600; margin: 0 0 10px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 14px; }
+  .tile { min-width: 110px; }
+  .tile .v { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+  .tile .l { font-size: 11px; color: var(--muted); text-transform: uppercase;
+             letter-spacing: .04em; margin-top: 2px; }
+  table.slo { border-collapse: collapse; font-size: 12px; width: 100%;
+              font-variant-numeric: tabular-nums; }
+  table.slo th { color: var(--text-secondary); font-weight: 500; text-align: left;
+                 padding: 4px 14px 4px 0; border-bottom: 1px solid var(--grid); }
+  table.slo td { padding: 5px 14px 5px 0; border-bottom: 1px solid var(--grid); }
+  .badge { display: inline-block; padding: 1px 8px; border-radius: 9px;
+           font-size: 11px; font-weight: 600; }
+  .badge.ok  { color: var(--ok);  background: color-mix(in srgb, var(--ok) 12%, transparent); }
+  .badge.bad { color: var(--bad); background: color-mix(in srgb, var(--bad) 14%, transparent); }
+  .spark-row { display: flex; flex-wrap: wrap; gap: 20px; }
+  .spark { min-width: 220px; }
+  .spark .l { font-size: 11px; color: var(--muted); margin-bottom: 4px; }
+  svg text { fill: var(--muted); font-size: 10px;
+             font-family: inherit; font-variant-numeric: tabular-nums; }
+  .note { color: var(--muted); font-size: 11px; margin-top: 8px; }
+</style>
+</head>
+<body class="viz-root">
+<h1>depthd operations</h1>
+<div class="sub" id="sub">loading /v1/slo and /v1/query …</div>
+
+<div class="card">
+  <div class="tiles">
+    <div class="tile"><div class="v" id="t-rps">–</div><div class="l">req / s</div></div>
+    <div class="tile"><div class="v" id="t-p99">–</div><div class="l">p99 latency</div></div>
+    <div class="tile"><div class="v" id="t-queue">–</div><div class="l">queue depth</div></div>
+    <div class="tile"><div class="v" id="t-running">–</div><div class="l">jobs running</div></div>
+    <div class="tile"><div class="v" id="t-ledger">–</div><div class="l">ledger events</div></div>
+  </div>
+</div>
+
+<div class="card">
+  <h2>service level objectives</h2>
+  <table class="slo" id="slo">
+    <tr><th>objective</th><th>kind</th><th>fast burn</th><th>slow burn</th><th></th></tr>
+  </table>
+  <div class="note" id="slo-note">burn &gt; threshold on both windows means the
+  error budget is being spent too fast right now and has been for a while</div>
+</div>
+
+<div class="card">
+  <h2>history</h2>
+  <div class="spark-row">
+    <div class="spark"><div class="l">request rate (req/s)</div>
+      <svg id="sp-rate" width="240" height="56" viewBox="0 0 240 56"></svg></div>
+    <div class="spark"><div class="l">request p99 (&#181;s)</div>
+      <svg id="sp-p99" width="240" height="56" viewBox="0 0 240 56"></svg></div>
+    <div class="spark"><div class="l">queue depth</div>
+      <svg id="sp-queue" width="240" height="56" viewBox="0 0 240 56"></svg></div>
+  </div>
+  <div class="note">last 5 minutes, refreshed every 5 s from /v1/query</div>
+</div>
+
+<script>
+"use strict";
+const POLL_MS = 5000;
+
+function fmt(x) {
+  if (!isFinite(x)) return "–";
+  if (x === 0) return "0";
+  if (Math.abs(x) >= 100) return x.toFixed(0);
+  return x.toPrecision(3);
+}
+function fmtUS(us) {
+  if (!isFinite(us)) return "–";
+  if (us >= 1e6) return (us / 1e6).toPrecision(3) + "s";
+  if (us >= 1e3) return (us / 1e3).toPrecision(3) + "ms";
+  return us.toFixed(0) + "µs";
+}
+
+async function q(params) {
+  const r = await fetch("/v1/query?" + new URLSearchParams(params));
+  if (!r.ok) return null;
+  return r.json();
+}
+// scalar pulls the single-value answer of an unstepped rate/avg/quantile.
+function scalar(resp) {
+  if (!resp || !resp.series || !resp.series.length) return NaN;
+  const v = resp.series[0].value;
+  return v === undefined || v === null ? NaN : v;
+}
+// lastRaw pulls the newest raw sample's value.
+function lastRaw(resp) {
+  if (!resp || !resp.series || !resp.series.length) return NaN;
+  const pts = resp.series[0].points || [];
+  return pts.length ? pts[pts.length - 1].value : NaN;
+}
+function steppedPts(resp) {
+  if (!resp || !resp.series || !resp.series.length) return [];
+  return resp.series[0].points || [];
+}
+
+function spark(id, pts) {
+  const svg = document.getElementById(id);
+  svg.innerHTML = "";
+  if (pts.length < 2) return;
+  const W = 240, H = 56, T = 4, B = 4;
+  const xs = pts.map(p => p.unix_ms), ys = pts.map(p => p.value);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs, x0 + 1);
+  const y1 = Math.max(...ys, 1e-300);
+  const X = t => (W - 42) * (t - x0) / (x1 - x0);
+  const Y = v => T + (H - T - B) * (1 - v / y1);
+  let g = '<line x1="0" y1="' + Y(0) + '" x2="' + (W - 42) + '" y2="' + Y(0) +
+          '" stroke="var(--baseline)" stroke-width="1"/>';
+  const line = pts.map(p => X(p.unix_ms).toFixed(1) + "," + Y(p.value).toFixed(1)).join(" ");
+  g += '<polyline points="' + line + '" fill="none" stroke="var(--series-1)" ' +
+       'stroke-width="1.5" stroke-linejoin="round" stroke-linecap="round"/>';
+  g += '<text x="' + (W - 38) + '" y="' + (Y(y1) + 8) + '">' + fmt(y1) + "</text>";
+  g += '<text x="' + (W - 38) + '" y="' + Y(0) + '">0</text>';
+  svg.innerHTML = g;
+}
+
+function renderSLO(data) {
+  const tbl = document.getElementById("slo");
+  let h = "<tr><th>objective</th><th>kind</th><th>fast burn</th><th>slow burn</th><th></th></tr>";
+  for (const o of data.objectives || []) {
+    const badge = o.burning
+      ? '<span class="badge bad">burning</span>'
+      : '<span class="badge ok">ok</span>';
+    h += "<tr><td>" + o.objective + "</td><td>" + o.kind + "</td>" +
+         "<td>" + (o.fast.ok ? fmt(o.fast.burn) : "–") + "</td>" +
+         "<td>" + (o.slow.ok ? fmt(o.slow.burn) : "–") + "</td>" +
+         "<td>" + badge + "</td></tr>";
+  }
+  tbl.innerHTML = h;
+  document.getElementById("slo-note").textContent =
+    "burn > " + fmt(data.burn_threshold) + " on both windows (fast " +
+    fmt(data.windows.fast_sec) + "s, slow " + fmt(data.windows.slow_sec) +
+    "s) means the error budget is being spent too fast";
+  document.getElementById("sub").textContent = data.burning
+    ? "⚠ at least one objective is burning"
+    : "all objectives within budget";
+}
+
+async function tick() {
+  try {
+    const [slo, rate, p99, queue, running, written, sRate, sP99, sQueue] =
+      await Promise.all([
+        fetch("/v1/slo").then(r => r.ok ? r.json() : null),
+        q({metric: "serve.http_requests", fn: "rate", since: "1m"}),
+        q({metric: "span.request_us", fn: "quantile", q: "0.99", since: "5m"}),
+        q({metric: "serve.queue_depth", fn: "raw", since: "1m"}),
+        q({metric: "serve.jobs_running", fn: "raw", since: "1m"}),
+        q({metric: "ledger.events_written", fn: "raw", since: "1m"}),
+        q({metric: "serve.http_requests", fn: "rate", since: "5m", step: "10s"}),
+        q({metric: "span.request_us", fn: "quantile", q: "0.99", since: "5m", step: "15s"}),
+        q({metric: "serve.queue_depth", fn: "avg", since: "5m", step: "10s"}),
+      ]);
+    if (slo) renderSLO(slo);
+    document.getElementById("t-rps").textContent = fmt(scalar(rate));
+    document.getElementById("t-p99").textContent = fmtUS(scalar(p99));
+    document.getElementById("t-queue").textContent = fmt(lastRaw(queue));
+    document.getElementById("t-running").textContent = fmt(lastRaw(running));
+    document.getElementById("t-ledger").textContent = fmt(lastRaw(written));
+    spark("sp-rate", steppedPts(sRate));
+    spark("sp-p99", steppedPts(sP99));
+    spark("sp-queue", steppedPts(sQueue));
+  } catch (e) {
+    document.getElementById("sub").textContent = "query failed: " + e;
+  }
+}
+tick();
+setInterval(tick, POLL_MS);
+</script>
+</body>
+</html>
+`

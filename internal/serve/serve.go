@@ -40,12 +40,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/invariant"
+	"repro/internal/ledger"
 	"repro/internal/pipeline"
 	"repro/internal/resultcache"
 	"repro/internal/serve/spec"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/promexp"
 	"repro/internal/telemetry/span"
+	"repro/internal/telemetry/tsdb"
 	"repro/internal/workload"
 )
 
@@ -87,6 +90,43 @@ type Options struct {
 	Invariants *invariant.Recorder
 	// Log receives structured diagnostics; slog.Default() if nil.
 	Log *slog.Logger
+
+	// History enables the in-process metrics history store: the
+	// registry is scraped every HistoryInterval into a ring-buffer
+	// tsdb (internal/telemetry/tsdb), /v1/query and /v1/slo are
+	// mounted, and the SLO burn-rate engine evaluates on every scrape.
+	// Off by default — the disabled path adds nothing to the server.
+	History bool
+	// HistoryInterval is the scrape period; tsdb.DefaultInterval if 0.
+	HistoryInterval time.Duration
+	// HistoryRetain is the per-series ring capacity; tsdb.DefaultRetain
+	// if 0.
+	HistoryRetain int
+	// SLOWindows overrides the burn-rate alerting windows (production
+	// defaults 5m/1h; tests scale them down).
+	SLOWindows slo.Windows
+	// SLOObjectives overrides the built-in objective set
+	// (defaultObjectives) — every entry must pass slo validation.
+	SLOObjectives []slo.Objective
+
+	// StallTimeout arms the job watchdog: a running job with no
+	// completed design point for longer than this is flagged stalled
+	// (sticky), counted in serve.jobs_stalled_total, and the first
+	// stall captures a goroutine dump into DumpDir. 0 disables.
+	StallTimeout time.Duration
+	// WatchdogInterval is the scan period; StallTimeout/4 if 0.
+	WatchdogInterval time.Duration
+	// DumpDir receives the first-stall goroutine dump; no dump if "".
+	DumpDir string
+
+	// LedgerDir enables the canonical request/job ledger: one wide
+	// JSONL event per terminal request and per terminal job, appended
+	// to <LedgerDir>/events.jsonl by a bounded non-blocking writer.
+	// "" disables.
+	LedgerDir string
+	// LedgerCap bounds the in-flight ledger queue; ledger's default
+	// if 0.
+	LedgerCap int
 }
 
 // Server is the depthd job server. Construct with New (which starts
@@ -99,6 +139,12 @@ type Server struct {
 	cache   *resultcache.Cache
 	spans   *span.Tracer
 	handler http.Handler
+
+	// Observability subsystems; each is nil when disabled.
+	history *tsdb.Store
+	slo     *slo.Evaluator
+	ledger  *ledger.Writer
+	dog     *watchdog
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -160,6 +206,44 @@ func New(opts Options) (*Server, error) {
 		queue:   make(chan *Job, opts.QueueCap),
 		jobs:    make(map[string]*Job),
 	}
+	if opts.LedgerDir != "" {
+		lw, err := ledger.Open(ledger.Options{
+			Dir: opts.LedgerDir, Capacity: opts.LedgerCap, Registry: opts.Registry,
+		})
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.ledger = lw
+	}
+	if opts.History {
+		s.history = tsdb.New(tsdb.Options{
+			Registry: opts.Registry,
+			Interval: opts.HistoryInterval,
+			Retain:   opts.HistoryRetain,
+		})
+		objectives := opts.SLOObjectives
+		if objectives == nil {
+			objectives = defaultObjectives(opts.QueueCap)
+		}
+		ev, err := slo.New(slo.Options{
+			Store:      s.history,
+			Registry:   opts.Registry,
+			Objectives: objectives,
+			Windows:    opts.SLOWindows,
+		})
+		if err != nil {
+			s.ledger.Close()
+			stop()
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.slo = ev
+		ev.Bind()
+		s.history.Start()
+	}
+	if opts.StallTimeout > 0 {
+		s.dog = newWatchdog(s, opts.StallTimeout, opts.WatchdogInterval, opts.DumpDir)
+	}
 	s.handler = s.instrument(s.routes())
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -174,6 +258,18 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Registry exposes the server's telemetry registry (the load harness
 // asserts cache-hit counters through it).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// History exposes the metrics history store (nil when Options.History
+// is off).
+func (s *Server) History() *tsdb.Store { return s.history }
+
+// SLO exposes the burn-rate evaluator (nil when Options.History is
+// off).
+func (s *Server) SLO() *slo.Evaluator { return s.slo }
+
+// Ledger exposes the request/job ledger writer (nil without a
+// LedgerDir).
+func (s *Server) Ledger() *ledger.Writer { return s.ledger }
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
@@ -197,6 +293,11 @@ func (s *Server) routes() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.Handle("GET /metrics", promexp.Handler(s.reg))
+	if s.history != nil {
+		mux.Handle("GET /v1/query", s.history.Handler())
+		mux.Handle("GET /v1/slo", s.slo.Handler())
+		mux.Handle("GET /dash", opsDashHandler())
+	}
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
@@ -255,7 +356,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if sw.code >= 400 {
 			s.reg.Counter("serve.http_errors").Inc()
 		}
-		rlog.Debug("http request", "status", sw.code, "dur", time.Since(start))
+		dur := time.Since(start)
+		s.noteRequest(r.Method, r.URL.Path, sw.code, dur, time.Now())
+		rlog.Debug("http request", "status", sw.code, "dur", dur)
 	})
 }
 
@@ -422,14 +525,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
 		return
 	}
-	changed, immediate := j.requestCancel(time.Now())
+	now := time.Now()
+	changed, immediate := j.requestCancel(now)
 	if changed {
 		reqLog(r.Context()).Info("cancel requested", "job", j.ID, "state", j.StateNow())
 	}
 	// A queued job is canceled right here; a running one is counted by
-	// the worker when it observes the cancellation — never both.
+	// the worker when it observes the cancellation — never both. The
+	// same ownership covers the ledger: whoever wins the terminal
+	// transition emits the job's single event (no span tree — the job
+	// never ran).
 	if immediate {
 		s.reg.Counter("serve.jobs_canceled").Inc()
+		s.noteTerminalJob(j, nil, now)
 	}
 	writeJSON(w, http.StatusOK, j.Status())
 }
@@ -470,6 +578,9 @@ func (s *Server) runJob(j *Job) {
 			cfg.Cache = s.cache
 			cfg.Metrics = s.reg
 			cfg.Spans = s.spans
+			// Nest the study's span tree under the job span, so the
+			// ledger can roll the whole run up into per-phase durations.
+			cfg.Parent = jsp
 			cfg.Invariants = s.opts.Invariants
 			base := cfg.Machine
 			// Cancellation hook: core has no context plumbing, but it
@@ -491,35 +602,44 @@ func (s *Server) runJob(j *Job) {
 	s.finishJob(j, jsp, nil, 0, fmt.Errorf("spec became invalid after admission: %w", err))
 }
 
-// finishJob folds a catalog run into the job's terminal state.
+// finishJob folds a catalog run into the job's terminal state. The
+// ledger event is emitted only when this call won the terminal
+// transition (finish returned true), so a job that raced a cancel
+// still produces exactly one event.
 func (s *Server) finishJob(j *Job, jsp *span.Span, sweeps []*core.Sweep, us int64, err error) {
 	now := time.Now()
+	var won bool
 	switch {
 	case err != nil && (errors.Is(err, errCanceled) || j.ctx.Err() != nil):
-		j.finish(StateCanceled, nil, "canceled", now)
+		won = j.finish(StateCanceled, nil, "canceled", now)
 		s.reg.Counter("serve.jobs_canceled").Inc()
 		jsp.SetAttr("state", string(StateCanceled))
 		s.log.Info("job canceled", "job", j.ID)
 	case err != nil:
-		j.finish(StateFailed, nil, err.Error(), now)
+		won = j.finish(StateFailed, nil, err.Error(), now)
 		s.reg.Counter("serve.jobs_failed").Inc()
 		jsp.SetAttr("state", string(StateFailed))
 		s.log.Error("job failed", "job", j.ID, "err", err)
 	default:
 		data, merr := json.Marshal(BuildResult(j.Spec, sweeps))
 		if merr != nil {
-			j.finish(StateFailed, nil, "encode result: "+merr.Error(), now)
+			won = j.finish(StateFailed, nil, "encode result: "+merr.Error(), now)
 			s.reg.Counter("serve.jobs_failed").Inc()
 			jsp.SetAttr("state", string(StateFailed))
 			s.log.Error("job result encoding failed", "job", j.ID, "err", merr)
-			return
+			break
 		}
-		j.finish(StateDone, data, "", now)
+		won = j.finish(StateDone, data, "", now)
 		s.reg.Counter("serve.jobs_completed").Inc()
 		jsp.SetAttr("state", string(StateDone))
 		st := j.Status()
 		s.log.Info("job done", "job", j.ID, "points", st.Points,
 			"cache_hits", st.CacheHits, "wall_sec", st.WallSec, "us", us)
+	}
+	if won {
+		// The workload/point child spans have all ended by now, so the
+		// rollup under the (still-open, excluded) job span is complete.
+		s.noteTerminalJob(j, jsp, now)
 	}
 }
 
@@ -551,7 +671,10 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close force-stops the server: intake closed, every job context
-// canceled, workers joined. Jobs still queued finish as canceled.
+// canceled, workers joined, then the observability subsystems are
+// stopped — the watchdog first, the history store next, the ledger
+// last, so every terminal job event reaches disk before the file
+// closes. Idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.draining {
@@ -561,6 +684,11 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	s.dog.close()
+	if s.history != nil {
+		s.history.Close()
+	}
+	_ = s.ledger.Close()
 }
 
 // Serve runs the server on ln until ctx is canceled, then drains

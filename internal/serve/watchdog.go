@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// watchdog is the job stall detector: a background loop that scans the
+// running jobs for heartbeats (markRunning, then every completed
+// design point) older than the stall deadline. A stalled job is
+// flagged sticky on its status, counted in serve.jobs_stalled_total,
+// and the first stall per server captures a full goroutine dump via
+// internal/profile for the postmortem — by the time an operator looks,
+// the interesting stacks are usually gone.
+//
+// The watchdog never kills a job: depthd jobs are CPU-bound sweeps
+// whose cancellation already has a path (DELETE + context). Detection
+// is the missing piece; remediation stays with the operator.
+type watchdog struct {
+	s        *Server
+	deadline time.Duration
+	interval time.Duration
+	dumpDir  string
+
+	dumpOnce sync.Once
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newWatchdog builds and starts the loop. interval defaults to a
+// quarter of the deadline, so a stall is flagged within 1.25× the
+// configured deadline in the worst case.
+func newWatchdog(s *Server, deadline, interval time.Duration, dumpDir string) *watchdog {
+	if interval <= 0 {
+		interval = deadline / 4
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &watchdog{
+		s:        s,
+		deadline: deadline,
+		interval: interval,
+		dumpDir:  dumpDir,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *watchdog) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.scan(time.Now())
+		}
+	}
+}
+
+// scan probes every retained job once. Exported logic is kept off the
+// Server mutex while dumping: the job list is snapshotted first.
+func (w *watchdog) scan(now time.Time) {
+	w.s.mu.Lock()
+	jobs := make([]*Job, 0, len(w.s.jobs))
+	for _, j := range w.s.jobs {
+		jobs = append(jobs, j)
+	}
+	w.s.mu.Unlock()
+	// Deterministic scan order: which stalled job wins the one-per-server
+	// goroutine dump must not depend on map iteration.
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+
+	for _, j := range jobs {
+		newly, _ := j.stallCheck(now, w.deadline)
+		if !newly {
+			continue
+		}
+		w.s.reg.Counter("serve.jobs_stalled_total").Inc()
+		st := j.Status()
+		w.s.log.Warn("job stalled",
+			"job", j.ID, "done_points", st.DonePoints, "total", st.Points,
+			"deadline", w.deadline)
+		if w.dumpDir != "" {
+			w.dumpOnce.Do(func() {
+				path := filepath.Join(w.dumpDir, "goroutines-"+j.ID+".txt")
+				if err := profile.GoroutineDump(path); err != nil {
+					w.s.log.Error("stall goroutine dump failed", "err", err)
+				} else {
+					w.s.log.Warn("stall goroutine dump captured", "path", path)
+				}
+			})
+		}
+	}
+}
+
+// close stops the loop and waits for it to exit. Idempotent; safe on
+// nil (watchdog disabled).
+func (w *watchdog) close() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import "time"
+
+// Snap is a timestamped registry snapshot. Snapshot alone carries no
+// capture time, which forced every consumer (metric diffs, the tsdb
+// scraper) to re-stamp at read time — after the lock was released, on
+// the wall clock, with no monotonic reading. Capture stamps once, at
+// the capture, with time.Now's monotonic reading intact, so elapsed
+// time between two Snaps is immune to wall-clock steps.
+type Snap struct {
+	// At is the capture time. It retains the monotonic clock reading,
+	// so Sub between two captures from one process is monotonic.
+	At time.Time
+	// Metrics is the registry state, sorted as Snapshot sorts.
+	Metrics []Metric
+}
+
+// Capture returns a timestamped snapshot of every metric.
+func (r *Registry) Capture() Snap {
+	return Snap{At: time.Now(), Metrics: r.Snapshot()}
+}
+
+// Diff returns the exact change from before to s (DiffSnapshots
+// semantics) together with the monotonic elapsed time between the two
+// captures — the denominator every rate computation needs.
+func (s Snap) Diff(before Snap) (delta []Metric, elapsed time.Duration) {
+	return DiffSnapshots(before.Metrics, s.Metrics), s.At.Sub(before.At)
+}

@@ -120,6 +120,15 @@ func (t *Tracer) open(name string, parent uint64, attrs []Attr) *Span {
 	return &Span{tr: t, id: id, parent: parent, name: name, attrs: copied, start: time.Now()}
 }
 
+// ID returns the span's tracer-unique identifier (0 on a nil span) —
+// the handle subtree queries (Children, Rollup) key on.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // SetAttr annotates the span. Safe on a nil span.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
@@ -216,6 +225,48 @@ func (t *Tracer) Children(id uint64) []Record {
 		if r.Parent == id {
 			out = append(out, r)
 		}
+	}
+	return out
+}
+
+// RollupEntry aggregates the completed spans of one name within a
+// subtree.
+type RollupEntry struct {
+	Count   int
+	TotalNS int64
+}
+
+// Rollup aggregates the completed descendants of the span with ID root
+// (the root itself excluded) by name: per-phase counts and total
+// durations for one subtree — how the ledger turns a job's span tree
+// into wide-event phase columns. Spans whose ancestors were dropped at
+// the buffer cap are absent, consistent with everything else about a
+// dropped span. Safe on a nil tracer (returns nil).
+func (t *Tracer) Rollup(root uint64) map[string]RollupEntry {
+	if t == nil {
+		return nil
+	}
+	recs := t.Records()
+	children := make(map[uint64][]int, len(recs))
+	for i, r := range recs {
+		children[r.Parent] = append(children[r.Parent], i)
+	}
+	out := make(map[string]RollupEntry)
+	stack := append([]uint64(nil), root)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range children[id] {
+			r := recs[i]
+			e := out[r.Name]
+			e.Count++
+			e.TotalNS += r.DurNS
+			out[r.Name] = e
+			stack = append(stack, r.ID)
+		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

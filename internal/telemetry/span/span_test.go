@@ -254,3 +254,68 @@ func TestLintAgainstSharedVocabulary(t *testing.T) {
 		}
 	}
 }
+
+func TestSpanID(t *testing.T) {
+	var nilSpan *Span
+	if nilSpan.ID() != 0 {
+		t.Fatal("nil span ID != 0")
+	}
+	tr := NewTracer(nil, 0)
+	a := tr.Start("study")
+	b := tr.Start("study")
+	if a.ID() == 0 || b.ID() == 0 || a.ID() == b.ID() {
+		t.Fatalf("span IDs not unique and non-zero: %d, %d", a.ID(), b.ID())
+	}
+}
+
+func TestRollup(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Rollup(1) != nil {
+		t.Fatal("nil tracer Rollup != nil")
+	}
+
+	tr := NewTracer(nil, 0)
+	// Two independent roots; only root a's subtree must roll up.
+	a := tr.Start("study")
+	b := tr.Start("study")
+	aw := a.Child("workload")
+	for i := 0; i < 3; i++ {
+		p := aw.Child("point")
+		s := p.Child("simulate")
+		s.End()
+		p.End()
+	}
+	aw.End()
+	bw := b.Child("workload")
+	bp := bw.Child("point")
+	bp.End()
+	bw.End()
+	b.End()
+	a.End()
+
+	got := tr.Rollup(a.ID())
+	if got == nil {
+		t.Fatal("Rollup returned nil for a populated subtree")
+	}
+	want := map[string]int{"workload": 1, "point": 3, "simulate": 3}
+	for name, n := range want {
+		e := got[name]
+		if e.Count != n {
+			t.Fatalf("rollup[%q].Count = %d, want %d", name, e.Count, n)
+		}
+		if e.TotalNS < 0 {
+			t.Fatalf("rollup[%q].TotalNS negative", name)
+		}
+	}
+	if _, leaked := got["study"]; leaked {
+		t.Fatal("rollup includes the root span itself")
+	}
+	if got["point"].Count == 4 {
+		t.Fatal("rollup leaked the other root's subtree")
+	}
+
+	// A subtree with no completed descendants rolls up to nil.
+	if r := tr.Rollup(999); r != nil {
+		t.Fatalf("unknown root rolled up to %v, want nil", r)
+	}
+}

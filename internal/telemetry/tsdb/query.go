@@ -1,0 +1,246 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Query parameters of the /v1/query endpoint:
+//
+//	metric  required; an exact series name or a family (all labeled
+//	        series of the family answer together)
+//	since   the window, as a Go duration ("30s", "10m"); default 5m
+//	fn      raw | rate | avg | quantile (default raw)
+//	q       the quantile for fn=quantile; default 0.99
+//	step    optional sub-window; when set, rate/avg/quantile return a
+//	        time series evaluated per step instead of one value
+//
+// Responses are JSON: QueryResponse with one SeriesResult per matched
+// series. Errors use the server's {"error": ...} envelope with 400 for
+// bad parameters and 404 for an unknown metric.
+
+// QueryPoint is one evaluated point of a query result.
+type QueryPoint struct {
+	// At is the point's time in RFC3339Nano (sample capture time for
+	// raw, sub-window end for stepped functions).
+	At string `json:"at"`
+	// UnixMS duplicates At for plotting clients.
+	UnixMS int64   `json:"unix_ms"`
+	Value  float64 `json:"value"`
+	// Histogram extras on raw histogram samples.
+	Count uint64 `json:"count,omitempty"`
+	Sum   uint64 `json:"sum,omitempty"`
+}
+
+// SeriesResult is one series' answer.
+type SeriesResult struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// Value is the scalar answer of an unstepped rate/avg/quantile.
+	Value *float64 `json:"value,omitempty"`
+	// Points are the raw samples or the stepped evaluations.
+	Points []QueryPoint `json:"points,omitempty"`
+}
+
+// QueryResponse is the /v1/query response body.
+type QueryResponse struct {
+	Metric    string         `json:"metric"`
+	Fn        string         `json:"fn"`
+	Q         float64        `json:"q,omitempty"`
+	WindowSec float64        `json:"window_sec"`
+	StepSec   float64        `json:"step_sec,omitempty"`
+	Series    []SeriesResult `json:"series"`
+}
+
+// Handler serves range queries over the store — mount at /v1/query.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("tsdb.queries").Inc()
+		resp, code, err := s.query(r)
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(code)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+func (s *Store) query(r *http.Request) (*QueryResponse, int, error) {
+	qp := r.URL.Query()
+	metric := qp.Get("metric")
+	if metric == "" {
+		return nil, http.StatusBadRequest, fmt.Errorf("missing required parameter: metric")
+	}
+	window := 5 * time.Minute
+	if v := qp.Get("since"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad since %q: want a positive Go duration", v)
+		}
+		window = d
+	}
+	fn := qp.Get("fn")
+	if fn == "" {
+		fn = "raw"
+	}
+	q := 0.99
+	if v := qp.Get("q"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(f) || f < 0 || f > 1 {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad q %q: want a quantile in [0, 1]", v)
+		}
+		q = f
+	}
+	var step time.Duration
+	if v := qp.Get("step"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad step %q: want a positive Go duration", v)
+		}
+		if window/d > 10_000 {
+			return nil, http.StatusBadRequest, fmt.Errorf("step %v too fine for window %v", d, window)
+		}
+		step = d
+	}
+	switch fn {
+	case "raw", "rate", "avg", "quantile":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("bad fn %q: want raw, rate, avg or quantile", fn)
+	}
+
+	names := s.SeriesNames(metric)
+	if len(names) == 0 {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown metric %q (no stored series)", metric)
+	}
+	resp := &QueryResponse{Metric: metric, Fn: fn, WindowSec: window.Seconds()}
+	if fn == "quantile" {
+		resp.Q = q
+	}
+	if step > 0 {
+		resp.StepSec = step.Seconds()
+	}
+	for _, name := range names {
+		typ, _ := s.Type(name)
+		sr := SeriesResult{Name: name, Type: typ}
+		switch {
+		case fn == "raw":
+			for _, sm := range s.Range(name, window) {
+				p := QueryPoint{At: sm.At.UTC().Format(time.RFC3339Nano),
+					UnixMS: sm.At.UnixMilli(), Value: sm.Value}
+				if typ == "histogram" {
+					p.Count, p.Sum = sm.Count, sm.Sum
+				}
+				sr.Points = append(sr.Points, p)
+			}
+		case step > 0:
+			sr.Points = s.stepped(name, fn, window, step, q)
+		default:
+			var v float64
+			var ok bool
+			switch fn {
+			case "rate":
+				v, ok = s.Rate(name, window)
+			case "avg":
+				v, ok = s.AvgOverTime(name, window)
+			case "quantile":
+				v, ok = s.QuantileOverTime(name, window, q)
+			}
+			if ok {
+				sr.Value = &v
+			}
+		}
+		resp.Series = append(resp.Series, sr)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// stepped evaluates fn over consecutive step-wide sub-windows covering
+// the queried window, newest sub-window ending now. Empty sub-windows
+// are skipped, so sparse series produce sparse results, not zeros.
+func (s *Store) stepped(name, fn string, window, step time.Duration, q float64) []QueryPoint {
+	all, baseline := s.rangeWithBaseline(name, window)
+	if len(all) == 0 {
+		return nil
+	}
+	now := time.Now()
+	start := now.Add(-window)
+	var out []QueryPoint
+	// Walk sub-windows [t, t+step), carrying the previous edge sample
+	// as each sub-window's baseline.
+	prev := baseline
+	i := 0
+	for t := start; t.Before(now); t = t.Add(step) {
+		end := t.Add(step)
+		first := i
+		for i < len(all) && all[i].At.Before(end) {
+			i++
+		}
+		in := all[first:i]
+		if len(in) == 0 {
+			continue
+		}
+		last := in[len(in)-1]
+		var v float64
+		ok := false
+		switch fn {
+		case "rate":
+			if prev != nil {
+				if el := last.At.Sub(prev.At).Seconds(); el > 0 {
+					v, ok = (last.Value-prev.Value)/el, true
+				}
+			} else if len(in) > 1 {
+				if el := last.At.Sub(in[0].At).Seconds(); el > 0 {
+					v, ok = (last.Value-in[0].Value)/el, true
+				}
+			}
+		case "avg":
+			var sum float64
+			for _, sm := range in {
+				sum += sm.Value
+			}
+			v, ok = sum/float64(len(in)), true
+		case "quantile":
+			hw := histDelta(last, prev)
+			if hw.Count > 0 {
+				v, ok = hw.Quantile(q)
+			}
+		}
+		if ok {
+			out = append(out, QueryPoint{At: end.UTC().Format(time.RFC3339Nano),
+				UnixMS: end.UnixMilli(), Value: v})
+		}
+		p := last
+		prev = &p
+	}
+	return out
+}
+
+// histDelta builds a HistWindow from an edge sample and an optional
+// baseline (nil means "from zero").
+func histDelta(last Sample, baseline *Sample) HistWindow {
+	hw := HistWindow{
+		Count: last.Count, Sum: last.Sum, Lo: last.Min, Hi: last.Max,
+		Buckets: make(map[string]uint64, len(last.Buckets)),
+	}
+	for ub, n := range last.Buckets {
+		hw.Buckets[ub] = n
+	}
+	if baseline != nil {
+		hw.Count -= baseline.Count
+		hw.Sum -= baseline.Sum
+		for ub, n := range baseline.Buckets {
+			if d := hw.Buckets[ub] - n; d != 0 {
+				hw.Buckets[ub] = d
+			} else {
+				delete(hw.Buckets, ub)
+			}
+		}
+	}
+	return hw
+}

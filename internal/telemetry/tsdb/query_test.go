@@ -1,0 +1,173 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// get issues one query and decodes the response body.
+func get(t *testing.T, h http.Handler, params url.Values) (*QueryResponse, int, map[string]string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/query?"+params.Encode(), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	if rec.Code != http.StatusOK {
+		var e map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("error body not JSON: %v", err)
+		}
+		return nil, rec.Code, e
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+		t.Fatalf("response body not JSON: %v", err)
+	}
+	return &qr, rec.Code, nil
+}
+
+func TestQueryHandlerValidation(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("req.total").Inc()
+	st := New(Options{Registry: reg, Retain: 8})
+	st.Scrape()
+	h := st.Handler()
+
+	cases := []struct {
+		name   string
+		params url.Values
+		code   int
+	}{
+		{"missing metric", url.Values{}, http.StatusBadRequest},
+		{"bad since", url.Values{"metric": {"req.total"}, "since": {"yesterday"}}, http.StatusBadRequest},
+		{"negative since", url.Values{"metric": {"req.total"}, "since": {"-5s"}}, http.StatusBadRequest},
+		{"bad fn", url.Values{"metric": {"req.total"}, "fn": {"median"}}, http.StatusBadRequest},
+		{"bad q", url.Values{"metric": {"req.total"}, "fn": {"quantile"}, "q": {"2"}}, http.StatusBadRequest},
+		{"NaN q", url.Values{"metric": {"req.total"}, "fn": {"quantile"}, "q": {"NaN"}}, http.StatusBadRequest},
+		{"bad step", url.Values{"metric": {"req.total"}, "step": {"0s"}}, http.StatusBadRequest},
+		{"step too fine", url.Values{"metric": {"req.total"}, "since": {"1h"}, "step": {"1ms"}}, http.StatusBadRequest},
+		{"unknown metric", url.Values{"metric": {"no.such"}}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		_, code, errBody := get(t, h, tc.params)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
+		}
+		if errBody["error"] == "" {
+			t.Errorf("%s: missing error message in body", tc.name)
+		}
+	}
+	if v := reg.Counter("tsdb.queries").Value(); v != uint64(len(cases)) {
+		t.Fatalf("tsdb.queries = %d, want %d (every request counts)", v, len(cases))
+	}
+}
+
+func TestQueryHandlerRawAndScalar(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("req.total").Add(3)
+	reg.Histogram("lat.us").Observe(100)
+	reg.Histogram("lat.us").Observe(200)
+	st := New(Options{Registry: reg, Retain: 8})
+	st.Scrape()
+	reg.Counter("req.total").Add(5)
+	st.Scrape()
+	h := st.Handler()
+
+	// raw over a counter: both samples, values 3 then 8.
+	qr, code, _ := get(t, h, url.Values{"metric": {"req.total"}, "since": {"1m"}})
+	if code != http.StatusOK {
+		t.Fatalf("raw query status %d", code)
+	}
+	if qr.Fn != "raw" || len(qr.Series) != 1 {
+		t.Fatalf("raw response = %+v", qr)
+	}
+	pts := qr.Series[0].Points
+	if len(pts) != 2 || pts[0].Value != 3 || pts[1].Value != 8 {
+		t.Fatalf("raw points = %+v, want values 3, 8", pts)
+	}
+	if pts[0].UnixMS == 0 {
+		t.Fatalf("raw point carries no unix_ms timestamp")
+	}
+
+	// raw over a histogram: samples carry count/sum.
+	qr, _, _ = get(t, h, url.Values{"metric": {"lat.us"}, "since": {"1m"}})
+	if got := qr.Series[0].Points[0]; got.Count != 2 || got.Sum != 300 {
+		t.Fatalf("histogram raw point = %+v, want count 2 sum 300", got)
+	}
+
+	// quantile scalar: full-history window matches the live histogram.
+	qr, _, _ = get(t, h, url.Values{"metric": {"lat.us"}, "fn": {"quantile"}, "q": {"0.5"}, "since": {"1m"}})
+	if qr.Series[0].Value == nil {
+		t.Fatalf("quantile returned no value")
+	}
+	if want := reg.Histogram("lat.us").Quantile(0.5); *qr.Series[0].Value != want {
+		t.Fatalf("quantile = %v, want %v", *qr.Series[0].Value, want)
+	}
+	if qr.Q != 0.5 {
+		t.Fatalf("response echoes q = %v, want 0.5", qr.Q)
+	}
+
+	// rate scalar over the counter.
+	qr, _, _ = get(t, h, url.Values{"metric": {"req.total"}, "fn": {"rate"}, "since": {"1m"}})
+	if qr.Series[0].Value == nil || *qr.Series[0].Value <= 0 {
+		t.Fatalf("rate = %+v, want a positive per-second rate", qr.Series[0].Value)
+	}
+}
+
+func TestQueryHandlerFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(telemetry.LabelName("req.status", "code", "200")).Add(9)
+	reg.Counter(telemetry.LabelName("req.status", "code", "500")).Add(1)
+	st := New(Options{Registry: reg, Retain: 8})
+	st.Scrape()
+
+	qr, code, _ := get(t, st.Handler(), url.Values{"metric": {"req.status"}, "since": {"1m"}})
+	if code != http.StatusOK || len(qr.Series) != 2 {
+		t.Fatalf("family query: code %d series %d, want 200 with 2 series", code, len(qr.Series))
+	}
+	// Sorted by name: code="200" before code="500".
+	if qr.Series[0].Points[0].Value != 9 || qr.Series[1].Points[0].Value != 1 {
+		t.Fatalf("family series = %+v", qr.Series)
+	}
+}
+
+func TestQueryHandlerStepped(t *testing.T) {
+	st := New(Options{Registry: telemetry.NewRegistry(), Retain: 64})
+	now := time.Now()
+	// A counter climbing 10/s for the last 8 seconds, sampled each second.
+	var samples []Sample
+	for i := 0; i <= 8; i++ {
+		samples = append(samples, Sample{
+			At:    now.Add(time.Duration(i-8) * time.Second),
+			Value: float64(i * 10),
+		})
+	}
+	inject(st, "c", "counter", samples)
+
+	qr, code, errBody := get(t, st.Handler(), url.Values{
+		"metric": {"c"}, "fn": {"rate"}, "since": {"8s"}, "step": {"2s"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("stepped query status %d: %v", code, errBody)
+	}
+	pts := qr.Series[0].Points
+	if len(pts) < 3 {
+		t.Fatalf("stepped rate returned %d points, want one per non-empty sub-window", len(pts))
+	}
+	for _, p := range pts {
+		if p.Value < 5 || p.Value > 15 {
+			t.Fatalf("stepped rate point %v strays from the true 10/s slope", p.Value)
+		}
+	}
+	if qr.StepSec != 2 {
+		t.Fatalf("response StepSec = %v, want 2", qr.StepSec)
+	}
+}

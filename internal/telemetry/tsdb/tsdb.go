@@ -1,0 +1,472 @@
+// Package tsdb is the in-process metrics history store: a
+// fixed-capacity ring-buffer time series database that scrapes a
+// telemetry.Registry on a configurable interval and answers range
+// queries over the retained window — "what was p99 request latency
+// over the last 10 minutes", not just "what is it now". It is the
+// history layer every other observability consumer builds on: the SLO
+// burn-rate engine (internal/slo) reads windows from it, the /dash
+// sparklines poll it, and operators query it directly at /v1/query.
+//
+// Series identity follows the shared promexp rules: a registry name is
+// either a plain dotted name or a LabelName-rendered series
+// (family{k="v"}), and queries match either the exact name or every
+// series of a family. Each series retains the newest Retain samples in
+// a ring — memory is fixed at steady state, the oldest samples are
+// overwritten on wraparound.
+//
+// Counters and gauges store one float64 per sample. Histograms store
+// the cumulative count/sum/bucket state per sample, so a window's
+// latency distribution is recovered by differencing the window's edge
+// samples — the same trick DiffSnapshots uses for per-region metric
+// deltas, applied over time instead of code regions.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Defaults for Options' zero values.
+const (
+	DefaultInterval = time.Second
+	DefaultRetain   = 600 // 10 minutes of history at the default interval
+)
+
+// Options configures a Store.
+type Options struct {
+	// Registry is the scrape source; it also receives the store's own
+	// tsdb.* meta-metrics (scrapes, samples, evictions, series), which
+	// therefore show up in the next scrape like any other series.
+	Registry *telemetry.Registry
+	// Interval is the scrape period; DefaultInterval if 0.
+	Interval time.Duration
+	// Retain is the per-series ring capacity in samples; DefaultRetain
+	// if 0.
+	Retain int
+}
+
+// Sample is one scraped observation of one series.
+type Sample struct {
+	// At is the capture time of the scrape that produced the sample
+	// (telemetry.Snap.At — stamped once per scrape, monotonic-friendly).
+	At time.Time
+	// Value is the counter/gauge reading, or the histogram mean.
+	Value float64
+	// Histogram state, cumulative since process start: differencing two
+	// samples yields the window's distribution.
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets map[string]uint64
+}
+
+// series is one named series' ring buffer.
+type series struct {
+	typ  string // "counter", "gauge" or "histogram"
+	ring []Sample
+	head int // index of the oldest sample
+	n    int // live samples
+}
+
+// append pushes a sample, overwriting the oldest at capacity and
+// reporting whether an eviction happened.
+func (s *series) append(sm Sample) (evicted bool) {
+	if s.n < len(s.ring) {
+		s.ring[(s.head+s.n)%len(s.ring)] = sm
+		s.n++
+		return false
+	}
+	s.ring[s.head] = sm
+	s.head = (s.head + 1) % len(s.ring)
+	return true
+}
+
+// samples returns the ring oldest-first.
+func (s *series) samples() []Sample {
+	out := make([]Sample, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.ring[(s.head+i)%len(s.ring)]
+	}
+	return out
+}
+
+// Store is the history store. Construct with New, start the scrape
+// loop with Start, stop it with Close. All methods are safe for
+// concurrent use.
+type Store struct {
+	reg      *telemetry.Registry
+	interval time.Duration
+	retain   int
+
+	mu     sync.Mutex
+	series map[string]*series
+	subs   []func(telemetry.Snap)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a store over the registry. The store is passive until
+// Start; Scrape can also be driven manually (tests, deterministic
+// harnesses).
+func New(opts Options) *Store {
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Retain <= 0 {
+		opts.Retain = DefaultRetain
+	}
+	return &Store{
+		reg:      opts.Registry,
+		interval: opts.Interval,
+		retain:   opts.Retain,
+		series:   make(map[string]*series),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the configured scrape period.
+func (s *Store) Interval() time.Duration { return s.interval }
+
+// Start launches the scrape loop. Subsequent calls are no-ops.
+func (s *Store) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.Scrape()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the scrape loop and waits for it to exit. A store that
+// was never started closes immediately. Safe to call more than once.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) })
+	<-s.done
+}
+
+// OnScrape registers a subscriber invoked after every completed scrape
+// with the snapshot that was ingested — the SLO engine's evaluation
+// tick. Subscribers run on the scrape goroutine and must not block.
+func (s *Store) OnScrape(fn func(telemetry.Snap)) {
+	s.mu.Lock()
+	s.subs = append(s.subs, fn)
+	s.mu.Unlock()
+}
+
+// Scrape captures the registry once and appends one sample per metric.
+// It is the loop body of Start and may be called directly for a
+// deterministic scrape (tests, end-of-run flushes).
+func (s *Store) Scrape() telemetry.Snap {
+	snap := s.reg.Capture()
+	var appended, evictions int
+	s.mu.Lock()
+	for _, m := range snap.Metrics {
+		sr := s.series[m.Name]
+		if sr == nil {
+			sr = &series{typ: m.Type, ring: make([]Sample, s.retain)}
+			s.series[m.Name] = sr
+		}
+		sm := Sample{At: snap.At, Value: m.Value}
+		if m.Type == "histogram" {
+			sm.Count, sm.Sum, sm.Min, sm.Max = m.Count, m.Sum, m.Min, m.Max
+			sm.Buckets = m.Buckets
+		}
+		if sr.append(sm) {
+			evictions++
+		}
+		appended++
+	}
+	nSeries := len(s.series)
+	subs := append([]func(telemetry.Snap){}, s.subs...)
+	s.mu.Unlock()
+
+	s.reg.Counter("tsdb.scrapes").Inc()
+	s.reg.Counter("tsdb.samples").Add(uint64(appended))
+	if evictions > 0 {
+		s.reg.Counter("tsdb.evictions").Add(uint64(evictions))
+	}
+	s.reg.Gauge("tsdb.series").Set(float64(nSeries))
+	for _, fn := range subs {
+		fn(snap)
+	}
+	return snap
+}
+
+// SeriesNames returns every stored series name whose family (the name
+// up to any label block) equals the query: an exact dotted name, or
+// all labeled series of one family. Sorted; nil when nothing matches.
+func (s *Store) SeriesNames(family string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name := range s.series {
+		fam, _ := telemetry.SplitLabels(name)
+		if name == family || fam == family {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Type returns the stored metric type of an exact series name.
+func (s *Store) Type(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[name]
+	if !ok {
+		return "", false
+	}
+	return sr.typ, true
+}
+
+// Range returns the samples of the exact series name within
+// [now−window, now], oldest first. The cutoff uses the sample capture
+// times, so it is exact regardless of scrape jitter.
+func (s *Store) Range(name string, window time.Duration) []Sample {
+	all, _ := s.rangeWithBaseline(name, window)
+	return all
+}
+
+// rangeWithBaseline returns the in-window samples plus the newest
+// sample at-or-before the window start — the baseline a cumulative
+// diff needs (the state "as of" the window opening).
+func (s *Store) rangeWithBaseline(name string, window time.Duration) (in []Sample, baseline *Sample) {
+	s.mu.Lock()
+	sr, ok := s.series[name]
+	var all []Sample
+	if ok {
+		all = sr.samples()
+	}
+	s.mu.Unlock()
+	if len(all) == 0 {
+		return nil, nil
+	}
+	cutoff := time.Now().Add(-window)
+	i := sort.Search(len(all), func(i int) bool { return all[i].At.After(cutoff) })
+	if i > 0 {
+		b := all[i-1]
+		baseline = &b
+	}
+	return all[i:], baseline
+}
+
+// Rate computes the per-second increase of a counter series over the
+// window: the newest in-window value minus the window's baseline
+// (zero when the series began inside the window), divided by the
+// elapsed time between those samples. ok is false with fewer than one
+// in-window sample or a non-positive elapsed span.
+func (s *Store) Rate(name string, window time.Duration) (perSec float64, ok bool) {
+	in, baseline := s.rangeWithBaseline(name, window)
+	if len(in) == 0 {
+		return 0, false
+	}
+	last := in[len(in)-1]
+	var first Sample
+	switch {
+	case baseline != nil:
+		first = *baseline
+	case len(in) > 1:
+		first = in[0]
+	default:
+		return 0, false // one lone sample: no interval to rate over
+	}
+	elapsed := last.At.Sub(first.At).Seconds()
+	if elapsed <= 0 {
+		return 0, false
+	}
+	return (last.Value - first.Value) / elapsed, true
+}
+
+// Delta returns the increase of a counter series over the window
+// (baseline-corrected like Rate, but without the time division) —
+// "how many errors in the last 5 minutes". A series born inside the
+// window counts from zero. ok is false with no in-window samples.
+func (s *Store) Delta(name string, window time.Duration) (delta float64, ok bool) {
+	in, baseline := s.rangeWithBaseline(name, window)
+	if len(in) == 0 {
+		return 0, false
+	}
+	var base float64
+	if baseline != nil {
+		base = baseline.Value
+	}
+	return in[len(in)-1].Value - base, true
+}
+
+// AvgOverTime returns the mean of a gauge series' in-window samples.
+// ok is false with no in-window samples.
+func (s *Store) AvgOverTime(name string, window time.Duration) (avg float64, ok bool) {
+	in, _ := s.rangeWithBaseline(name, window)
+	if len(in) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, sm := range in {
+		sum += sm.Value
+	}
+	return sum / float64(len(in)), true
+}
+
+// HistWindow is a histogram series' distribution within one window:
+// the bucket-wise difference between the window's newest sample and
+// its baseline.
+type HistWindow struct {
+	Count   uint64
+	Sum     uint64
+	Buckets map[string]uint64
+	// Lo and Hi clamp quantile estimates: the lifetime min/max as of
+	// the window's newest sample (a window's extremes are not tracked
+	// per-sample, but the lifetime bounds are always valid clamps).
+	Lo, Hi uint64
+}
+
+// Window recovers the histogram distribution observed within
+// [now−window, now]. ok is false with no in-window samples or when
+// nothing was observed in the window.
+func (s *Store) Window(name string, window time.Duration) (HistWindow, bool) {
+	in, baseline := s.rangeWithBaseline(name, window)
+	if len(in) == 0 {
+		return HistWindow{}, false
+	}
+	last := in[len(in)-1]
+	hw := HistWindow{
+		Count:   last.Count,
+		Sum:     last.Sum,
+		Lo:      last.Min,
+		Hi:      last.Max,
+		Buckets: make(map[string]uint64, len(last.Buckets)),
+	}
+	for ub, n := range last.Buckets {
+		hw.Buckets[ub] = n
+	}
+	if baseline != nil {
+		hw.Count -= baseline.Count
+		hw.Sum -= baseline.Sum
+		for ub, n := range baseline.Buckets {
+			if d := hw.Buckets[ub] - n; d != 0 {
+				hw.Buckets[ub] = d
+			} else {
+				delete(hw.Buckets, ub)
+			}
+		}
+	}
+	if hw.Count == 0 {
+		return HistWindow{}, false
+	}
+	return hw, true
+}
+
+// Quantile estimates the q-quantile of the window's distribution with
+// the same power-of-two-bucket estimator as telemetry.Histogram: the
+// containing bucket's inclusive upper bound, clamped to [Lo, Hi]. With
+// a window covering the series' whole history the estimate is
+// bit-identical to the live histogram's Quantile.
+func (hw HistWindow) Quantile(q float64) (float64, bool) {
+	if hw.Count == 0 || q != q { // NaN q
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	type bucket struct {
+		ub uint64
+		n  uint64
+	}
+	bs := make([]bucket, 0, len(hw.Buckets))
+	for ubs, n := range hw.Buckets {
+		ub, err := strconv.ParseUint(ubs, 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		bs = append(bs, bucket{ub, n})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].ub < bs[j].ub })
+	// The smallest 1-based rank covering q — the exact rule
+	// telemetry.Histogram.Quantile uses, so full-history windows match
+	// the live histogram bit-for-bit.
+	rank := uint64(math.Ceil(q * float64(hw.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	est := float64(hw.Hi)
+	for _, b := range bs {
+		cum += b.n
+		if cum >= rank {
+			est = float64(b.ub)
+			break
+		}
+	}
+	if est < float64(hw.Lo) {
+		est = float64(hw.Lo)
+	}
+	if est > float64(hw.Hi) {
+		est = float64(hw.Hi)
+	}
+	return est, true
+}
+
+// QuantileOverTime estimates the q-quantile of a histogram series'
+// observations within the window. ok is false when the window is empty.
+func (s *Store) QuantileOverTime(name string, window time.Duration, q float64) (float64, bool) {
+	hw, ok := s.Window(name, window)
+	if !ok {
+		return 0, false
+	}
+	return hw.Quantile(q)
+}
+
+// BadFraction returns the fraction of a histogram window's
+// observations whose value definitely exceeds the threshold: buckets
+// whose lower bound is at or above it count entirely, the threshold's
+// own bucket is excluded — a conservative (under-) estimate at bucket
+// granularity, which is the sound direction for burn-rate alerting.
+func (hw HistWindow) BadFraction(threshold float64) float64 {
+	if hw.Count == 0 {
+		return 0
+	}
+	var bad uint64
+	for ubs, n := range hw.Buckets {
+		ub, err := strconv.ParseUint(ubs, 10, 64)
+		if err != nil {
+			continue
+		}
+		// Bucket ub covers [ (ub+1)/2, ub ] (power-of-two buckets keyed
+		// by inclusive upper bound; bucket "0" is exactly zero).
+		lo := float64(0)
+		if ub > 0 {
+			lo = float64(ub/2 + 1)
+		}
+		if lo >= threshold && threshold > 0 {
+			bad += n
+		}
+	}
+	return float64(bad) / float64(hw.Count)
+}

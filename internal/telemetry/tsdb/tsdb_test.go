@@ -1,0 +1,400 @@
+package tsdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// inject installs a fabricated series so window logic can be tested
+// against exact timestamps instead of real scrape times.
+func inject(st *Store, name, typ string, samples []Sample) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sr := &series{typ: typ, ring: make([]Sample, st.retain)}
+	for _, sm := range samples {
+		sr.append(sm)
+	}
+	st.series[name] = sr
+}
+
+func TestRingWraparound(t *testing.T) {
+	// Property: after K appends into a ring of capacity R, samples()
+	// returns the newest min(K, R) in append order and the eviction
+	// count is max(0, K−R) — for every (K, R) in a sweep.
+	for _, retain := range []int{1, 2, 3, 7, 16} {
+		for _, k := range []int{0, 1, retain - 1, retain, retain + 1, 3*retain + 2} {
+			if k < 0 {
+				continue
+			}
+			sr := &series{typ: "counter", ring: make([]Sample, retain)}
+			evicted := 0
+			base := time.Now()
+			for i := 0; i < k; i++ {
+				sm := Sample{At: base.Add(time.Duration(i) * time.Second), Value: float64(i)}
+				if sr.append(sm) {
+					evicted++
+				}
+			}
+			wantEvicted := k - retain
+			if wantEvicted < 0 {
+				wantEvicted = 0
+			}
+			if evicted != wantEvicted {
+				t.Fatalf("retain=%d k=%d: evicted %d, want %d", retain, k, evicted, wantEvicted)
+			}
+			got := sr.samples()
+			wantN := k
+			if wantN > retain {
+				wantN = retain
+			}
+			if len(got) != wantN {
+				t.Fatalf("retain=%d k=%d: %d samples, want %d", retain, k, len(got), wantN)
+			}
+			for i, sm := range got {
+				want := float64(k - wantN + i)
+				if sm.Value != want {
+					t.Fatalf("retain=%d k=%d: sample %d = %v, want %v (oldest-first order broken)", retain, k, i, sm.Value, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRingWraparoundRandomized(t *testing.T) {
+	// Same property under a seeded random (retain, appends) fuzz.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		retain := 1 + rng.Intn(32)
+		k := rng.Intn(4 * retain)
+		sr := &series{typ: "gauge", ring: make([]Sample, retain)}
+		for i := 0; i < k; i++ {
+			sr.append(Sample{Value: float64(i)})
+		}
+		got := sr.samples()
+		wantN := k
+		if wantN > retain {
+			wantN = retain
+		}
+		if len(got) != wantN {
+			t.Fatalf("trial %d retain=%d k=%d: %d samples, want %d", trial, retain, k, len(got), wantN)
+		}
+		for i, sm := range got {
+			if want := float64(k - wantN + i); sm.Value != want {
+				t.Fatalf("trial %d: sample %d = %v, want %v", trial, i, sm.Value, want)
+			}
+		}
+	}
+}
+
+func TestScrapeEvictionCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("app.requests").Inc()
+	st := New(Options{Registry: reg, Retain: 3, Interval: time.Hour})
+	for i := 0; i < 5; i++ {
+		st.Scrape()
+	}
+	// app.requests existed for all 5 scrapes → 2 evictions; the tsdb
+	// meta-metrics were born on successive scrapes, so some evict too —
+	// assert the app series' ring holds exactly retain samples and the
+	// eviction counter is non-zero.
+	if got := len(st.Range("app.requests", time.Hour)); got != 3 {
+		t.Fatalf("retained %d samples, want 3", got)
+	}
+	if v := reg.Counter("tsdb.evictions").Value(); v == 0 {
+		t.Fatalf("tsdb.evictions = 0, want > 0 after wraparound")
+	}
+	if v := reg.Counter("tsdb.scrapes").Value(); v != 5 {
+		t.Fatalf("tsdb.scrapes = %d, want 5", v)
+	}
+}
+
+func TestScrapeWhileRegisterRace(t *testing.T) {
+	// Scrape continuously while other goroutines register fresh metric
+	// names and a reader issues range queries — the scrape-under-churn
+	// race test. Run with -race to make it meaningful.
+	reg := telemetry.NewRegistry()
+	st := New(Options{Registry: reg, Interval: 100 * time.Microsecond, Retain: 8})
+	st.OnScrape(func(telemetry.Snap) {})
+	st.Start()
+	defer st.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter(fmt.Sprintf("churn.c%d_%d", w, i%50)).Inc()
+				reg.Gauge(fmt.Sprintf("churn.g%d_%d", w, i%50)).Set(float64(i))
+				reg.Histogram(fmt.Sprintf("churn.h%d_%d", w, i%50)).Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.SeriesNames("churn.c0_0")
+			st.Range("churn.c0_0", time.Minute)
+			st.Rate("churn.c0_0", time.Minute)
+			st.QuantileOverTime("churn.h0_0", time.Minute, 0.99)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	st.Scrape() // one final deterministic scrape must still work
+	if names := st.SeriesNames("churn.c0_0"); len(names) != 1 {
+		t.Fatalf("expected churn.c0_0 to be stored, got %v", names)
+	}
+}
+
+func TestRangeBaselineAndRate(t *testing.T) {
+	st := New(Options{Registry: telemetry.NewRegistry(), Retain: 16})
+	now := time.Now()
+	// Counter samples at −90s, −50s, −10s with values 10, 40, 100.
+	inject(st, "c", "counter", []Sample{
+		{At: now.Add(-90 * time.Second), Value: 10},
+		{At: now.Add(-50 * time.Second), Value: 40},
+		{At: now.Add(-10 * time.Second), Value: 100},
+	})
+
+	in, baseline := st.rangeWithBaseline("c", time.Minute)
+	if len(in) != 2 {
+		t.Fatalf("in-window samples = %d, want 2", len(in))
+	}
+	if baseline == nil || baseline.Value != 10 {
+		t.Fatalf("baseline = %+v, want the −90s sample (value 10)", baseline)
+	}
+
+	// Rate over 60s window: (100 − 10) / 80s from the baseline sample.
+	rate, ok := st.Rate("c", time.Minute)
+	if !ok {
+		t.Fatalf("Rate not ok")
+	}
+	if rate < 1.0 || rate > 1.3 {
+		t.Fatalf("rate = %v, want ~90/80s = 1.125", rate)
+	}
+
+	// Delta over 60s window: 100 − 10 = 90.
+	delta, ok := st.Delta("c", time.Minute)
+	if !ok || delta != 90 {
+		t.Fatalf("Delta = %v ok=%v, want 90", delta, ok)
+	}
+
+	// A window older than everything: no samples, not ok.
+	if _, ok := st.Rate("c", time.Millisecond); ok {
+		t.Fatalf("Rate over an empty window reported ok")
+	}
+
+	// Series born inside the window (no baseline): Delta counts from 0.
+	inject(st, "young", "counter", []Sample{
+		{At: now.Add(-5 * time.Second), Value: 7},
+	})
+	delta, ok = st.Delta("young", time.Minute)
+	if !ok || delta != 7 {
+		t.Fatalf("young Delta = %v ok=%v, want 7 (from zero)", delta, ok)
+	}
+	// One lone sample has no interval: Rate must refuse.
+	if _, ok := st.Rate("young", time.Minute); ok {
+		t.Fatalf("Rate with a single lone sample reported ok")
+	}
+}
+
+func TestAvgOverTime(t *testing.T) {
+	st := New(Options{Registry: telemetry.NewRegistry(), Retain: 16})
+	now := time.Now()
+	inject(st, "g", "gauge", []Sample{
+		{At: now.Add(-90 * time.Second), Value: 1000}, // outside 60s window
+		{At: now.Add(-30 * time.Second), Value: 2},
+		{At: now.Add(-10 * time.Second), Value: 4},
+	})
+	avg, ok := st.AvgOverTime("g", time.Minute)
+	if !ok || avg != 3 {
+		t.Fatalf("avg = %v ok=%v, want 3 (outside-window sample must not leak in)", avg, ok)
+	}
+	if _, ok := st.AvgOverTime("missing", time.Minute); ok {
+		t.Fatalf("AvgOverTime of a missing series reported ok")
+	}
+}
+
+func TestWindowQuantileMatchesLiveHistogram(t *testing.T) {
+	// A window covering the whole history must reproduce the live
+	// histogram's quantile estimates bit-for-bit — the contract the
+	// e2e proof leans on.
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat.us")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Observe(uint64(rng.Intn(100_000)))
+	}
+	st := New(Options{Registry: reg, Retain: 8})
+	st.Scrape()
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		want := h.Quantile(q)
+		got, ok := st.QuantileOverTime("lat.us", time.Hour, q)
+		if !ok {
+			t.Fatalf("q=%v: not ok", q)
+		}
+		if got != want {
+			t.Fatalf("q=%v: tsdb %v != live %v (must be bit-identical over full history)", q, got, want)
+		}
+	}
+}
+
+func TestWindowDiffsBaseline(t *testing.T) {
+	// Observations split across two scrapes: a window containing only
+	// the second scrape must see only the second batch.
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat.us")
+	h.Observe(1) // batch 1: tiny values
+	h.Observe(2)
+	st := New(Options{Registry: reg, Retain: 8})
+	st.Scrape()
+
+	// Age the first scrape's samples so a short window excludes them.
+	st.mu.Lock()
+	for _, sr := range st.series {
+		for i := range sr.ring {
+			if !sr.ring[i].At.IsZero() {
+				sr.ring[i].At = sr.ring[i].At.Add(-time.Hour)
+			}
+		}
+	}
+	st.mu.Unlock()
+
+	h.Observe(1 << 20) // batch 2: one large value
+	st.Scrape()
+
+	hw, ok := st.Window("lat.us", time.Minute)
+	if !ok {
+		t.Fatalf("Window not ok")
+	}
+	if hw.Count != 1 {
+		t.Fatalf("window count = %d, want 1 (baseline subtraction failed)", hw.Count)
+	}
+	q, ok := hw.Quantile(0.5)
+	if !ok || q < float64(1<<19) {
+		t.Fatalf("median = %v ok=%v, want the large batch-2 value's bucket", q, ok)
+	}
+
+	// Full-history window still sees all 3.
+	hw, ok = st.Window("lat.us", 2*time.Hour)
+	if !ok || hw.Count != 3 {
+		t.Fatalf("full window count = %d ok=%v, want 3", hw.Count, ok)
+	}
+}
+
+func TestQuantileEmptyAndNaN(t *testing.T) {
+	var hw HistWindow
+	if _, ok := hw.Quantile(0.5); ok {
+		t.Fatalf("empty window quantile reported ok")
+	}
+	hw = HistWindow{Count: 1, Buckets: map[string]uint64{"3": 1}, Lo: 2, Hi: 3}
+	nan := 0.0
+	nan /= nan // NaN without importing math
+	if _, ok := hw.Quantile(nan); ok {
+		t.Fatalf("NaN quantile reported ok")
+	}
+	if q, ok := hw.Quantile(-5); !ok || q != 3 {
+		t.Fatalf("q<0 = %v ok=%v, want the containing bucket's bound (3)", q, ok)
+	}
+	if q, ok := hw.Quantile(7); !ok || q != 3 {
+		t.Fatalf("q>1 = %v ok=%v, want clamp into [Lo,Hi]", q, ok)
+	}
+}
+
+func TestBadFraction(t *testing.T) {
+	// Buckets: "7" covers [4,7], "63" covers [32,63]. Threshold 30:
+	// only bucket 63's lower bound (32) is ≥ 30, so 5/8 are bad.
+	hw := HistWindow{
+		Count:   8,
+		Buckets: map[string]uint64{"7": 3, "63": 5},
+		Lo:      4, Hi: 60,
+	}
+	if got := hw.BadFraction(30); got != 5.0/8.0 {
+		t.Fatalf("BadFraction(30) = %v, want 0.625", got)
+	}
+	// Threshold below every bucket's lower bound: everything is bad.
+	if got := hw.BadFraction(1); got != 1 {
+		t.Fatalf("BadFraction(1) = %v, want 1", got)
+	}
+	// Threshold above everything: nothing definitely exceeds it.
+	if got := hw.BadFraction(1e9); got != 0 {
+		t.Fatalf("BadFraction(1e9) = %v, want 0", got)
+	}
+	// Zero threshold disables (count nothing, avoid 0-threshold alerts).
+	if got := hw.BadFraction(0); got != 0 {
+		t.Fatalf("BadFraction(0) = %v, want 0", got)
+	}
+	if got := (HistWindow{}).BadFraction(10); got != 0 {
+		t.Fatalf("empty BadFraction = %v, want 0", got)
+	}
+}
+
+func TestSeriesNamesFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(telemetry.LabelName("req.total", "path", "/v1/run")).Inc()
+	reg.Counter(telemetry.LabelName("req.total", "path", "/v1/jobs")).Inc()
+	reg.Counter("req.other").Inc()
+	st := New(Options{Registry: reg, Retain: 4})
+	st.Scrape()
+
+	fam := st.SeriesNames("req.total")
+	if len(fam) != 2 {
+		t.Fatalf("family match returned %v, want both labeled series", fam)
+	}
+	exact := st.SeriesNames(telemetry.LabelName("req.total", "path", "/v1/run"))
+	if len(exact) != 1 {
+		t.Fatalf("exact match returned %v, want 1", exact)
+	}
+	if got := st.SeriesNames("req.missing"); got != nil {
+		t.Fatalf("missing family returned %v, want nil", got)
+	}
+	if typ, ok := st.Type("req.other"); !ok || typ != "counter" {
+		t.Fatalf("Type = %q ok=%v, want counter", typ, ok)
+	}
+}
+
+func TestStartCloseLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("x").Inc()
+	st := New(Options{Registry: reg, Interval: time.Millisecond, Retain: 4})
+	st.Start()
+	st.Start() // second Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("tsdb.scrapes").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scrape loop never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st.Close()
+	st.Close() // idempotent
+
+	// A store that was never started closes immediately.
+	idle := New(Options{Registry: telemetry.NewRegistry()})
+	done := make(chan struct{})
+	go func() { idle.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Close of a never-started store hung")
+	}
+}

@@ -8,7 +8,7 @@ import (
 )
 
 // randomParams draws a physically plausible parameter set: the bands
-// cover every workload class the study calibrates (DESIGN.md §9).
+// cover every workload class the study calibrates (DESIGN.md §10).
 func randomParams(rng *rand.Rand) Params {
 	p := Default()
 	p.Alpha = 0.3 + rng.Float64()*3.2 // FP-serialized … wide integer
