@@ -148,6 +148,30 @@ func compare(old, new_ *bench.Record, noise, minPhaseUS float64, w io.Writer) in
 		fmt.Fprintf(w, "  %-34s %10.4f -> %10.4f  (%+.4f abs)  %s\n",
 			"ledger_drop_frac", old.LedgerDropFrac, new_.LedgerDropFrac, delta, status)
 	}
+	// Alloc-guard records carry deterministic near-zero allocation
+	// counts, so like the other near-zero fractions they compare on an
+	// absolute band: any steady-state allocation creeping into the
+	// per-cycle or per-evaluation path regressed, whatever the noise
+	// setting. Gated on both records being allocguard runs so mixed
+	// trajectories skip it.
+	if old.Tool == "allocguard" && new_.Tool == "allocguard" {
+		for _, m := range [2]struct {
+			name string
+			o, n float64
+		}{
+			{"allocs_per_cycle", old.AllocsPerCycle, new_.AllocsPerCycle},
+			{"allocs_per_eval", old.AllocsPerEval, new_.AllocsPerEval},
+		} {
+			delta := m.n - m.o
+			status := "ok"
+			if delta > noise {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "  %-34s %10.4f -> %10.4f  (%+.4f abs)  %s\n",
+				m.name, m.o, m.n, delta, status)
+		}
+	}
 	// Burn rate only regresses when it grows beyond the noise band AND
 	// the run actually ends over budget (burn > 1): drifting from 0.1
 	// to 0.3 is headroom, not an alert.

@@ -236,6 +236,50 @@ func TestMaxBurnRateGatesOnlyOverBudget(t *testing.T) {
 	}
 }
 
+func allocRecord(perCycle, perEval float64) bench.Record {
+	rec := bench.NewRecord("allocguard", time.Now())
+	rec.Points = 1
+	rec.AllocsPerCycle = perCycle
+	rec.AllocsPerEval = perEval
+	return rec
+}
+
+// TestAllocGuardAbsoluteBand pins the allocguard gate: a steady-state
+// allocation creeping into the per-cycle loop flips benchdiff to a
+// failure even from a zero baseline (where a relative band would
+// divide by zero), and the zero-to-zero trajectory passes.
+func TestAllocGuardAbsoluteBand(t *testing.T) {
+	clean := writeTrajectory(t, "b.json", allocRecord(0, 0), allocRecord(0, 0))
+	code, out := runDiff(t, "-baseline", clean)
+	if code != 0 {
+		t.Fatalf("zero-to-zero exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs_per_cycle") {
+		t.Fatalf("allocs_per_cycle not compared:\n%s", out)
+	}
+
+	dirty := writeTrajectory(t, "b2.json", allocRecord(0, 0), allocRecord(1, 0))
+	code, out = runDiff(t, "-baseline", dirty)
+	if code != 1 {
+		t.Fatalf("planted per-cycle allocation: exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs_per_cycle") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regression not reported:\n%s", out)
+	}
+
+	evalDirty := writeTrajectory(t, "b3.json", allocRecord(0, 0), allocRecord(0, 2))
+	if code, out = runDiff(t, "-baseline", evalDirty); code != 1 {
+		t.Fatalf("planted per-eval allocation: exit %d, want 1; output:\n%s", code, out)
+	}
+
+	// Mixed trajectories (sweep record then allocguard record) skip the
+	// alloc gate rather than comparing unrelated tools' zero fields.
+	mixed := writeTrajectory(t, "b4.json", record(100, 5000), allocRecord(1, 1))
+	if code, out = runDiff(t, "-baseline", mixed); code != 0 {
+		t.Fatalf("mixed trajectory exit %d, output:\n%s", code, out)
+	}
+}
+
 func TestServeRequestThroughputRegressionFails(t *testing.T) {
 	// 40% request-throughput drop with stable latency: the serve-only
 	// axis must gate on its own.

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markerRe matches a lint directive at the start of a comment line:
+// //lint:ignore or //lint:hotpath, capturing the verb and the rest.
+var markerRe = regexp.MustCompile(`^\s*//lint:(ignore|hotpath)\b[ \t]*(.*)$`)
+
+// TestLintMarkerConventions sweeps every non-test production file for
+// lint directives and rejects stale or lazy ones: an ignore must name
+// only real analyzers and give a reason; a hotpath marker must give a
+// reason. Golden testdata and tests are exempt (they exist to exercise
+// malformed markers).
+func TestLintMarkerConventions(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range suite {
+		names[a.Name] = true
+	}
+
+	root := moduleRoot(t)
+	var checked int
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := markerRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			checked++
+			verb, rest := m[1], strings.TrimSpace(m[2])
+			switch verb {
+			case "ignore":
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					t.Errorf("%s:%d: //lint:ignore needs an analyzer list and a reason, got %q", rel, i+1, rest)
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if !names[name] {
+						t.Errorf("%s:%d: //lint:ignore names unknown analyzer %q (known: %d in suite)", rel, i+1, name, len(suite))
+					}
+				}
+			case "hotpath":
+				if rest == "" {
+					t.Errorf("%s:%d: //lint:hotpath needs a reason (why this function is per-cycle)", rel, i+1)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no lint markers found in the repo; the sweep is broken (sim.go alone carries many)")
+	}
+	t.Logf("checked %d lint markers", checked)
+}
+
+// moduleRoot walks up from the package directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,18 +26,34 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
 	"repro/internal/analysis/detrange"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/fpcomplete"
+	"repro/internal/analysis/golifecycle"
+	"repro/internal/analysis/lockguard"
 	"repro/internal/analysis/metriclabel"
 )
 
 // suite is the full analyzer set, in reporting order.
 var suite = []*analysis.Analyzer{
+	allocfree.Analyzer,
 	detrange.Analyzer,
 	floatcmp.Analyzer,
 	fpcomplete.Analyzer,
+	golifecycle.Analyzer,
+	lockguard.Analyzer,
 	metriclabel.Analyzer,
+}
+
+// jsonFinding is the machine-readable form of one diagnostic, emitted
+// by -json so CI can archive findings as an artifact.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -55,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout instead of text")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: repolint [flags] [packages]\n\n"+
 			"Runs the repository static-analysis suite over the package patterns\n"+
@@ -109,8 +127,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -89,6 +90,49 @@ func Sum(m map[string]float64) float64 {
 	}
 	if !strings.Contains(stderr.String(), "1 finding(s)") {
 		t.Errorf("stderr missing summary:\n%s", stderr.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	root := t.TempDir()
+	clean := write(t, root, "clean", `package clean
+
+func Double(x int) int { return 2 * x }
+`)
+	dirty := write(t, root, "dirty", `package dirty
+
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", dirty}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run(-json dirty) = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings for the dirty package")
+	}
+	f := findings[0]
+	if f.Analyzer != "detrange" || f.File == "" || f.Line == 0 || f.Message == "" {
+		t.Errorf("finding fields incomplete: %+v", f)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-json", clean}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-json clean) = %d, want 0\nstderr:\n%s", got, stderr.String())
+	}
+	if s := strings.TrimSpace(stdout.String()); s != "[]" {
+		t.Errorf("clean -json output = %q, want []", s)
 	}
 }
 

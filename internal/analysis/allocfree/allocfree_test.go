@@ -1,0 +1,62 @@
+package allocfree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, ".", "af", Analyzer)
+}
+
+// TestPlantedAllocation mirrors the conformance mutation discipline: a
+// clean hotpath stays clean, and planting one per-cycle allocation in
+// it must flip the analyzer to a finding.
+func TestPlantedAllocation(t *testing.T) {
+	const clean = `package mut
+
+type core struct {
+	buf []uint64
+}
+
+// step advances one cycle.
+//
+//lint:hotpath per-cycle body under mutation test
+func (c *core) step(v uint64) {
+	c.buf = append(c.buf[:0], v)
+}
+`
+	if n := findings(t, clean); n != 0 {
+		t.Fatalf("clean source: got %d finding(s), want 0", n)
+	}
+	mutated := strings.Replace(clean,
+		"c.buf = append(c.buf[:0], v)",
+		"tmp := make([]uint64, 1)\n\ttmp[0] = v\n\tc.buf = append(c.buf[:0], tmp[0])", 1)
+	if mutated == clean {
+		t.Fatal("mutation did not apply")
+	}
+	if n := findings(t, mutated); n == 0 {
+		t.Fatal("planting a per-cycle allocation produced no finding")
+	}
+}
+
+// TestUnmarkedFunctionsIgnored pins that the marker, not the content,
+// arms the analyzer.
+func TestUnmarkedFunctionsIgnored(t *testing.T) {
+	const src = `package mut
+
+func build() []int {
+	return append([]int{}, make([]int, 4)...)
+}
+`
+	if n := findings(t, src); n != 0 {
+		t.Fatalf("unmarked function: got %d finding(s), want 0", n)
+	}
+}
+
+func findings(t *testing.T, src string) int {
+	t.Helper()
+	return len(analysistest.RunSource(t, Analyzer, src))
+}

@@ -1,0 +1,88 @@
+// Package af is allocfree golden testdata: each flagged allocation
+// shape inside a //lint:hotpath function, the reuse idioms that stay
+// clean, unmarked functions left alone, and the //lint:ignore escape
+// hatch.
+package af
+
+type event struct {
+	kind int
+	seq  uint64
+}
+
+type sim struct {
+	buf     []uint64
+	pending []uint64
+	scratch [8]uint64
+	counts  map[int]int
+	out     func(event)
+}
+
+func (s *sim) sink(e event)    {}
+func (s *sim) note(v any)      {}
+func consume(vs ...any)        {}
+func handle(f func())          {}
+func useBytes(b []byte) int    { return len(b) }
+func useString(str string) int { return len(str) }
+
+// step is the per-cycle body; every allocating construct is planted
+// once.
+//
+//lint:hotpath golden positive: one of every flagged construct
+func (s *sim) step(name string, k int) {
+	p := make([]uint64, 4) // want `make in hotpath step allocates`
+	_ = p
+	q := new(event) // want `new in hotpath step allocates`
+	_ = q
+	r := &event{kind: k} // want `&composite literal in hotpath step escapes`
+	_ = r
+	vs := []uint64{1, 2} // want `slice literal in hotpath step allocates`
+	_ = vs
+	m := map[int]int{} // want `map literal in hotpath step allocates`
+	_ = m
+	handle(func() { s.sink(event{}) }) // want `function literal in hotpath step captures state`
+	s.pending = append(s.pending, 1)   // want `append in hotpath step may grow`
+	s.counts[k] = 1                    // want `map write in hotpath step can grow`
+	s.counts[k]++                      // want `map write in hotpath step can grow`
+	_ = name + "!"                     // want `string concatenation in hotpath step allocates`
+	_ = useBytes([]byte(name))         // want `string conversion in hotpath step copies`
+	s.note(k)                          // want `argument boxed into interface parameter in hotpath step`
+}
+
+// retire shows the clean idioms: value struct literals, reslice-reuse
+// append (direct and via a named keep), array scratch space,
+// pointer-shaped and nil interface arguments.
+//
+//lint:hotpath golden negative: the idioms the rewrite must keep using
+func (s *sim) retire(seq uint64) {
+	e := event{kind: 1, seq: seq} // value literal: stays in place
+	s.sink(e)
+	s.buf = append(s.buf[:0], seq) // reslice of preallocated backing
+	keep := s.pending[:0]
+	for _, v := range s.pending {
+		if v != seq {
+			keep = append(keep, v) // named reuse of the same backing
+		}
+	}
+	s.pending = keep
+	s.scratch[0] = seq // array write, no table growth
+	s.note(&e)         // pointer-shaped: fits the interface word
+	s.note(nil)        // untyped nil never boxes
+	consume()          // variadic with no args: nothing to box
+}
+
+// drain is a marked function using the escape hatch where the construct
+// is provably stack-bound.
+//
+//lint:hotpath golden suppression case
+func (s *sim) drain() {
+	//lint:ignore allocfree scratch never escapes drain; compiler keeps it on the stack
+	tmp := make([]uint64, 0, 8)
+	_ = tmp
+}
+
+// setup is unmarked: the same constructs draw no findings.
+func (s *sim) setup(n int) {
+	s.buf = make([]uint64, 0, n)
+	s.counts = map[int]int{}
+	s.out = func(e event) { s.sink(e) }
+}

@@ -5,6 +5,7 @@
 package analysistest
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -93,4 +94,37 @@ func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
 		}
 	}
+}
+
+// RunSource type-checks a single-file package written to a temp
+// directory (under the fixed package name "mut", outside the module,
+// exactly like a standalone repolint directory argument) and returns
+// the analyzer's surviving diagnostics. It is the planted-mutation
+// complement of Run: flip tests apply a textual mutation to a clean
+// source and assert the finding count changes.
+func RunSource(t *testing.T, a *analysis.Analyzer, src string) []analysis.Diagnostic {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "mut")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	p, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load source package: %v", err)
+	}
+	for _, terr := range p.TypeErrors {
+		t.Errorf("source type error: %v", terr)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{p}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	return diags
 }

@@ -1,0 +1,69 @@
+package golifecycle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGolifecycle(t *testing.T) {
+	old := ServerPackages
+	ServerPackages = append(ServerPackages,
+		"repro/internal/analysis/golifecycle/testdata/src/gl")
+	defer func() { ServerPackages = old }()
+	analysistest.Run(t, ".", "gl", Analyzer)
+}
+
+// TestSilentOutsideServerPackages pins the gate: the same leaky code in
+// a non-server package produces no findings.
+func TestSilentOutsideServerPackages(t *testing.T) {
+	if n := findings(t, leaky); n != 0 {
+		t.Fatalf("non-server package: got %d finding(s), want 0", n)
+	}
+}
+
+const leaky = `package mut
+
+func step() {}
+
+type pump struct{ stop chan struct{} }
+
+func (p *pump) start() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+`
+
+// TestPlantedOrphanedGoroutine mirrors the conformance mutation
+// discipline: a stop-channel loop is clean, and deleting the stop case
+// must flip the analyzer to a finding.
+func TestPlantedOrphanedGoroutine(t *testing.T) {
+	old := ServerPackages
+	ServerPackages = append(ServerPackages, "mut")
+	defer func() { ServerPackages = old }()
+
+	if n := findings(t, leaky); n != 0 {
+		t.Fatalf("clean source: got %d finding(s), want 0", n)
+	}
+	mutated := strings.Replace(leaky, "case <-p.stop:\n\t\t\t\treturn\n\t\t\t", "", 1)
+	if mutated == leaky {
+		t.Fatal("mutation did not apply")
+	}
+	if n := findings(t, mutated); n == 0 {
+		t.Fatal("orphaning the goroutine produced no finding")
+	}
+}
+
+func findings(t *testing.T, src string) int {
+	t.Helper()
+	return len(analysistest.RunSource(t, Analyzer, src))
+}

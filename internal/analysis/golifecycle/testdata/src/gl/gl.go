@@ -1,0 +1,99 @@
+// Package gl is golifecycle golden testdata: each accepted shutdown
+// tie (stop-channel select, queue range, WaitGroup.Done, join-channel
+// close/send), the leak positives, the unresolvable-body positive, and
+// the //lint:ignore escape hatch.
+package gl
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	done  chan struct{}
+	queue chan int
+}
+
+func work() {}
+
+// Start spawns a named method; the analyzer follows one level of call
+// and finds the select on s.stop.
+func (s *server) Start() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case v := <-s.queue:
+			_ = v
+		}
+	}
+}
+
+// StartDrain ranges over a closable queue: close(s.queue) terminates it.
+func (s *server) StartDrain() {
+	go func() {
+		for v := range s.queue {
+			_ = v
+		}
+	}()
+}
+
+// StartWorker registers the exit with a WaitGroup a Close path waits on.
+func (s *server) StartWorker() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// StartJoin signals a join channel the owner can receive from.
+func (s *server) StartJoin() {
+	go func() {
+		defer close(s.done)
+		work()
+	}()
+}
+
+// serveErr sends its result on a caller-owned channel: a join signal.
+func serveErr(errc chan error) {
+	go func() {
+		errc <- nil
+	}()
+}
+
+// StartLeak spins forever with nothing to stop it.
+func (s *server) StartLeak() {
+	go func() { // want `not tied to a shutdown path`
+		for {
+			work()
+		}
+	}()
+}
+
+// StartSelfie closes only a channel it made itself: nobody outside the
+// goroutine can observe the close, so it joins nothing.
+func (s *server) StartSelfie() {
+	go func() { // want `not tied to a shutdown path`
+		ch := make(chan struct{})
+		close(ch)
+		work()
+	}()
+}
+
+// spawn launches an opaque function value: the body is not resolvable,
+// so the lifecycle cannot be reviewed.
+func spawn(f func()) {
+	go f() // want `not resolvable`
+}
+
+// StartFireAndForget is a deliberate fire-and-forget, suppressed with a
+// reason.
+func (s *server) StartFireAndForget() {
+	//lint:ignore golifecycle one-shot best-effort notification; work() is bounded
+	go work()
+}

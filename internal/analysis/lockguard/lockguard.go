@@ -1,0 +1,437 @@
+// Package lockguard turns the repository's "guarded by mu" comment
+// convention into a checked contract. The server stack documents its
+// concurrency design on the struct (serve.Job: "All mutable fields are
+// guarded by mu") or on individual fields ("rows is guarded by rw");
+// this analyzer makes those sentences load-bearing: every read or
+// write of a guarded field must happen while the named mutex is held.
+//
+// Marking. Two comment forms declare guarded fields, both keyed on the
+// phrase "guarded by <field>" naming a sync.Mutex or sync.RWMutex
+// field of the same struct:
+//
+//   - a struct doc comment ("All mutable fields are guarded by mu")
+//     guards every field declared after the mutex field — the
+//     repository's positional layout convention: immutable and
+//     self-synchronized fields above mu, guarded state below it;
+//   - a field doc or line comment ("rows is guarded by rw") guards
+//     just that field declaration.
+//
+// Checking. Within each function the analyzer tracks lock state
+// syntactically: an expression-statement base.mu.Lock()/RLock() marks
+// base.mu held, Unlock/RUnlock clears it (a deferred Unlock keeps it
+// held to the end), and branch bodies inherit a copy of the state at
+// entry. A guarded field access base.f is clean when base.mu is held,
+// when the enclosing function's doc comment says "Callers hold
+// base.mu" (the *Locked-helper convention), or when base is a local
+// variable freshly built from a composite literal (constructors
+// initialize before the value is shared). Function literals are
+// analyzed as independent functions with no lock held — a closure may
+// escape the critical section that created it.
+//
+// The checker is deliberately conservative rather than sound: it does
+// not distinguish read locks from write locks, and it cannot see locks
+// taken by callers without the annotation. Genuine benign races
+// (monotonic reads for logging) are suppressed with
+//
+//	//lint:ignore lockguard <reason>
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "checks that every access to a field documented as \"guarded by <mu>\" " +
+		"happens with the named mutex held (or in a \"Callers hold\" annotated helper)",
+	Run: run,
+}
+
+// guardedByRe matches the marking phrase in struct and field comments.
+var guardedByRe = regexp.MustCompile(`(?i)guarded\s+by\s+([A-Za-z_]\w*)`)
+
+// callersHoldRe matches the helper annotation ("Callers hold j.mu.").
+var callersHoldRe = regexp.MustCompile(`(?i)callers\s+hold\s+([A-Za-z_][\w.]*\w)`)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, guarded: guarded}
+			c.exempt = freshLocals(pass, fd.Body, guarded)
+			held := make(map[string]bool)
+			for _, base := range callersHold(fd.Doc) {
+				held[base] = true
+			}
+			c.walkBlock(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each guarded field object to the name of the
+// mutex field that guards it.
+func collectGuarded(pass *analysis.Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				collectStruct(pass, st, doc, out)
+			}
+		}
+	}
+	return out
+}
+
+// collectStruct applies both marking forms to one struct type.
+func collectStruct(pass *analysis.Pass, st *ast.StructType, doc *ast.CommentGroup, out map[*types.Var]string) {
+	// The positional form: a struct doc naming a mutex field guards
+	// everything declared after that field.
+	if m := guardedByRe.FindStringSubmatch(doc.Text()); m != nil {
+		if idx := mutexFieldIndex(pass, st, m[1]); idx >= 0 {
+			for _, f := range st.Fields.List[idx+1:] {
+				markField(pass, f, m[1], out)
+			}
+		}
+	}
+	// The per-field form: a field comment names the mutex directly.
+	for _, f := range st.Fields.List {
+		text := f.Doc.Text() + " " + f.Comment.Text()
+		if m := guardedByRe.FindStringSubmatch(text); m != nil {
+			if mutexFieldIndex(pass, st, m[1]) >= 0 {
+				markField(pass, f, m[1], out)
+			}
+		}
+	}
+}
+
+// mutexFieldIndex locates the named sync.Mutex/RWMutex field, or -1.
+func mutexFieldIndex(pass *analysis.Pass, st *ast.StructType, name string) int {
+	for i, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name && isMutex(pass.TypesInfo.TypeOf(f.Type)) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func markField(pass *analysis.Pass, f *ast.Field, mutex string, out map[*types.Var]string) {
+	for _, id := range f.Names {
+		if id.Name == mutex {
+			continue
+		}
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			out[v] = mutex
+		}
+	}
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// callersHold extracts the lock expressions a helper's doc comment
+// declares held at entry.
+func callersHold(doc *ast.CommentGroup) []string {
+	var out []string
+	for _, m := range callersHoldRe.FindAllStringSubmatch(doc.Text(), -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// freshLocals collects local variables defined from a composite
+// literal of a guarded struct type: the constructor pattern, where the
+// value is initialized before it can be shared.
+func freshLocals(pass *analysis.Pass, body *ast.BlockStmt, guarded map[*types.Var]string) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if u, ok := rhs.(*ast.UnaryExpr); ok {
+				rhs = u.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil && hasGuardedField(obj.Type(), guarded) {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasGuardedField reports whether t (possibly a pointer) is a struct
+// with at least one guarded field.
+func hasGuardedField(t types.Type, guarded map[*types.Var]string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if _, ok := guarded[st.Field(i)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checker walks one function, threading the syntactic lock state.
+type checker struct {
+	pass    *analysis.Pass
+	guarded map[*types.Var]string
+	exempt  map[types.Object]bool
+}
+
+// walkBlock runs a statement list sequentially, mutating held as lock
+// operations appear.
+func (c *checker) walkBlock(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		c.walkStmt(s, held)
+	}
+}
+
+// branch runs a nested statement with a copy of the lock state, so
+// lock transitions inside a conditional don't leak into the fallthrough
+// path (an Unlock before an early return must not unlock the tail).
+func (c *checker) branch(s ast.Stmt, held map[string]bool) {
+	if s == nil {
+		return
+	}
+	cp := make(map[string]bool, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	c.walkStmt(s, cp)
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.walkBlock(s.List, held)
+	case *ast.ExprStmt:
+		if base, locks, ok := c.lockOp(s.X); ok {
+			if locks {
+				held[base] = true
+			} else {
+				delete(held, base)
+			}
+			return
+		}
+		c.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at return: the lock stays held for the
+		// rest of the function. Other deferred calls run with whatever
+		// is held here — check them against the current state.
+		if _, _, ok := c.lockOp(s.Call); ok {
+			return
+		}
+		c.checkExpr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: its body starts with nothing
+		// held, whatever the spawner holds.
+		for _, arg := range s.Call.Args {
+			c.checkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkBlock(lit.Body.List, make(map[string]bool))
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Lhs {
+			c.checkExpr(e, held)
+		}
+		for _, e := range s.Rhs {
+			c.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		c.branch(s.Body, held)
+		c.branch(s.Else, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, held)
+		}
+		c.branch(s.Body, held)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		c.branch(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			c.branch(cc, held)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			c.branch(cc, held)
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.checkExpr(e, held)
+		}
+		c.walkBlock(s.Body, held)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			c.branch(cc, held)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			c.walkStmt(s.Comm, held)
+		}
+		c.walkBlock(s.Body, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, held)
+		c.checkExpr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockOp recognizes base.mu.Lock()/RLock()/Unlock()/RUnlock() and
+// returns the mutex expression's rendering.
+func (c *checker) lockOp(e ast.Expr) (base string, locks, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	if !isMutex(c.pass.TypesInfo.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locks, true
+}
+
+// checkExpr reports guarded-field accesses in an expression evaluated
+// under the given lock state. Function literals are analyzed as
+// independent functions (nothing held).
+func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.walkBlock(lit.Body.List, make(map[string]bool))
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := c.pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mutex, ok := c.guarded[v]
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && c.exempt[c.pass.TypesInfo.Uses[id]] {
+			return true
+		}
+		need := types.ExprString(sel.X) + "." + mutex
+		if !held[need] {
+			c.pass.Reportf(sel.Sel.Pos(),
+				"%s is guarded by %s, which is not held here: lock it, mark the helper \"Callers hold %s\", or //lint:ignore lockguard <reason>",
+				types.ExprString(sel), mutex, need)
+		}
+		return true
+	})
+}

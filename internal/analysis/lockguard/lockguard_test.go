@@ -1,0 +1,52 @@
+package lockguard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, ".", "lg", Analyzer)
+}
+
+// TestPlantedLockRemoval mirrors the conformance mutation discipline:
+// a clean critical section must stay clean, and deleting its Lock call
+// must flip the analyzer to a finding.
+func TestPlantedLockRemoval(t *testing.T) {
+	const clean = `package mut
+
+import "sync"
+
+// box holds one value. All mutable fields are guarded by mu.
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v = v
+}
+`
+	if n := findings(t, clean); n != 0 {
+		t.Fatalf("clean source: got %d finding(s), want 0", n)
+	}
+	mutated := strings.Replace(clean, "\tb.mu.Lock()\n\tdefer b.mu.Unlock()\n", "", 1)
+	if mutated == clean {
+		t.Fatal("mutation did not apply")
+	}
+	if n := findings(t, mutated); n == 0 {
+		t.Fatal("removing the Lock call produced no finding")
+	}
+}
+
+// findings runs the analyzer over a single-file package written to a
+// temp dir (outside the module, so the loader assigns it a standalone
+// import path, exactly like a repolint directory argument).
+func findings(t *testing.T, src string) int {
+	t.Helper()
+	return len(analysistest.RunSource(t, Analyzer, src))
+}

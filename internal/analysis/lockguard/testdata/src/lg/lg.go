@@ -1,0 +1,102 @@
+// Package lg is lockguard golden testdata: both marking forms (struct
+// doc and per-field comment), the Callers-hold helper convention, the
+// constructor exemption, and the //lint:ignore escape hatch.
+package lg
+
+import "sync"
+
+// counter is a tiny guarded aggregate. All mutable fields are guarded
+// by mu.
+type counter struct {
+	name string // immutable, above the mutex: unguarded
+
+	mu sync.Mutex
+	n  int
+	hi int
+}
+
+func newCounter(name string) *counter {
+	c := &counter{name: name}
+	c.n = 0 // constructor: the value is not shared yet
+	return c
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.hi = 0 // want `hi is guarded by mu`
+}
+
+func (c *counter) peek() int {
+	return c.n // want `n is guarded by mu`
+}
+
+func (c *counter) title() string {
+	return c.name // above the mutex: not guarded
+}
+
+// bumpLocked advances the counter. Callers hold c.mu.
+func (c *counter) bumpLocked() { c.n++ }
+
+func (c *counter) loggedPeek() int {
+	//lint:ignore lockguard benign monotonic read, logging only
+	return c.n
+}
+
+// scanner probes a counter it does not own: the lock expression is the
+// full path s.c.mu, matching accesses through s.c.
+type scanner struct{ c *counter }
+
+func (s *scanner) snapshot() int {
+	s.c.mu.Lock()
+	v := s.c.n
+	s.c.mu.Unlock()
+	return v
+}
+
+func (s *scanner) leak() int {
+	return s.c.n // want `n is guarded by mu`
+}
+
+// table marks one field directly instead of positionally.
+type table struct {
+	rw   sync.RWMutex
+	hits int // self-synchronized elsewhere; not marked
+	// rows is guarded by rw.
+	rows map[string]int
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) put(k string, v int) {
+	t.rows[k] = v // want `rows is guarded by rw`
+}
+
+func (t *table) bump() {
+	t.hits++ // unmarked field: no finding
+}
+
+// closures escape the critical section that created them, so a body
+// reading guarded state must lock for itself even when the enclosing
+// function holds the mutex.
+func (c *counter) fanout(run func(func())) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	run(func() {
+		_ = c.n // want `n is guarded by mu`
+	})
+}

@@ -101,6 +101,14 @@ type Record struct {
 	// exactly at the sustainable pace).
 	MaxBurnRate float64 `json:"max_burn_rate,omitempty"`
 
+	// Alloc-guard figures (the AllocsPerRun guard in internal/power,
+	// tool "allocguard"): steady-state heap allocations per simulated
+	// cycle in pipeline.Run and per power evaluation in power.Evaluate.
+	// Deterministic counts, not throughput — benchdiff gates them on an
+	// absolute band around zero, like the other near-zero fractions.
+	AllocsPerCycle float64 `json:"allocs_per_cycle,omitempty"`
+	AllocsPerEval  float64 `json:"allocs_per_eval,omitempty"`
+
 	// Phases holds per-phase duration histograms, e.g. "point" for
 	// simulated design points and "point_cached" for cache hits.
 	Phases map[string]Phase `json:"phases,omitempty"`

@@ -85,7 +85,10 @@ type Options struct {
 }
 
 // Writer appends events to <dir>/events.jsonl. Construct with Open;
-// nil is the disabled state.
+// nil is the disabled state. The counters below the mutex are guarded
+// by mu; the file, queue, and lifecycle fields above it are set in
+// Open and immutable afterwards (bw is written only by the drain
+// goroutine after close(ch) synchronizes with Close).
 type Writer struct {
 	f   *os.File
 	bw  *bufio.Writer

@@ -94,6 +94,8 @@ func CycleBucketNames() []string {
 // budgetForStall maps a classified stall cause to its budget bucket.
 // iBusy reports whether an instruction-cache miss was in flight, which
 // splits the frontend cause into its miss and fill components.
+//
+//lint:hotpath per-cycle budget attribution; must not allocate
 func budgetForStall(cause StallCause, iBusy bool) CycleBucket {
 	switch cause {
 	case StallBranch:

@@ -188,6 +188,8 @@ func (r *Result) PublishAttribution(reg *telemetry.Registry) {
 
 // traceGate emits the per-cycle clock-gate event: a bitmask of the
 // units whose latches switched this cycle.
+//
+//lint:hotpath per-cycle gate trace emission when tracing is armed; must not allocate
 func (s *sim) traceGate() {
 	var mask uint64
 	for u := 0; u < NumUnits; u++ {
@@ -200,6 +202,8 @@ func (s *sim) traceGate() {
 
 // traceInstr emits one instruction-lifecycle event (fetch, issue or
 // retire).
+//
+//lint:hotpath per-instruction trace emission when tracing is armed; must not allocate
 func (s *sim) traceInstr(kind telemetry.EventKind, seq uint64, in *isa.Instruction) {
 	s.tel.Emit(telemetry.Event{
 		Cycle:  s.cycle,

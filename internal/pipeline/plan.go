@@ -135,6 +135,23 @@ func (p DepthPlan) UnitStages(u Unit) int {
 	}
 }
 
+// MergeGroup returns the full stage group containing u (including u
+// itself), aliasing the plan's own slice, or nil when u is unmerged.
+// The allocation-free accessor for per-cycle and per-evaluation paths;
+// callers must not mutate the returned slice.
+//
+//lint:hotpath called per unit per power evaluation, which runs per design point and per trace interval
+func (p DepthPlan) MergeGroup(u Unit) []Unit {
+	for _, g := range p.MergeGroups {
+		for _, m := range g {
+			if m == u {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
 // MergedWith returns the units sharing a stage group with u (excluding
 // u itself).
 func (p DepthPlan) MergedWith(u Unit) []Unit {

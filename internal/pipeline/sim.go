@@ -184,6 +184,7 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 		cfg:         cfg,
 		src:         src,
 		rob:         make([]robEntry, cfg.WindowCap),
+		pending:     make([]uint64, 0, cfg.WindowCap),
 		decodePipe:  newFIFO(max(1, cfg.Plan.Decode) * cfg.Width),
 		agenQ:       newFIFO(cfg.AgenQCap),
 		agenPipe:    newFIFO(max(1, cfg.Plan.Agen) * cfg.AgenWidth),
@@ -228,6 +229,8 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 
 // step advances the machine one cycle, processing stages back to
 // front so an instruction traverses at most one stage per cycle.
+//
+//lint:hotpath the per-cycle simulator body, ROADMAP item 2 rewrite target; must not allocate
 func (s *sim) step() {
 	s.traceCycle = s.tel.CycleEnabled(s.cycle)
 	for i := range s.unitMoved {
@@ -273,17 +276,21 @@ func (s *sim) takeSample() {
 	s.res.Samples = append(s.res.Samples, sm)
 }
 
+//lint:hotpath window-slot accessor called many times per cycle; must not allocate
 func (s *sim) entry(seq uint64) *robEntry { return &s.rob[seq%uint64(len(s.rob))] }
 
 // resolvePendingBranch unfreezes the front end once the mispredicted
 // branch has completed; fetch resumes the following cycle, so the
 // refill sees the full decode-to-execute transit.
+//
+//lint:hotpath per-cycle branch resolution; must not allocate
 func (s *sim) resolvePendingBranch() {
 	if s.havePending && s.entry(s.pendingBranch).complete < s.cycle {
 		s.havePending = false
 	}
 }
 
+//lint:hotpath per-cycle retire stage; must not allocate
 func (s *sim) stepRetire() {
 	for s.retired < s.decoded && s.retiredNow < s.cfg.Width {
 		e := s.entry(s.retired)
@@ -308,6 +315,8 @@ func (s *sim) stepRetire() {
 // — strictly in program order for the in-order model, oldest-ready-
 // first within the window for the out-of-order model — or classifies
 // the stall.
+//
+//lint:hotpath per-cycle issue stage; must not allocate
 func (s *sim) stepIssue() {
 	if s.cfg.OutOfOrder {
 		s.stepIssueOOO()
@@ -356,6 +365,8 @@ func (s *sim) stepIssue() {
 // disciplines). It runs exactly once per cycle, which is what makes
 // the cycle budget exhaustive and exclusive: every cycle lands in
 // exactly one bucket here.
+//
+//lint:hotpath per-cycle issue accounting; must not allocate
 func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) {
 	if issued > 0 {
 		s.res.IssueCycles++
@@ -417,6 +428,8 @@ func renameStages(cfg Config) int {
 // structural limits as the in-order issue stage. Stall classification
 // follows the oldest unissued instruction. The pending list is kept
 // compact, so the per-cycle cost is bounded by the window capacity.
+//
+//lint:hotpath per-cycle issue stage (OOO); must not allocate
 func (s *sim) stepIssueOOO() {
 	issued, memIssued, brIssued := 0, 0, 0
 	var cause StallCause
@@ -465,6 +478,8 @@ func (s *sim) stepIssueOOO() {
 
 // blockCauseOOO decides readiness from the producers captured at
 // rename, resolved dynamically against the window.
+//
+//lint:hotpath per-instruction stall classification (OOO); must not allocate
 func (s *sim) blockCauseOOO(e *robEntry) (StallCause, bool) {
 	in := &e.in
 	if in.Class == isa.FP && s.fpuBusyUntil > s.cycle {
@@ -509,6 +524,8 @@ func (s *sim) blockCauseOOO(e *robEntry) (StallCause, bool) {
 }
 
 // classifyWriter attributes a wait on the given producer.
+//
+//lint:hotpath per-writer stall classification; must not allocate
 func (s *sim) classifyWriter(seq uint64) StallCause {
 	if seq < s.retired {
 		return StallDependency
@@ -533,6 +550,8 @@ func (s *sim) classifyWriter(seq uint64) StallCause {
 // (the machine is access-decoupled: address generation and cache
 // access run ahead of the execution queue, per Fig. 2); only true
 // consumers of in-flight data stall.
+//
+//lint:hotpath per-instruction stall classification; must not allocate
 func (s *sim) blockCause(e *robEntry) (StallCause, bool) {
 	in := &e.in
 	if in.Class == isa.Load {
@@ -573,6 +592,8 @@ func (s *sim) blockCause(e *robEntry) (StallCause, bool) {
 // classifyDep attributes a wait on register r to its producer: a load
 // still in the address path is an agen stall, a load waiting on a
 // cache miss is a memory stall, anything else is a plain dependency.
+//
+//lint:hotpath per-operand stall classification; must not allocate
 func (s *sim) classifyDep(r isa.Reg) StallCause {
 	if !s.haveWriter[r] {
 		return StallDependency
@@ -590,6 +611,8 @@ func (s *sim) classifyDep(r isa.Reg) StallCause {
 }
 
 // issue starts execution of e at the current cycle.
+//
+//lint:hotpath per-instruction issue bookkeeping; must not allocate
 func (s *sim) issue(seq uint64, e *robEntry) {
 	in := &e.in
 	e.issuedAt = s.cycle
@@ -658,6 +681,8 @@ func (s *sim) issue(seq uint64, e *robEntry) {
 // the cache pipe. Load misses block the cache (no MSHRs, as in the
 // era's blocking L1 designs); stores retire into a store buffer and
 // never block.
+//
+//lint:hotpath per-cycle cache-exit stage; must not allocate
 func (s *sim) stepCacheExit() {
 	for ports := 0; ports < s.cfg.CachePorts && !s.cachePipe.empty(); ports++ {
 		if s.cycle < s.cacheBusyUntil {
@@ -720,6 +745,8 @@ func (s *sim) stepCacheExit() {
 
 // stepAgenAdvance moves address-generated operations into the cache
 // pipe.
+//
+//lint:hotpath per-cycle agen advance; must not allocate
 func (s *sim) stepAgenAdvance() {
 	for moved := 0; moved < s.cfg.AgenWidth && !s.agenPipe.empty(); moved++ {
 		pe := s.agenPipe.peek()
@@ -738,6 +765,8 @@ func (s *sim) stepAgenAdvance() {
 
 // stepAgenQ launches queued memory operations into address generation
 // once their base registers are ready (in order).
+//
+//lint:hotpath per-cycle agen-queue stage; must not allocate
 func (s *sim) stepAgenQ() {
 	for moved := 0; moved < s.cfg.AgenWidth && !s.agenQ.empty(); moved++ {
 		pe := s.agenQ.peek()
@@ -761,6 +790,8 @@ func (s *sim) stepAgenQ() {
 
 // stepDecodeExit routes decoded instructions into the execution queue
 // (and memory operations additionally into the address queue).
+//
+//lint:hotpath per-cycle decode-exit stage; must not allocate
 func (s *sim) stepDecodeExit() {
 	for moved := 0; moved < s.cfg.Width && !s.decodePipe.empty(); moved++ {
 		pe := s.decodePipe.peek()
@@ -783,6 +814,7 @@ func (s *sim) stepDecodeExit() {
 		s.decoded++
 		s.inExecQ++
 		if s.cfg.OutOfOrder {
+			//lint:ignore allocfree pending is preallocated to WindowCap in Run and occupancy never exceeds the window, so this append cannot grow
 			s.pending = append(s.pending, pe.seq)
 		}
 		s.res.UnitOps[UnitDecode]++
@@ -796,6 +828,8 @@ func (s *sim) stepDecodeExit() {
 // machine does not fetch down the wrong path; the freeze lasts until
 // the branch resolves, which reproduces the misprediction penalty
 // exactly).
+//
+//lint:hotpath per-cycle fetch stage; must not allocate
 func (s *sim) stepFetch() {
 	if s.havePending || s.traceDone || s.cycle < s.redirectHoldTo {
 		return
@@ -889,6 +923,8 @@ func (s *sim) stepFetch() {
 // new values (instructions advanced through it). With
 // WrongPathActivity, misprediction-recovery cycles charge the front
 // end at full rate (wrong-path fetch and decode).
+//
+//lint:hotpath per-cycle activity accounting; must not allocate
 func (s *sim) recordActivity() {
 	if s.cfg.WrongPathActivity && s.havePending {
 		s.unitMoved[UnitFetch] = true
@@ -938,24 +974,20 @@ func (s *sim) recordActivity() {
 // — which lets the address path run decoupled from issue. In
 // out-of-order mode the full source operands are captured too (the
 // register-renaming step proper), eliminating WAW and WAR hazards.
+//
+//lint:hotpath runs at decode exit for every instruction; must not allocate
 func (s *sim) rename(seq uint64, e *robEntry) {
 	in := &e.in
-	capture := func(r isa.Reg) (uint64, bool) {
-		if r == isa.RegNone || !s.haveRename[r] {
-			return 0, false
-		}
-		return s.renameTable[r], true
-	}
 	if in.HasMemory() {
-		e.baseWriterSeq, e.hasBaseWriter = capture(in.BaseReg())
+		e.baseWriterSeq, e.hasBaseWriter = s.captureWriter(in.BaseReg())
 	}
 	if s.cfg.OutOfOrder {
 		switch in.Class {
 		case isa.Store, isa.RX:
-			e.src1Writer, e.hasSrc1W = capture(in.Src1)
+			e.src1Writer, e.hasSrc1W = s.captureWriter(in.Src1)
 		case isa.RR, isa.FP, isa.Branch:
-			e.src1Writer, e.hasSrc1W = capture(in.Src1)
-			e.src2Writer, e.hasSrc2W = capture(in.Src2)
+			e.src1Writer, e.hasSrc1W = s.captureWriter(in.Src1)
+			e.src2Writer, e.hasSrc2W = s.captureWriter(in.Src2)
 		}
 		s.res.UnitOps[UnitRename]++
 		s.unitMoved[UnitRename] = true
@@ -966,9 +998,24 @@ func (s *sim) rename(seq uint64, e *robEntry) {
 	}
 }
 
+// captureWriter looks up the youngest in-flight producer of r in the
+// rename table. A method rather than a closure inside rename, so the
+// decode-exit path stays visibly closure-free and the allocfree
+// analyzer can vouch for it.
+//
+//lint:hotpath called up to three times per renamed instruction; must not allocate
+func (s *sim) captureWriter(r isa.Reg) (uint64, bool) {
+	if r == isa.RegNone || !s.haveRename[r] {
+		return 0, false
+	}
+	return s.renameTable[r], true
+}
+
 // writerReady returns when the result of the instruction with the
 // given sequence number becomes readable, or 0 if it has already
 // retired (its window slot may have been reused).
+//
+//lint:hotpath called per ready-check during issue; must not allocate
 func (s *sim) writerReady(seq uint64) uint64 {
 	if seq < s.retired {
 		return 0

@@ -136,6 +136,8 @@ func (m Model) WithBetaUnit(beta float64) Model {
 // UnitLatches returns the latch count of one unit under the given
 // depth plan: base · stages^β, with a one-stage floor for merged or
 // fixed units.
+//
+//lint:hotpath called per unit per power evaluation; must not allocate
 func (m Model) UnitLatches(plan pipeline.DepthPlan, u pipeline.Unit) float64 {
 	stages := plan.UnitStages(u)
 	if stages < 1 {
@@ -148,18 +150,19 @@ func (m Model) UnitLatches(plan pipeline.DepthPlan, u pipeline.Unit) float64 {
 // counting each merge group once (intervening latches are eliminated
 // when units share a stage; the group is represented by its largest
 // member, consistent with the max-power rule).
+//
+//lint:hotpath runs inside every power evaluation; must not allocate
 func (m Model) TotalLatches(plan pipeline.DepthPlan) float64 {
 	total := 0.0
 	for u := 0; u < pipeline.NumUnits; u++ {
 		unit := pipeline.Unit(u)
-		if skip, lead := m.mergeRole(plan, unit); skip {
-			_ = lead
+		if skip, _ := m.mergeRole(plan, unit); skip {
 			continue
 		}
 		l := m.UnitLatches(plan, unit)
 		// A merge-group leader represents the whole group by its
 		// largest member.
-		for _, o := range plan.MergedWith(unit) {
+		for _, o := range plan.MergeGroup(unit) {
 			if ol := m.UnitLatches(plan, o); ol > l {
 				l = ol
 			}
@@ -172,6 +175,8 @@ func (m Model) TotalLatches(plan pipeline.DepthPlan) float64 {
 // mergeRole reports whether u is a non-leading member of a merge
 // group (skip = true) — the group is accounted once by its first
 // member.
+//
+//lint:hotpath called per unit per power evaluation; must not allocate
 func (m Model) mergeRole(plan pipeline.DepthPlan, u pipeline.Unit) (skip bool, leader pipeline.Unit) {
 	for _, g := range plan.MergeGroups {
 		for i, member := range g {
@@ -270,20 +275,70 @@ func (b Breakdown) LeakageFraction() float64 {
 	return b.Leakage / t
 }
 
+// dynInput carries everything unitDyn needs to price one unit's
+// dynamic power, passed by pointer through direct method calls so the
+// whole evaluation stays closure-free and allocation-free (the
+// AllocsPerRun guard in power_alloc_test.go pins this at zero).
+type dynInput struct {
+	r      *pipeline.Result
+	fs     float64
+	gated  bool
+	cycles float64 // Evaluate form: whole-run utilization when > 0
+	// SamplePower form: one activity-trace interval.
+	sample   bool
+	sm       pipeline.ActivitySample
+	interval uint64
+}
+
+// unitDyn prices one unit's dynamic power for the run or interval
+// described by d.
+//
+//lint:hotpath called per unit per power evaluation; must not allocate
+func (m Model) unitDyn(plan pipeline.DepthPlan, d *dynInput, u pipeline.Unit) float64 {
+	latches := m.UnitLatches(plan, u)
+	act := 1.0
+	switch {
+	case !d.gated:
+	case d.sample:
+		if d.interval > 0 {
+			if u == pipeline.UnitFPU {
+				act = float64(d.sm.UnitActive[u]) / float64(d.interval)
+			} else {
+				act = float64(d.sm.UnitOps[u]) / (float64(d.interval) * float64(d.r.UnitWidth(u)))
+			}
+			if act > 1 {
+				act = 1
+			}
+		}
+	case d.cycles > 0:
+		// Fine-grained gating: switching is proportional to the
+		// instructions flowing through the unit, not to raw clock
+		// cycles — the simulation counterpart of the paper's
+		// f_cg·f_s → κ·(T/N_I)⁻¹ approximation.
+		act = d.r.UnitUtilization(u)
+	}
+	return m.Pd * latches * d.fs * act
+}
+
 // breakdown accumulates the per-unit attribution shared by Evaluate
 // and SamplePower: merge groups contribute the greater of their
 // members' dynamic powers and latch counts, attributed to the leader.
-func (m Model) breakdown(plan pipeline.DepthPlan, gated bool, unitDyn func(pipeline.Unit) float64) Breakdown {
-	b := Breakdown{Gated: gated, Latches: m.TotalLatches(plan)}
+//
+//lint:hotpath per-evaluation body shared by Evaluate and SamplePower; must not allocate
+func (m Model) breakdown(plan pipeline.DepthPlan, d *dynInput) Breakdown {
+	b := Breakdown{Gated: d.gated, Latches: m.TotalLatches(plan)}
 	for u := 0; u < pipeline.NumUnits; u++ {
 		unit := pipeline.Unit(u)
 		if skip, _ := m.mergeRole(plan, unit); skip {
 			continue
 		}
-		dyn := unitDyn(unit)
+		dyn := m.unitDyn(plan, d, unit)
 		lat := m.UnitLatches(plan, unit)
-		for _, o := range plan.MergedWith(unit) {
-			if od := unitDyn(o); od > dyn {
+		for _, o := range plan.MergeGroup(unit) {
+			if o == unit {
+				continue
+			}
+			if od := m.unitDyn(plan, d, o); od > dyn {
 				dyn = od
 			}
 			if ol := m.UnitLatches(plan, o); ol > lat {
@@ -304,22 +359,16 @@ func (m Model) breakdown(plan pipeline.DepthPlan, gated bool, unitDyn func(pipel
 // gated = true, each unit draws dynamic power only on the cycles the
 // simulator observed it switching; otherwise every unit switches every
 // cycle. Merged units contribute the greater of their powers (§3).
+//
+//lint:hotpath per design point and per benchmark evaluation; zero steady-state allocations (see power_alloc_test.go)
 func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
-	plan := r.Config.Plan
-	fs := 1 / r.Config.CycleTime()
-	cycles := float64(r.Cycles)
-	b := m.breakdown(plan, gated, func(u pipeline.Unit) float64 {
-		latches := m.UnitLatches(plan, u)
-		act := 1.0
-		if gated && cycles > 0 {
-			// Fine-grained gating: switching is proportional to the
-			// instructions flowing through the unit, not to raw clock
-			// cycles — the simulation counterpart of the paper's
-			// f_cg·f_s → κ·(T/N_I)⁻¹ approximation.
-			act = r.UnitUtilization(u)
-		}
-		return m.Pd * latches * fs * act
-	})
+	d := dynInput{
+		r:      r,
+		fs:     1 / r.Config.CycleTime(),
+		gated:  gated,
+		cycles: float64(r.Cycles),
+	}
+	b := m.breakdown(r.Config.Plan, &d)
 	if rec := r.Config.Invariants; rec != nil {
 		CheckBreakdown(rec, b)
 	}
@@ -330,24 +379,18 @@ func (m Model) Evaluate(r *pipeline.Result, gated bool) Breakdown {
 // interval of a run (requires Config.SampleInterval > 0 during the
 // simulation). Gating semantics match Evaluate, applied to the
 // interval's own utilization.
+//
+//lint:hotpath per trace interval; zero steady-state allocations (see power_alloc_test.go)
 func (m Model) SamplePower(r *pipeline.Result, sm pipeline.ActivitySample, interval uint64, gated bool) Breakdown {
-	plan := r.Config.Plan
-	fs := 1 / r.Config.CycleTime()
-	return m.breakdown(plan, gated, func(u pipeline.Unit) float64 {
-		latches := m.UnitLatches(plan, u)
-		act := 1.0
-		if gated && interval > 0 {
-			if u == pipeline.UnitFPU {
-				act = float64(sm.UnitActive[u]) / float64(interval)
-			} else {
-				act = float64(sm.UnitOps[u]) / (float64(interval) * float64(r.UnitWidth(u)))
-			}
-			if act > 1 {
-				act = 1
-			}
-		}
-		return m.Pd * latches * fs * act
-	})
+	d := dynInput{
+		r:        r,
+		fs:       1 / r.Config.CycleTime(),
+		gated:    gated,
+		sample:   true,
+		sm:       sm,
+		interval: interval,
+	}
+	return m.breakdown(r.Config.Plan, &d)
 }
 
 // PowerTrace evaluates every interval of a sampled run into a power

@@ -1,0 +1,168 @@
+package power_test
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// allocBenchOut, when set, appends one allocguard record to the given
+// bench trajectory (JSONL) so benchdiff can gate regressions against
+// BENCH_alloc.json.
+var allocBenchOut = flag.String("alloc-bench-out", "", "append an allocguard bench record to this JSONL file")
+
+// materialize collects n instructions from the representative modern
+// workload into a slice, so runs replay the identical stream with a
+// zero-allocation reset.
+func materialize(t testing.TB, n int) []isa.Instruction {
+	t.Helper()
+	g := workload.MustGenerator(workload.Representative(workload.Modern))
+	ins := make([]isa.Instruction, 0, n)
+	for len(ins) < n {
+		in, ok := g.Next()
+		if !ok {
+			t.Fatal("workload generator exhausted")
+		}
+		ins = append(ins, in)
+	}
+	return ins
+}
+
+func allocConfig(depth int) pipeline.Config {
+	cfg := pipeline.MustDefaultConfig(depth)
+	// Strip the optional observers: the guard measures the bare
+	// per-cycle engine, the same shape the sweep's inner loop runs.
+	cfg.Tracer = nil
+	cfg.Invariants = nil
+	cfg.Metrics = nil
+	return cfg
+}
+
+// runAllocs measures the average heap allocations of one full
+// pipeline.Run over the first n instructions of ins, and the cycle
+// count of that run. The config is constructed once so its predictor,
+// BTB, and cache allocations stay out of the measurement.
+func runAllocs(t testing.TB, ins []isa.Instruction, depth, n int) (allocs float64, cycles uint64) {
+	t.Helper()
+	cfg := allocConfig(depth)
+	s := trace.NewSliceStream(ins[:n])
+	run := func() *pipeline.Result {
+		s.Reset()
+		r, err := pipeline.Run(cfg, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cycles = run().Cycles
+	allocs = testing.AllocsPerRun(5, func() { run() })
+	return allocs, cycles
+}
+
+// runEpilogueSlack bounds the allocations a longer run may add over a
+// shorter one under the identical config: the per-run epilogue
+// (manifest stamping, fingerprint rendering) formats run-sized numbers
+// and may size a fmt buffer differently, worth O(1) allocations. Any
+// true per-cycle allocation would add thousands across the ~10k extra
+// cycles the guard simulates, so the constant still pins the
+// steady-state at zero.
+const runEpilogueSlack = 4
+
+// TestZeroAllocsPerCycle pins the steady state of the per-cycle
+// simulator loop at zero heap allocations: simulating 5000 further
+// instructions must cost no more than the epilogue slack over the
+// 1000-instruction run, so the fixed per-run setup (rob, fifos,
+// manifest) cancels out. The static twin of this guard is the
+// allocfree analyzer over the //lint:hotpath bodies in
+// internal/pipeline.
+func TestZeroAllocsPerCycle(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	ins := materialize(t, 6000)
+	for _, depth := range []int{2, 7, 18} {
+		small, smallCycles := runAllocs(t, ins, depth, 1000)
+		big, bigCycles := runAllocs(t, ins, depth, 6000)
+		if bigCycles <= smallCycles {
+			t.Fatalf("depth %d: degenerate cycle counts %d <= %d", depth, bigCycles, smallCycles)
+		}
+		perCycle := (big - small) / float64(bigCycles-smallCycles)
+		t.Logf("depth %d: %.0f allocs @ %d cycles vs %.0f @ %d → %.6f allocs/cycle",
+			depth, small, smallCycles, big, bigCycles, perCycle)
+		if big-small > runEpilogueSlack {
+			t.Errorf("depth %d: %g extra allocations across %d extra cycles (%g/cycle), want ≤ %d total",
+				depth, big-small, bigCycles-smallCycles, perCycle, runEpilogueSlack)
+		}
+	}
+}
+
+// TestZeroAllocsPerEvaluate pins power.Evaluate (both gating modes) at
+// zero allocations per evaluation.
+func TestZeroAllocsPerEvaluate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	ins := materialize(t, 3000)
+	s := trace.NewSliceStream(ins)
+	r, err := pipeline.Run(allocConfig(10), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.DefaultModel()
+	for _, gated := range []bool{false, true} {
+		allocs := testing.AllocsPerRun(100, func() {
+			b := m.Evaluate(r, gated)
+			if b.Total() <= 0 {
+				t.Fatal("degenerate breakdown")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("Evaluate(gated=%v): %g allocs per evaluation, want 0", gated, allocs)
+		}
+	}
+}
+
+// TestAllocBenchRecord appends the measured figures to the trajectory
+// when -alloc-bench-out is set (the CI alloc-guard step), so benchdiff
+// gates allocs_per_cycle and allocs_per_eval like any other metric.
+func TestAllocBenchRecord(t *testing.T) {
+	if *allocBenchOut == "" {
+		t.Skip("no -alloc-bench-out path")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	start := time.Now()
+	ins := materialize(t, 6000)
+	small, smallCycles := runAllocs(t, ins, 10, 1000)
+	big, bigCycles := runAllocs(t, ins, 10, 6000)
+	perCycle := (big - small) / float64(bigCycles-smallCycles)
+
+	s := trace.NewSliceStream(ins)
+	r, err := pipeline.Run(allocConfig(10), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := power.DefaultModel()
+	perEval := testing.AllocsPerRun(100, func() { m.Evaluate(r, true) })
+
+	// Points stays zero: the guard measures allocation counts, not
+	// throughput, and a zero PointsPerSec keeps benchdiff's relative
+	// throughput gate out of allocguard-to-allocguard comparisons.
+	rec := bench.NewRecord("allocguard", start)
+	rec.Workload = "representative-modern-6000"
+	rec.AllocsPerCycle = perCycle
+	rec.AllocsPerEval = perEval
+	rec.Finish(start)
+	if err := bench.Append(*allocBenchOut, rec); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recorded allocs_per_cycle=%g allocs_per_eval=%g", perCycle, perEval)
+}

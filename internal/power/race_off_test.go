@@ -1,0 +1,7 @@
+//go:build !race
+
+package power_test
+
+// raceEnabled reports that this binary was built with -race, which
+// adds bookkeeping allocations the alloc guards must not count.
+const raceEnabled = false

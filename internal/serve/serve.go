@@ -131,7 +131,9 @@ type Options struct {
 
 // Server is the depthd job server. Construct with New (which starts
 // the worker pool), mount Handler on an HTTP server or drive it with
-// Serve, and stop with Drain/Close.
+// Serve, and stop with Drain/Close. The mutable job-registry fields
+// are guarded by mu; everything above the mutex is set in New (or, for
+// beforeRun, before any submission) and immutable afterwards.
 type Server struct {
 	opts    Options
 	log     *slog.Logger
@@ -152,16 +154,17 @@ type Server struct {
 	wg      sync.WaitGroup
 	reqSeq  atomic.Uint64
 
+	// beforeRun, when set (tests only, before any submission), runs in
+	// the worker after a job transitions to running and before the
+	// sweep starts. It lets tests hold a worker deterministically.
+	// Above the mutex: immutable once the first job is submitted.
+	beforeRun func(*Job)
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
 	seq      uint64
 	draining bool
-
-	// beforeRun, when set (tests only, before any submission), runs in
-	// the worker after a job transitions to running and before the
-	// sweep starts. It lets tests hold a worker deterministically.
-	beforeRun func(*Job)
 }
 
 // New builds a server and starts its worker pool.

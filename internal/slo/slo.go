@@ -148,7 +148,9 @@ type Result struct {
 }
 
 // Evaluator evaluates a fixed set of objectives over a tsdb store.
-// Construct with New; nil is the disabled state.
+// Construct with New; nil is the disabled state. The cached evaluation
+// below the mutex is guarded by mu; the configuration above it is set
+// in New and immutable afterwards.
 type Evaluator struct {
 	store      *tsdb.Store
 	reg        *telemetry.Registry

@@ -98,20 +98,22 @@ func (s *series) samples() []Sample {
 
 // Store is the history store. Construct with New, start the scrape
 // loop with Start, stop it with Close. All methods are safe for
-// concurrent use.
+// concurrent use: the ring buffers and subscriber list below the
+// mutex are guarded by mu; the configuration and lifecycle fields
+// above it are set in New and self-synchronized by the sync.Onces.
 type Store struct {
 	reg      *telemetry.Registry
 	interval time.Duration
 	retain   int
 
-	mu     sync.Mutex
-	series map[string]*series
-	subs   []func(telemetry.Snap)
-
 	startOnce sync.Once
 	stopOnce  sync.Once
 	stop      chan struct{}
 	done      chan struct{}
+
+	mu     sync.Mutex
+	series map[string]*series
+	subs   []func(telemetry.Snap)
 }
 
 // New builds a store over the registry. The store is passive until
