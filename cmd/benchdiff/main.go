@@ -121,6 +121,25 @@ func compare(old, new_ *bench.Record, noise, minPhaseUS float64, w io.Writer) in
 	if old.PointsPerSecOn > 0 && new_.PointsPerSecOn > 0 {
 		higher("points_per_sec_invariants_on", old.PointsPerSecOn, new_.PointsPerSecOn)
 	}
+	if old.PointsPerSecPerCycle > 0 && new_.PointsPerSecPerCycle > 0 {
+		higher("points_per_sec_per_cycle", old.PointsPerSecPerCycle, new_.PointsPerSecPerCycle)
+	}
+	// The skip-ahead engine must stay at or above the per-cycle
+	// reference it replaces. This gate is within the candidate record
+	// alone — both engines were timed in the same run, on the same
+	// machine, so the comparison needs no baseline and any drop beyond
+	// the noise band means the optimized engine regressed below the
+	// baseline stepping.
+	if new_.PointsPerSecPerCycle > 0 && new_.PointsPerSecOff > 0 {
+		rel := new_.PointsPerSecOff/new_.PointsPerSecPerCycle - 1
+		status := "ok"
+		if rel < -noise {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-34s %10.2f vs %10.2f  (%+6.1f%%)  %s\n",
+			"engine_vs_per_cycle", new_.PointsPerSecOff, new_.PointsPerSecPerCycle, rel*100, status)
+	}
 	// Overhead is a fraction near zero, so compare on an absolute band:
 	// growing from 1% to 1.1% is noise, growing past the band is not.
 	if old.PointsPerSecOn > 0 && new_.PointsPerSecOn > 0 {
@@ -155,12 +174,14 @@ func compare(old, new_ *bench.Record, noise, minPhaseUS float64, w io.Writer) in
 	// setting. Gated on both records being allocguard runs so mixed
 	// trajectories skip it.
 	if old.Tool == "allocguard" && new_.Tool == "allocguard" {
-		for _, m := range [2]struct {
+		for _, m := range [4]struct {
 			name string
 			o, n float64
 		}{
 			{"allocs_per_cycle", old.AllocsPerCycle, new_.AllocsPerCycle},
+			{"allocs_per_cycle_fast", old.AllocsPerCycleFast, new_.AllocsPerCycleFast},
 			{"allocs_per_eval", old.AllocsPerEval, new_.AllocsPerEval},
+			{"allocs_per_packed_record", old.AllocsPerPackedRecord, new_.AllocsPerPackedRecord},
 		} {
 			delta := m.n - m.o
 			status := "ok"

@@ -39,6 +39,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/invariant"
 	"repro/internal/logx"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -204,12 +205,13 @@ func printSummary(w io.Writer, rep *difftest.Report) {
 func appendBench(path string, opts difftest.Options, rep *difftest.Report, start time.Time,
 	info func(msg string, args ...any)) error {
 	profiles := opts.Profiles
-	timed := func(rec *invariant.Recorder) (float64, int, error) {
+	timed := func(rec *invariant.Recorder, engine pipeline.EngineKind) (float64, int, error) {
 		cfg := core.StudyConfig{
 			Depths:       opts.Depths,
 			Instructions: opts.Instructions,
 			Warmup:       opts.Warmup,
 			Invariants:   rec,
+			Engine:       engine,
 		}
 		t0 := time.Now()
 		sweeps, err := core.RunCatalog(cfg, profiles)
@@ -222,14 +224,21 @@ func appendBench(path string, opts difftest.Options, rep *difftest.Report, start
 		}
 		return float64(points) / time.Since(t0).Seconds(), points, nil
 	}
-	offRate, points, err := timed(nil)
+	offRate, points, err := timed(nil, pipeline.EngineAuto)
 	if err != nil {
 		return err
 	}
-	onRate, _, err := timed(invariant.New(nil))
+	onRate, _, err := timed(invariant.New(nil), pipeline.EngineAuto)
 	if err != nil {
 		return err
 	}
+	// The before/after pair for the skip-ahead engine: the same matrix
+	// with per-cycle reference stepping forced is the "before".
+	perCycleRate, _, err := timed(nil, pipeline.EnginePerCycle)
+	if err != nil {
+		return err
+	}
+	seedRate := bench.SeedRate(path, func(r bench.Record) float64 { return r.PointsPerSecOff })
 
 	rec := bench.NewRecord("conformance", start)
 	rec.Points = points
@@ -240,8 +249,12 @@ func appendBench(path string, opts difftest.Options, rep *difftest.Report, start
 	}
 	rec.PointsPerSecOff = offRate
 	rec.PointsPerSecOn = onRate
+	rec.PointsPerSecPerCycle = perCycleRate
 	if onRate > 0 {
 		rec.InvariantOverhead = offRate/onRate - 1
+	}
+	if seedRate > 0 {
+		rec.SpeedupVsSeed = offRate / seedRate
 	}
 	rec.CacheMisses = uint64(points)
 	rec.Finish(start)
@@ -251,6 +264,8 @@ func appendBench(path string, opts difftest.Options, rep *difftest.Report, start
 	info("appended bench record", "path", path,
 		"points_per_sec_off", fmt.Sprintf("%.1f", offRate),
 		"points_per_sec_on", fmt.Sprintf("%.1f", onRate),
+		"points_per_sec_per_cycle", fmt.Sprintf("%.1f", perCycleRate),
+		"speedup_vs_seed", fmt.Sprintf("%.2fx", rec.SpeedupVsSeed),
 		"overhead", fmt.Sprintf("%.1f%%", 100*rec.InvariantOverhead))
 	return nil
 }

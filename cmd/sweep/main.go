@@ -453,7 +453,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if spans != nil {
 				// Span-phase quantiles make the trajectory answer not
 				// just "slower?" but "which phase got slower?".
-				for _, ph := range []string{"decode", "warmup", "simulate", "power", "fit"} {
+				for _, ph := range []string{"pack", "decode", "warmup", "simulate", "power", "fit"} {
 					if p := bench.PhaseFrom(reg.Histogram("span." + ph + "_us")); p.Count > 0 {
 						rec.Phases[ph] = p
 					}
@@ -461,11 +461,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		rec.Finish(start)
+		if seed := bench.SeedRate(*benchOut, func(r bench.Record) float64 { return r.PointsPerSec }); seed > 0 {
+			rec.SpeedupVsSeed = rec.PointsPerSec / seed
+		}
 		if err := bench.Append(*benchOut, rec); err != nil {
 			return fail(err)
 		}
 		log.Info("appended bench record", "path", *benchOut,
-			"points_per_sec", fmt.Sprintf("%.1f", rec.PointsPerSec))
+			"points_per_sec", fmt.Sprintf("%.1f", rec.PointsPerSec),
+			"speedup_vs_seed", fmt.Sprintf("%.2fx", rec.SpeedupVsSeed))
 	}
 
 	if dbg != nil && *linger > 0 {

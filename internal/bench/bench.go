@@ -101,13 +101,32 @@ type Record struct {
 	// exactly at the sustainable pace).
 	MaxBurnRate float64 `json:"max_burn_rate,omitempty"`
 
+	// PointsPerSecPerCycle is design-point throughput with the
+	// per-cycle reference engine forced (pipeline.EnginePerCycle) —
+	// the "before" of the skip-ahead engine, measured in the same run
+	// that measured PointsPerSecOff so the pair is an in-record
+	// before/after. benchdiff fails the gate when the optimized engine
+	// drops below this baseline: a skip-ahead path slower than the
+	// stepping it replaces has lost its reason to exist.
+	PointsPerSecPerCycle float64 `json:"points_per_sec_per_cycle,omitempty"`
+	// SpeedupVsSeed is PointsPerSec (or PointsPerSecOff for
+	// conformance records) divided by the same figure in the
+	// trajectory's oldest record — cumulative speedup over the life of
+	// the trajectory, so one field answers "how much faster than the
+	// seed is this now?" without diffing files by hand.
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+
 	// Alloc-guard figures (the AllocsPerRun guard in internal/power,
 	// tool "allocguard"): steady-state heap allocations per simulated
-	// cycle in pipeline.Run and per power evaluation in power.Evaluate.
-	// Deterministic counts, not throughput — benchdiff gates them on an
-	// absolute band around zero, like the other near-zero fractions.
-	AllocsPerCycle float64 `json:"allocs_per_cycle,omitempty"`
-	AllocsPerEval  float64 `json:"allocs_per_eval,omitempty"`
+	// cycle in pipeline.Run — per-cycle and skip-ahead engines
+	// separately — and per power evaluation in power.Evaluate, plus
+	// per record iterated from a packed trace. Deterministic counts,
+	// not throughput — benchdiff gates them on an absolute band around
+	// zero, like the other near-zero fractions.
+	AllocsPerCycle        float64 `json:"allocs_per_cycle,omitempty"`
+	AllocsPerCycleFast    float64 `json:"allocs_per_cycle_fast,omitempty"`
+	AllocsPerEval         float64 `json:"allocs_per_eval,omitempty"`
+	AllocsPerPackedRecord float64 `json:"allocs_per_packed_record,omitempty"`
 
 	// Phases holds per-phase duration histograms, e.g. "point" for
 	// simulated design points and "point_cached" for cache hits.
@@ -143,6 +162,25 @@ func (r *Record) Finish(start time.Time) {
 			r.RequestsPerSec = float64(r.Requests) / r.WallSec
 		}
 	}
+}
+
+// SeedRate returns the metric's value in the oldest record of the
+// trajectory at path where it is positive — the "seed" figure that
+// SpeedupVsSeed is computed against. It returns 0 (and no error) when
+// the trajectory is missing, unreadable or holds no such record:
+// speedup-vs-seed is best-effort provenance, never a reason to fail
+// the run that wants to append to the trajectory.
+func SeedRate(path string, metric func(Record) float64) float64 {
+	recs, err := Load(path)
+	if err != nil {
+		return 0
+	}
+	for _, rec := range recs {
+		if v := metric(rec); v > 0 {
+			return v
+		}
+	}
+	return 0
 }
 
 // Load reads a trajectory file back into records, in append order.

@@ -26,6 +26,15 @@ type Fingerprinter interface {
 	Fingerprint() string
 }
 
+// Cloner is implemented by predictors whose full state — geometry and
+// transient counters — can be deep-copied. A clone and its original
+// behave identically on identical streams and share no mutable state;
+// the sweep engine uses clones to replay one architectural warm-up
+// across many design points.
+type Cloner interface {
+	ClonePredictor() Predictor
+}
+
 // twoBit is a saturating two-bit counter: 0,1 predict not-taken;
 // 2,3 predict taken.
 type twoBit uint8
@@ -66,6 +75,9 @@ func (*Static) Name() string { return "static" }
 // Fingerprint implements Fingerprinter.
 func (*Static) Fingerprint() string { return "static" }
 
+// ClonePredictor implements Cloner (the static predictor is stateless).
+func (*Static) ClonePredictor() Predictor { return &Static{} }
+
 // Bimodal is a classic per-PC two-bit-counter predictor.
 type Bimodal struct {
 	table []twoBit
@@ -102,6 +114,13 @@ func (b *Bimodal) Name() string { return "bimodal" }
 
 // Fingerprint implements Fingerprinter.
 func (b *Bimodal) Fingerprint() string { return fmt.Sprintf("bimodal/%d", len(b.table)) }
+
+// ClonePredictor implements Cloner.
+func (b *Bimodal) ClonePredictor() Predictor { return b.clone() }
+
+func (b *Bimodal) clone() *Bimodal {
+	return &Bimodal{table: append([]twoBit(nil), b.table...), mask: b.mask}
+}
 
 // GShare XORs a global history register with the PC to index a
 // two-bit-counter table, capturing correlated branch behaviour.
@@ -148,6 +167,18 @@ func (g *GShare) Name() string { return "gshare" }
 
 // Fingerprint implements Fingerprinter.
 func (g *GShare) Fingerprint() string { return fmt.Sprintf("gshare/%d", len(g.table)) }
+
+// ClonePredictor implements Cloner.
+func (g *GShare) ClonePredictor() Predictor { return g.clone() }
+
+func (g *GShare) clone() *GShare {
+	return &GShare{
+		table:   append([]twoBit(nil), g.table...),
+		mask:    g.mask,
+		history: g.history,
+		histLen: g.histLen,
+	}
+}
 
 // Tournament selects per-PC between a bimodal and a gshare component
 // using a chooser table of two-bit counters (0,1 favour bimodal;
@@ -201,6 +232,16 @@ func (t *Tournament) Name() string { return "tournament" }
 
 // Fingerprint implements Fingerprinter.
 func (t *Tournament) Fingerprint() string { return fmt.Sprintf("tournament/%d", len(t.chooser)) }
+
+// ClonePredictor implements Cloner.
+func (t *Tournament) ClonePredictor() Predictor {
+	return &Tournament{
+		bimodal: t.bimodal.clone(),
+		gshare:  t.gshare.clone(),
+		chooser: append([]twoBit(nil), t.chooser...),
+		mask:    t.mask,
+	}
+}
 
 // Kind selects a predictor implementation by name.
 type Kind string

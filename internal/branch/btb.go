@@ -12,14 +12,15 @@ import (
 // decode to compute the target, costing extra fetch bubbles even when
 // the direction prediction was correct.
 type BTB struct {
-	sets    int
-	ways    int
-	mask    uint64
-	tags    []uint64
-	targets []uint64
-	valid   []bool
-	age     []uint64
-	clock   uint64
+	sets     int
+	ways     int
+	mask     uint64
+	tagShift uint
+	tags     []uint64
+	targets  []uint64
+	valid    []bool
+	age      []uint64
+	clock    uint64
 
 	lookups uint64
 	hits    uint64
@@ -39,14 +40,27 @@ func NewBTB(entries, ways int) (*BTB, error) {
 		return nil, fmt.Errorf("branch: BTB set count %d not a power of two", sets)
 	}
 	return &BTB{
-		sets:    sets,
-		ways:    ways,
-		mask:    uint64(sets - 1),
-		tags:    make([]uint64, entries),
-		targets: make([]uint64, entries),
-		valid:   make([]bool, entries),
-		age:     make([]uint64, entries),
+		sets:     sets,
+		ways:     ways,
+		mask:     uint64(sets - 1),
+		tagShift: uint(trailingZeros(sets)),
+		tags:     make([]uint64, entries),
+		targets:  make([]uint64, entries),
+		valid:    make([]bool, entries),
+		age:      make([]uint64, entries),
 	}, nil
+}
+
+// Clone deep-copies the BTB — geometry, contents, LRU state and
+// statistics. The clone and the original behave identically on
+// identical streams and share no mutable state.
+func (b *BTB) Clone() *BTB {
+	c := *b
+	c.tags = append([]uint64(nil), b.tags...)
+	c.targets = append([]uint64(nil), b.targets...)
+	c.valid = append([]bool(nil), b.valid...)
+	c.age = append([]uint64(nil), b.age...)
+	return &c
 }
 
 // Fingerprint describes the BTB geometry (not its transient contents)
@@ -64,9 +78,10 @@ func MustBTB(entries, ways int) *BTB {
 	return b
 }
 
+//lint:hotpath per-branch BTB indexing; must not allocate
 func (b *BTB) index(pc uint64) (set int, tag uint64) {
 	line := pc >> 2
-	return int(line & b.mask), line >> uint(trailingZeros(b.sets))
+	return int(line & b.mask), line >> b.tagShift
 }
 
 // Lookup returns the predicted target for the branch at pc, and

@@ -62,6 +62,7 @@ type Cache struct {
 	cfg       Config
 	sets      int
 	lineShift uint
+	tagShift  uint
 	setMask   uint64
 	tags      []uint64 // sets × ways
 	valid     []bool
@@ -81,11 +82,25 @@ func New(cfg Config) (*Cache, error) {
 		cfg:       cfg,
 		sets:      sets,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		tagShift:  uint(bits.TrailingZeros(uint(sets))),
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, n),
 		valid:     make([]bool, n),
 		age:       make([]uint64, n),
 	}, nil
+}
+
+// Clone deep-copies the cache — geometry, contents, LRU state and
+// statistics. The clone and the original behave identically on
+// identical access streams and share no mutable state; the sweep
+// engine uses clones to replay one architectural warm-up across many
+// design points.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.tags = append([]uint64(nil), c.tags...)
+	d.valid = append([]bool(nil), c.valid...)
+	d.age = append([]uint64(nil), c.age...)
+	return &d
 }
 
 // MustNew is New for known-good configurations.
@@ -119,12 +134,14 @@ func (c *Cache) Reset() {
 
 // Access looks up addr, allocating on miss (write-allocate for both
 // loads and stores), and reports whether it hit. LRU state is updated.
+//
+//lint:hotpath per-memory-op cache lookup; must not allocate
 func (c *Cache) Access(addr uint64) (hit bool) {
 	c.clock++
 	c.stats.Accesses++
 	line := addr >> c.lineShift
 	set := int(line & c.setMask)
-	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	tag := line >> c.tagShift
 	base := set * c.cfg.Ways
 
 	lru := base
@@ -151,11 +168,13 @@ func (c *Cache) Access(addr uint64) (hit bool) {
 // Install inserts addr's line (if absent) without touching demand
 // statistics — the path used by prefetches. The inserted line becomes
 // most-recently-used.
+//
+//lint:hotpath per-prefetch line install; must not allocate
 func (c *Cache) Install(addr uint64) {
 	c.clock++
 	line := addr >> c.lineShift
 	set := int(line & c.setMask)
-	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	tag := line >> c.tagShift
 	base := set * c.cfg.Ways
 	lru := base
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -178,7 +197,7 @@ func (c *Cache) Install(addr uint64) {
 func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineShift
 	set := int(line & c.setMask)
-	tag := line >> uint(bits.TrailingZeros(uint(c.sets)))
+	tag := line >> c.tagShift
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
 		i := base + w
@@ -327,6 +346,11 @@ func (h *Hierarchy) L2Stats() Stats { return h.l2.Stats() }
 func (h *Hierarchy) Reset() {
 	h.l1.Reset()
 	h.l2.Reset()
+}
+
+// Clone deep-copies the hierarchy, contents and statistics included.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{cfg: h.cfg, l1: h.l1.Clone(), l2: h.l2.Clone()}
 }
 
 // Config returns the hierarchy configuration.

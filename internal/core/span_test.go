@@ -33,6 +33,12 @@ func TestSweepSpanTree(t *testing.T) {
 	if wl, _ := roots[0].Attr("workload"); wl != prof.Name {
 		t.Errorf("workload attr = %q, want %q", wl, prof.Name)
 	}
+	// The default engine pre-decodes the trace once per sweep: exactly
+	// one pack phase, under the workload span rather than any point.
+	packs := tr.ByName("pack")
+	if len(packs) != 1 || packs[0].Parent != roots[0].ID {
+		t.Fatalf("pack spans = %+v, want one under the workload span", packs)
+	}
 	points := tr.ByName("point")
 	if len(points) != len(cfg.Depths) {
 		t.Fatalf("point spans = %d, want %d", len(points), len(cfg.Depths))
@@ -55,7 +61,9 @@ func TestSweepSpanTree(t *testing.T) {
 					k.Name, k.StartNS, k.DurNS, pt.StartNS, pt.DurNS)
 			}
 		}
-		for _, phase := range []string{"decode", "warmup", "simulate", "power"} {
+		// Decode happens once per sweep (the pack span above), so a
+		// point decomposes into the remaining three phases.
+		for _, phase := range []string{"warmup", "simulate", "power"} {
 			if !seen[phase] {
 				t.Errorf("point span %d missing phase %q (has %v)", pt.ID, phase, seen)
 			}

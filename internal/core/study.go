@@ -58,6 +58,15 @@ type StudyConfig struct {
 	// pipeline.DefaultConfig if nil. It must return a fresh Config
 	// per call (predictor and cache state are per-run).
 	Machine func(depth int) (pipeline.Config, error)
+	// Engine selects the stepping engine for every simulated point.
+	// The default (pipeline.EngineAuto) decodes each workload trace
+	// into packed form once per sweep and simulates every depth from
+	// packed slices with stall-span skip-ahead;
+	// pipeline.EnginePerCycle forces the per-cycle reference engine on
+	// a fresh generator stream, exactly as the pre-packed study ran.
+	// Engines are bit-identical by contract, so the knob never changes
+	// results or result-cache keys — only throughput.
+	Engine pipeline.EngineKind
 	// Parallelism bounds concurrent workload sweeps in RunCatalog;
 	// runtime.NumCPU() if 0.
 	Parallelism int
@@ -105,6 +114,11 @@ type StudyConfig struct {
 	// Spans; ignored when Spans is nil.
 	Parent *span.Span
 
+	// bareMachine notes that Machine defaulted to the package baseline,
+	// letting runPoint start points from bare geometry
+	// (pipeline.DefaultGeometry) and skip constructing model state a
+	// warmed donor clone would immediately replace.
+	bareMachine bool
 	// prog is the shared completion counter, preset by RunCatalog so
 	// per-workload sweeps report catalog-wide progress.
 	prog *progressState
@@ -216,6 +230,7 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.Machine == nil {
 		c.Machine = pipeline.DefaultConfig
+		c.bareMachine = true
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.NumCPU()
@@ -254,6 +269,23 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 		span.String("workload", prof.Name), span.Int("depths", len(cfg.Depths)))
 	defer wsp.End()
 	cfg.parentSpan = wsp
+	// Pack the workload trace once per sweep: every depth replays the
+	// identical instruction stream, so the decode work (generator
+	// replay, operand/dependency resolution) amortizes across the whole
+	// sweep instead of repeating per design point. The packed trace is
+	// immutable once built, shared read-only by the depth workers, and
+	// memoized process-wide so repeated catalog runs skip the pack too.
+	var ent *memoEntry
+	if cfg.Engine != pipeline.EnginePerCycle {
+		psp := wsp.Child("pack",
+			span.Int("instructions", cfg.Warmup+cfg.Instructions))
+		e, err := packedFor(prof, cfg.Warmup+cfg.Instructions)
+		psp.End()
+		if err != nil {
+			return nil, err
+		}
+		ent = e
+	}
 	points := make([]DepthPoint, len(cfg.Depths))
 	errs := make([]error, len(cfg.Depths))
 	sem := make(chan struct{}, cfg.Parallelism)
@@ -265,7 +297,7 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			pt, hit, err := runPoint(cfg, prof, d)
+			pt, hit, err := runPoint(cfg, prof, d, ent)
 			points[i], errs[i] = pt, err
 			if err == nil {
 				cfg.notePoint(prof, d, pt, hit, time.Since(start))
@@ -281,15 +313,31 @@ func RunSweep(cfg StudyConfig, prof workload.Profile) (*Sweep, error) {
 	return &Sweep{Workload: prof, Points: points}, nil
 }
 
-// runPoint simulates one design point with fresh generator and
-// machine state, consulting the result cache first when one is
-// configured. The second return reports whether the point was served
-// from the cache.
-func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bool, error) {
+// runPoint simulates one design point with fresh machine state,
+// consulting the result cache first when one is configured. The
+// instruction stream comes from the sweep-shared packed trace when one
+// was built (cursors are per-point, the columns are shared read-only),
+// otherwise from a fresh generator. The second return reports whether
+// the point was served from the cache.
+func runPoint(cfg StudyConfig, prof workload.Profile, depth int, ent *memoEntry) (DepthPoint, bool, error) {
 	psp := cfg.startSpan("point",
 		span.String("workload", prof.Name), span.Int("depth", depth))
 	defer psp.End()
-	mc, err := cfg.Machine(depth)
+	// The default machine's models (notably the 1 MiB L2) are expensive
+	// to construct and, on the memoized sweep path, immediately replaced
+	// by warmed donor clones. Default-machine points therefore start
+	// from bare geometry and attach models only when no donor serves
+	// them. Result-cached studies keep the full construction so machine
+	// fingerprints (and thus cache keys) are computed from the complete
+	// configuration.
+	bare := cfg.bareMachine && cfg.Cache == nil
+	var mc pipeline.Config
+	var err error
+	if bare {
+		mc, err = pipeline.DefaultGeometry(depth)
+	} else {
+		mc, err = cfg.Machine(depth)
+	}
 	if err != nil {
 		return DepthPoint{}, false, fmt.Errorf("machine: %w", err)
 	}
@@ -316,19 +364,45 @@ func runPoint(cfg StudyConfig, prof workload.Profile, depth int) (DepthPoint, bo
 			}, true, nil
 		}
 	}
-	dsp := psp.Child("decode")
-	gen, err := workload.NewGenerator(prof)
-	dsp.End()
-	if err != nil {
-		return DepthPoint{}, false, err
-	}
-	if cfg.Warmup > 0 {
-		wsp := psp.Child("warmup", span.Int("instructions", cfg.Warmup))
-		warm(&mc, gen, cfg.Warmup)
-		wsp.End()
+	mc.Engine = cfg.Engine
+	var src trace.Stream
+	if ent != nil {
+		if cfg.Warmup > 0 {
+			wsp := psp.Child("warmup", span.Int("instructions", cfg.Warmup))
+			if bare {
+				if !ent.warmDefault(&mc, cfg.Warmup) {
+					pipeline.AttachDefaultModels(&mc)
+					if !ent.warmFromMemo(&mc, cfg.Warmup) {
+						warm(&mc, ent.packed.Slice(0, cfg.Warmup), cfg.Warmup)
+					}
+				}
+			} else if !ent.warmFromMemo(&mc, cfg.Warmup) {
+				warm(&mc, ent.packed.Slice(0, cfg.Warmup), cfg.Warmup)
+			}
+			wsp.End()
+		} else if bare {
+			pipeline.AttachDefaultModels(&mc)
+		}
+		src = ent.packed.Slice(cfg.Warmup, cfg.Warmup+cfg.Instructions)
+	} else {
+		if bare {
+			pipeline.AttachDefaultModels(&mc)
+		}
+		dsp := psp.Child("decode")
+		gen, err := workload.NewGenerator(prof)
+		dsp.End()
+		if err != nil {
+			return DepthPoint{}, false, err
+		}
+		if cfg.Warmup > 0 {
+			wsp := psp.Child("warmup", span.Int("instructions", cfg.Warmup))
+			warm(&mc, gen, cfg.Warmup)
+			wsp.End()
+		}
+		src = trace.NewLimitStream(gen, cfg.Instructions)
 	}
 	ssp := psp.Child("simulate", span.Int("instructions", cfg.Instructions))
-	res, err := pipeline.Run(mc, trace.NewLimitStream(gen, cfg.Instructions))
+	res, err := pipeline.Run(mc, src)
 	ssp.End()
 	if err != nil {
 		return DepthPoint{}, false, err

@@ -193,6 +193,9 @@ func Run(opts Options) (*Report, error) {
 	if err := checkCacheDifferential(opts, rec, rep, base); err != nil {
 		return nil, err
 	}
+	if err := checkEngineDifferential(opts, rep); err != nil {
+		return nil, err
+	}
 
 	for _, sw := range base {
 		shape, residual, err := checkTheory(opts, sw)

@@ -45,6 +45,10 @@ const (
 	// MutBudgetSkew inflates one cycle-budget bucket so the budget no
 	// longer sums to the cycle count → pipeline/cycle_budget.
 	MutBudgetSkew Mutation = "budget-skew"
+	// MutSkipaheadDrift perturbs the skip-ahead engine's side of the
+	// engine bit-identity tier the way a bad span replication would →
+	// differential/engines.
+	MutSkipaheadDrift Mutation = "skipahead-drift"
 )
 
 // Mutations returns every injectable violation class, in a stable
@@ -62,6 +66,7 @@ func Mutations() []Mutation {
 		MutCodecDrop,
 		MutTheorySkew,
 		MutBudgetSkew,
+		MutSkipaheadDrift,
 	}
 }
 

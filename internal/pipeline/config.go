@@ -10,6 +10,25 @@ import (
 	"repro/internal/telemetry"
 )
 
+// EngineKind selects the stepping engine implementation. The engines
+// are bit-identical by contract — the difftest bit-identity tier runs
+// the full workload catalog through both and requires byte-equal
+// results — so the choice is a throughput knob, never a semantic one.
+type EngineKind int
+
+const (
+	// EngineAuto (the zero value) uses the optimized engine: packed
+	// trace pre-decode when the source stream is a trace.PackedStream,
+	// and closed-form skip-ahead over provably inert stall spans
+	// whenever no per-cycle observer (tracer, invariants, sampling) is
+	// attached.
+	EngineAuto EngineKind = iota
+	// EnginePerCycle forces reference per-cycle stepping with no
+	// skip-ahead and no packed fast path — the baseline the
+	// bit-identity tier diffs the optimized engine against.
+	EnginePerCycle
+)
+
 // Config specifies one simulation: the machine geometry, depth plan,
 // technology constants, and the attached predictor and cache
 // hierarchy.
@@ -99,6 +118,13 @@ type Config struct {
 	//lint:fpexempt observer only: invariant checking never alters simulated results
 	Invariants *invariant.Recorder
 
+	// Engine selects the stepping engine (EngineAuto: packed
+	// skip-ahead; EnginePerCycle: the per-cycle reference). Both
+	// produce bit-identical Results, so the toggle must not split
+	// result-cache keys or run fingerprints.
+	//lint:fpexempt engines are bit-identical by contract (difftest bit-identity tier); a throughput knob must not split cache keys
+	Engine EngineKind
+
 	// SampleInterval, when positive, records per-unit activity and
 	// instruction counts every SampleInterval cycles, producing the
 	// cycle-resolved power trace the paper's monitor collects
@@ -115,6 +141,20 @@ type Config struct {
 // depth: 4-issue, 2 AGUs, 2 cache ports, tournament predictor,
 // default cache hierarchy, t_p = 140 FO4, t_o = 2.5 FO4.
 func DefaultConfig(depth int) (Config, error) {
+	c, err := DefaultGeometry(depth)
+	if err != nil {
+		return Config{}, err
+	}
+	AttachDefaultModels(&c)
+	return c, nil
+}
+
+// DefaultGeometry returns the baseline machine without its attached
+// models (predictor, BTB, cache hierarchy). Callers that immediately
+// replace the models — e.g. a sweep serving pre-warmed clones — skip
+// the cost of constructing state that would be thrown away;
+// AttachDefaultModels completes the configuration otherwise.
+func DefaultGeometry(depth int) (Config, error) {
 	plan, err := PlanDepth(depth)
 	if err != nil {
 		return Config{}, err
@@ -130,12 +170,18 @@ func DefaultConfig(depth int) (Config, error) {
 		Plan:           plan,
 		TP:             140,
 		TO:             2.5,
-		Predictor:      branch.NewTournament(12),
-		BTB:            branch.MustBTB(512, 4),
 		BTBMissBubbles: 2,
-		Hierarchy:      cache.MustHierarchy(cache.DefaultHierarchy()),
 		RedirectBubble: true,
 	}, nil
+}
+
+// AttachDefaultModels equips a configuration with the baseline's
+// freshly constructed model state: tournament predictor, 512×4 BTB,
+// and the default two-level cache hierarchy.
+func AttachDefaultModels(c *Config) {
+	c.Predictor = branch.NewTournament(12)
+	c.BTB = branch.MustBTB(512, 4)
+	c.Hierarchy = cache.MustHierarchy(cache.DefaultHierarchy())
 }
 
 // MustDefaultConfig is DefaultConfig for known-good depths.

@@ -191,13 +191,7 @@ func (r *Result) PublishAttribution(reg *telemetry.Registry) {
 //
 //lint:hotpath per-cycle gate trace emission when tracing is armed; must not allocate
 func (s *sim) traceGate() {
-	var mask uint64
-	for u := 0; u < NumUnits; u++ {
-		if s.unitMoved[u] {
-			mask |= 1 << u
-		}
-	}
-	s.tel.Emit(telemetry.Event{Cycle: s.cycle, Kind: telemetry.KindGate, Arg: mask})
+	s.tel.Emit(telemetry.Event{Cycle: s.cycle, Kind: telemetry.KindGate, Arg: uint64(s.active)})
 }
 
 // traceInstr emits one instruction-lifecycle event (fetch, issue or

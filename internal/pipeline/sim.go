@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"repro/internal/cache"
@@ -25,91 +26,40 @@ const watchdogCycles = 200000
 // scale with the E-pipe depth (see the RR case in issue).
 const intLat = 1
 
-// robEntry is the in-flight state of one instruction from decode
-// entry to retirement.
-type robEntry struct {
-	in        isa.Instruction
-	seq       uint64 // sequence number (guards window-slot reuse)
-	dataReady uint64 // mem ops: cycle the cache data is available
-	issuedAt  uint64 // issue cycle (never until issued)
-	complete  uint64 // completion cycle (never until known)
-
-	// Memory ops snapshot their base-register producer — at issue
-	// time in the in-order model (the only point where the scoreboard
-	// is exact), at rename time in the out-of-order model; the
-	// address queue resolves the producer's readiness dynamically.
-	baseWriterSeq uint64
-	hasBaseWriter bool
-
-	// Out-of-order mode: source producers captured at rename.
-	src1Writer uint64
-	src2Writer uint64
-	hasSrc1W   bool
-	hasSrc2W   bool
-}
-
-// pipeEntry is one instruction in a transit pipe: its sequence number
-// and the cycle it entered.
-type pipeEntry struct {
-	seq uint64
-	at  uint64
-}
-
-// fifo is a fixed-capacity ring of pipeEntries.
-type fifo struct {
-	buf  []pipeEntry
-	head int
-	size int
-}
-
-func newFIFO(capacity int) *fifo { return &fifo{buf: make([]pipeEntry, capacity)} }
-
-func (f *fifo) full() bool  { return f.size == len(f.buf) }
-func (f *fifo) empty() bool { return f.size == 0 }
-
-func (f *fifo) push(e pipeEntry) {
-	f.buf[(f.head+f.size)%len(f.buf)] = e
-	f.size++
-}
-
-func (f *fifo) peek() pipeEntry { return f.buf[f.head] }
-
-func (f *fifo) pop() pipeEntry {
-	e := f.buf[f.head]
-	f.head = (f.head + 1) % len(f.buf)
-	f.size--
-	return e
-}
-
-// anyMoving reports whether any entry is still in transit (younger
-// than the pipe's stage count), i.e. the unit's latches switched this
-// cycle.
-func (f *fifo) anyMoving(cycle, transit uint64) bool {
-	for i := 0; i < f.size; i++ {
-		e := f.buf[(f.head+i)%len(f.buf)]
-		if cycle-e.at < transit {
-			return true
-		}
-	}
-	return false
-}
-
-// sim is the engine state for one run.
+// sim is the engine state for one run. The per-slot and per-unit
+// state lives in flat struct-of-arrays (window, pipe in unit.go): the
+// hot loop indexes contiguous arrays instead of chasing per-entry
+// pointers.
 type sim struct {
 	cfg Config
 	src trace.Stream
 	res Result
 
-	rob []robEntry
+	// psrc is the packed fast path: when the source stream is a
+	// trace.PackedStream (and the per-cycle reference engine is not
+	// forced), fetch advances it through a concrete, inlinable call
+	// instead of the Stream interface.
+	psrc *trace.PackedStream
+
+	// Fused-loop state (fastsim.go): when fast is set the run executes
+	// runFast, the window carries no record copies (w.in stays nil) and
+	// all instruction fields are read from the packed columns fc,
+	// indexed by sequence number.
+	fc   trace.Columns
+	fast bool
+
+	// w is the in-flight window from decode entry to retirement.
+	w window
+
 	// Sequence-number cursors: retired ≤ issued ≤ decoded ≤ next.
 	// decoded−issued is the execution-queue occupancy; next−retired is
 	// the in-flight window.
 	retired, issued, decoded, next uint64
 
-	decodePipe *fifo
-	agenQ      *fifo
-	agenPipe   *fifo
-	cachePipe  *fifo
+	decodePipe pipe
+	agenQ      pipe
+	agenPipe   pipe
+	cachePipe  pipe
 
 	regReady [isa.NumRegs]uint64
 	// lastWriter tracks the most recent issued producer of each
@@ -162,14 +112,25 @@ type sim struct {
 	lastSampleRet    uint64
 
 	// Per-cycle flags for stall-episode and activity accounting.
-	prevStall     StallCause
-	prevWasStall  bool
-	unitMoved     [NumUnits]bool
-	fetchedNow    int
-	retiredNow    int
-	agenQTouched  bool
-	execQTouched  bool
-	cacheAccessed bool
+	// active is a bitmask of units whose latches switched this cycle
+	// (bit u = Unit u): the stages OR their bits in as they move, and
+	// recordActivity folds in the in-transit and busy-until latch
+	// activity. moved records whether any machine state changed at all
+	// — the quiet-cycle test for skip-ahead.
+	prevStall    StallCause
+	prevWasStall bool
+	active       uint32
+	moved        bool
+	fetchedNow   int
+	retiredNow   int
+
+	// Skip-ahead state (see skipahead.go): skip arms span
+	// fast-forwarding; quiet marks a cycle in which no machine state
+	// moved; lastBucket is the budget bucket of the last stall cycle,
+	// for closed-form replication.
+	skip       bool
+	quiet      bool
+	lastBucket CycleBucket
 }
 
 // Run simulates the stream to completion on the configured machine
@@ -183,12 +144,11 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 	s := &sim{
 		cfg:         cfg,
 		src:         src,
-		rob:         make([]robEntry, cfg.WindowCap),
-		pending:     make([]uint64, 0, cfg.WindowCap),
-		decodePipe:  newFIFO(max(1, cfg.Plan.Decode) * cfg.Width),
-		agenQ:       newFIFO(cfg.AgenQCap),
-		agenPipe:    newFIFO(max(1, cfg.Plan.Agen) * cfg.AgenWidth),
-		cachePipe:   newFIFO(max(1, cfg.Plan.Cache) * cfg.CachePorts),
+		w:           makeWindow(cfg.WindowCap),
+		decodePipe:  makePipe(max(1, cfg.Plan.Decode) * cfg.Width),
+		agenQ:       makePipe(cfg.AgenQCap),
+		agenPipe:    makePipe(max(1, cfg.Plan.Agen) * cfg.AgenWidth),
+		cachePipe:   makePipe(max(1, cfg.Plan.Cache) * cfg.CachePorts),
 		decTransit:  uint64(cfg.Plan.Decode + renameStages(cfg)),
 		agenTransit: uint64(cfg.Plan.Agen),
 		cacheT:      uint64(cfg.Plan.Cache),
@@ -196,24 +156,51 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 		tel:         cfg.Tracer,
 		inv:         cfg.Invariants,
 	}
+	if cfg.Engine != EnginePerCycle {
+		if ps, ok := src.(*trace.PackedStream); ok {
+			s.psrc = ps
+		}
+		// Skip-ahead is exact only when nothing observes individual
+		// in-span cycles: no tracer, no per-cycle invariant checks, no
+		// activity sampling. The out-of-order window re-scans pending
+		// instructions per cycle, so only the in-order model skips.
+		s.skip = !cfg.OutOfOrder && cfg.Invariants == nil &&
+			cfg.Tracer == nil && cfg.SampleInterval == 0
+	}
+	if cfg.OutOfOrder {
+		s.pending = make([]uint64, 0, cfg.WindowCap)
+	}
 	s.res.Config = cfg
 	s.res.IssueHist = make([]uint64, cfg.Width+1)
 	if cfg.Hierarchy != nil && !cfg.KeepState {
 		cfg.Hierarchy.Reset()
 	}
 
-	for {
-		if s.traceDone && s.retired == s.next {
-			break
+	if s.skip && s.psrc != nil {
+		// Fused packed-trace loop: no per-cycle observers are attached,
+		// so the engine reads the packed columns directly and the window
+		// never materializes instruction records.
+		if err := s.runFast(); err != nil {
+			return nil, err
 		}
-		s.cycle++
-		if cfg.MaxCycles > 0 && s.cycle > cfg.MaxCycles {
-			return nil, fmt.Errorf("pipeline: exceeded MaxCycles=%d", cfg.MaxCycles)
+	} else {
+		s.w.in = make([]isa.Instruction, cfg.WindowCap)
+		for {
+			if s.traceDone && s.retired == s.next {
+				break
+			}
+			s.cycle++
+			if cfg.MaxCycles > 0 && s.cycle > cfg.MaxCycles {
+				return nil, fmt.Errorf("pipeline: exceeded MaxCycles=%d", cfg.MaxCycles)
+			}
+			if s.cycle-s.lastProgress > watchdogCycles {
+				return nil, errors.New("pipeline: no forward progress (engine deadlock)")
+			}
+			s.step()
+			if s.skip && s.quiet && s.prevWasStall {
+				s.skipAhead()
+			}
 		}
-		if s.cycle-s.lastProgress > watchdogCycles {
-			return nil, errors.New("pipeline: no forward progress (engine deadlock)")
-		}
-		s.step()
 	}
 	s.res.Cycles = s.cycle
 	if s.inv != nil {
@@ -233,20 +220,28 @@ func Run(cfg Config, src trace.Stream) (*Result, error) {
 //lint:hotpath the per-cycle simulator body, ROADMAP item 2 rewrite target; must not allocate
 func (s *sim) step() {
 	s.traceCycle = s.tel.CycleEnabled(s.cycle)
-	for i := range s.unitMoved {
-		s.unitMoved[i] = false
-	}
+	s.active = 0
+	s.moved = false
 	s.fetchedNow, s.retiredNow = 0, 0
-	s.agenQTouched, s.execQTouched = false, false
-	s.cacheAccessed = false
+	wasDone := s.traceDone
 
 	s.resolvePendingBranch()
-	s.stepRetire()
+	if s.retired < s.decoded {
+		s.stepRetire()
+	}
 	s.stepIssue()
-	s.stepCacheExit()
-	s.stepAgenAdvance()
-	s.stepAgenQ()
-	s.stepDecodeExit()
+	if s.cachePipe.size > 0 {
+		s.stepCacheExit()
+	}
+	if s.agenPipe.size > 0 {
+		s.stepAgenAdvance()
+	}
+	if s.agenQ.size > 0 {
+		s.stepAgenQ()
+	}
+	if s.decodePipe.size > 0 {
+		s.stepDecodeExit()
+	}
 	s.stepFetch()
 	s.recordActivity()
 	if s.inv != nil {
@@ -259,6 +254,13 @@ func (s *sim) step() {
 	if iv := s.cfg.SampleInterval; iv > 0 && s.cycle%iv == 0 {
 		s.takeSample()
 	}
+	// A quiet cycle mutated no machine state: nothing was fetched,
+	// moved between stages, issued, retired or touched the cache, and
+	// the trace-end transition did not fire. Only resolvePendingBranch
+	// may have flipped havePending, and the post-resolution state is
+	// itself stable — a quiet cycle's accounting therefore replicates
+	// verbatim until the next time-gated threshold (see skipahead.go).
+	s.quiet = !s.moved && s.traceDone == wasDone
 }
 
 // takeSample appends one interval of the activity trace.
@@ -276,16 +278,13 @@ func (s *sim) takeSample() {
 	s.res.Samples = append(s.res.Samples, sm)
 }
 
-//lint:hotpath window-slot accessor called many times per cycle; must not allocate
-func (s *sim) entry(seq uint64) *robEntry { return &s.rob[seq%uint64(len(s.rob))] }
-
 // resolvePendingBranch unfreezes the front end once the mispredicted
 // branch has completed; fetch resumes the following cycle, so the
 // refill sees the full decode-to-execute transit.
 //
 //lint:hotpath per-cycle branch resolution; must not allocate
 func (s *sim) resolvePendingBranch() {
-	if s.havePending && s.entry(s.pendingBranch).complete < s.cycle {
+	if s.havePending && s.w.complete[s.w.idx(s.pendingBranch)] < s.cycle {
 		s.havePending = false
 	}
 }
@@ -293,12 +292,12 @@ func (s *sim) resolvePendingBranch() {
 //lint:hotpath per-cycle retire stage; must not allocate
 func (s *sim) stepRetire() {
 	for s.retired < s.decoded && s.retiredNow < s.cfg.Width {
-		e := s.entry(s.retired)
-		if e.issuedAt == never || e.complete >= s.cycle {
+		i := s.w.idx(s.retired)
+		if s.w.issuedAt[i] == never || s.w.complete[i] >= s.cycle {
 			break
 		}
 		if s.traceCycle {
-			s.traceInstr(telemetry.KindRetire, s.retired, &e.in)
+			s.traceInstr(telemetry.KindRetire, s.retired, &s.w.in[i])
 		}
 		s.retired++
 		s.retiredNow++
@@ -307,7 +306,8 @@ func (s *sim) stepRetire() {
 		s.lastProgress = s.cycle
 	}
 	if s.retiredNow > 0 {
-		s.unitMoved[UnitRetire] = true
+		s.active |= 1 << UnitRetire
+		s.moved = true
 	}
 }
 
@@ -326,35 +326,37 @@ func (s *sim) stepIssue() {
 	var cause StallCause
 	blocked := false
 	for issued < s.cfg.Width && s.issued < s.decoded {
-		e := s.entry(s.issued)
+		i := s.w.idx(s.issued)
+		in := &s.w.in[i]
 		// Structural issue-group limits: memory ops are bounded by the
 		// cache ports, branches by the branch unit.
-		if e.in.HasMemory() && memIssued >= s.cfg.CachePorts {
+		if in.HasMemory() && memIssued >= s.cfg.CachePorts {
 			break
 		}
-		if e.in.Class == isa.Branch && brIssued >= s.cfg.BranchWidth {
+		if in.Class == isa.Branch && brIssued >= s.cfg.BranchWidth {
 			break
 		}
-		if c, ok := s.blockCause(e); ok {
+		if c, ok := s.blockCause(i); ok {
 			cause, blocked = c, true
 			break
 		}
-		s.issue(s.issued, e)
+		s.issue(s.issued, i)
 		s.issued++
 		s.inExecQ--
 		issued++
-		if e.in.HasMemory() {
+		if in.HasMemory() {
 			memIssued++
 		}
-		if e.in.Class == isa.Branch {
+		if in.Class == isa.Branch {
 			brIssued++
 		}
-		if e.in.Class == isa.FP {
+		if in.Class == isa.FP {
 			s.res.UnitOps[UnitFPU]++
 		} else {
 			s.res.UnitOps[UnitExec]++
 		}
-		s.execQTouched = true
+		s.active |= 1 << UnitExecQ
+		s.moved = true
 	}
 
 	s.finishIssueAccounting(issued, cause, blocked)
@@ -390,7 +392,9 @@ func (s *sim) finishIssueAccounting(issued int, cause StallCause, blocked bool) 
 			cause = StallFrontend
 		}
 	}
-	s.res.CycleBudget[budgetForStall(cause, s.cycle < s.iBusyUntil)]++
+	bucket := budgetForStall(cause, s.cycle < s.iBusyUntil)
+	s.res.CycleBudget[bucket]++
+	s.lastBucket = bucket
 	s.res.StallCycles[cause]++
 	if s.traceCycle {
 		s.tel.Emit(telemetry.Event{
@@ -436,41 +440,43 @@ func (s *sim) stepIssueOOO() {
 	blocked := false
 	keep := s.pending[:0]
 	for i, seq := range s.pending {
-		e := s.entry(seq)
+		wi := s.w.idx(seq)
+		in := &s.w.in[wi]
 		if issued >= s.cfg.Width {
 			keep = append(keep, s.pending[i:]...)
 			break
 		}
-		if e.in.HasMemory() && memIssued >= s.cfg.CachePorts {
+		if in.HasMemory() && memIssued >= s.cfg.CachePorts {
 			keep = append(keep, seq)
 			continue
 		}
-		if e.in.Class == isa.Branch && brIssued >= s.cfg.BranchWidth {
+		if in.Class == isa.Branch && brIssued >= s.cfg.BranchWidth {
 			keep = append(keep, seq)
 			continue
 		}
-		if c, ok := s.blockCauseOOO(e); ok {
+		if c, ok := s.blockCauseOOO(wi); ok {
 			if len(keep) == 0 && !blocked {
 				cause, blocked = c, true
 			}
 			keep = append(keep, seq)
 			continue
 		}
-		s.issue(seq, e)
+		s.issue(seq, wi)
 		s.inExecQ--
 		issued++
-		if e.in.HasMemory() {
+		if in.HasMemory() {
 			memIssued++
 		}
-		if e.in.Class == isa.Branch {
+		if in.Class == isa.Branch {
 			brIssued++
 		}
-		if e.in.Class == isa.FP {
+		if in.Class == isa.FP {
 			s.res.UnitOps[UnitFPU]++
 		} else {
 			s.res.UnitOps[UnitExec]++
 		}
-		s.execQTouched = true
+		s.active |= 1 << UnitExecQ
+		s.moved = true
 	}
 	s.pending = keep
 	s.finishIssueAccounting(issued, cause, blocked)
@@ -480,8 +486,8 @@ func (s *sim) stepIssueOOO() {
 // rename, resolved dynamically against the window.
 //
 //lint:hotpath per-instruction stall classification (OOO); must not allocate
-func (s *sim) blockCauseOOO(e *robEntry) (StallCause, bool) {
-	in := &e.in
+func (s *sim) blockCauseOOO(i uint64) (StallCause, bool) {
+	in := &s.w.in[i]
 	if in.Class == isa.FP && s.fpuBusyUntil > s.cycle {
 		return StallFP, true
 	}
@@ -489,35 +495,35 @@ func (s *sim) blockCauseOOO(e *robEntry) (StallCause, bool) {
 		return 0, false
 	}
 	if in.Class == isa.Store {
-		if e.hasSrc1W {
-			if t := s.writerReady(e.src1Writer); t > s.cycle {
-				return s.classifyWriter(e.src1Writer), true
+		if s.w.wflags[i]&wHasSrc1 != 0 {
+			if t := s.writerReady(s.w.src1Writer[i]); t > s.cycle {
+				return s.classifyWriter(s.w.src1Writer[i]), true
 			}
 		}
 		return 0, false
 	}
 	if in.Class == isa.RX {
-		if e.dataReady == never {
+		if s.w.dataReady[i] == never {
 			return StallAgen, true
 		}
-		if e.dataReady > s.cycle {
+		if s.w.dataReady[i] > s.cycle {
 			return StallMemory, true
 		}
-		if e.hasSrc1W {
-			if t := s.writerReady(e.src1Writer); t > s.cycle {
-				return s.classifyWriter(e.src1Writer), true
+		if s.w.wflags[i]&wHasSrc1 != 0 {
+			if t := s.writerReady(s.w.src1Writer[i]); t > s.cycle {
+				return s.classifyWriter(s.w.src1Writer[i]), true
 			}
 		}
 		return 0, false
 	}
-	if e.hasSrc1W {
-		if t := s.writerReady(e.src1Writer); t > s.cycle {
-			return s.classifyWriter(e.src1Writer), true
+	if s.w.wflags[i]&wHasSrc1 != 0 {
+		if t := s.writerReady(s.w.src1Writer[i]); t > s.cycle {
+			return s.classifyWriter(s.w.src1Writer[i]), true
 		}
 	}
-	if e.hasSrc2W {
-		if t := s.writerReady(e.src2Writer); t > s.cycle {
-			return s.classifyWriter(e.src2Writer), true
+	if s.w.wflags[i]&wHasSrc2 != 0 {
+		if t := s.writerReady(s.w.src2Writer[i]); t > s.cycle {
+			return s.classifyWriter(s.w.src2Writer[i]), true
 		}
 	}
 	return 0, false
@@ -530,30 +536,30 @@ func (s *sim) classifyWriter(seq uint64) StallCause {
 	if seq < s.retired {
 		return StallDependency
 	}
-	p := s.entry(seq)
-	if p.seq != seq {
+	p := s.w.idx(seq)
+	if s.w.seq[p] != seq {
 		return StallDependency
 	}
-	if p.in.Class == isa.Load {
-		if p.dataReady == never {
+	if s.w.in[p].Class == isa.Load {
+		if s.w.dataReady[p] == never {
 			return StallAgen
 		}
-		if p.dataReady > s.cycle {
+		if s.w.dataReady[p] > s.cycle {
 			return StallMemory
 		}
 	}
 	return StallDependency
 }
 
-// blockCause reports why the head instruction cannot issue, if it
-// cannot. Loads and stores issue without waiting for their own data
-// (the machine is access-decoupled: address generation and cache
-// access run ahead of the execution queue, per Fig. 2); only true
-// consumers of in-flight data stall.
+// blockCause reports why the window-slot-i head instruction cannot
+// issue, if it cannot. Loads and stores issue without waiting for
+// their own data (the machine is access-decoupled: address generation
+// and cache access run ahead of the execution queue, per Fig. 2); only
+// true consumers of in-flight data stall.
 //
 //lint:hotpath per-instruction stall classification; must not allocate
-func (s *sim) blockCause(e *robEntry) (StallCause, bool) {
-	in := &e.in
+func (s *sim) blockCause(i uint64) (StallCause, bool) {
+	in := &s.w.in[i]
 	if in.Class == isa.Load {
 		return 0, false
 	}
@@ -566,10 +572,10 @@ func (s *sim) blockCause(e *robEntry) (StallCause, bool) {
 	if in.Class == isa.RX {
 		// The memory operand must have arrived and the register
 		// operand must be ready: the zSeries RX op computes at issue.
-		if e.dataReady == never {
+		if s.w.dataReady[i] == never {
 			return StallAgen, true
 		}
-		if e.dataReady > s.cycle {
+		if s.w.dataReady[i] > s.cycle {
 			return StallMemory, true
 		}
 		if s.regReady[in.Src1] > s.cycle {
@@ -598,24 +604,25 @@ func (s *sim) classifyDep(r isa.Reg) StallCause {
 	if !s.haveWriter[r] {
 		return StallDependency
 	}
-	p := s.entry(s.lastWriter[r])
-	if p.in.Class == isa.Load {
-		if p.dataReady == never {
+	p := s.w.idx(s.lastWriter[r])
+	if s.w.in[p].Class == isa.Load {
+		if s.w.dataReady[p] == never {
 			return StallAgen
 		}
-		if p.dataReady > s.cycle {
+		if s.w.dataReady[p] > s.cycle {
 			return StallMemory
 		}
 	}
 	return StallDependency
 }
 
-// issue starts execution of e at the current cycle.
+// issue starts execution of the instruction in window slot i at the
+// current cycle.
 //
 //lint:hotpath per-instruction issue bookkeeping; must not allocate
-func (s *sim) issue(seq uint64, e *robEntry) {
-	in := &e.in
-	e.issuedAt = s.cycle
+func (s *sim) issue(seq, i uint64) {
+	in := &s.w.in[i]
+	s.w.issuedAt[i] = s.cycle
 	if s.traceCycle {
 		s.traceInstr(telemetry.KindIssue, seq, in)
 	}
@@ -627,53 +634,57 @@ func (s *sim) issue(seq uint64, e *robEntry) {
 		if lat < s.execLat {
 			lat = s.execLat
 		}
-		e.complete = s.cycle + lat
-		s.fpuBusyUntil = e.complete
-		s.regReady[in.Dst] = e.complete
+		complete := s.cycle + lat
+		s.w.complete[i] = complete
+		s.fpuBusyUntil = complete
+		s.regReady[in.Dst] = complete
 		s.lastWriter[in.Dst] = seq
 		s.haveWriter[in.Dst] = true
 	case isa.Load:
 		// The consumer-visible ready time is the cache data arrival;
 		// completion additionally includes the E-unit pass.
-		if e.dataReady == never {
-			e.complete = never
+		if s.w.dataReady[i] == never {
+			s.w.complete[i] = never
 		} else {
-			e.complete = max(s.cycle+intLat, e.dataReady)
+			s.w.complete[i] = max(s.cycle+intLat, s.w.dataReady[i])
 			s.execActiveUntil = max(s.execActiveUntil, s.cycle+intLat)
 		}
-		s.regReady[in.Dst] = e.dataReady
+		s.regReady[in.Dst] = s.w.dataReady[i]
 		s.lastWriter[in.Dst] = seq
 		s.haveWriter[in.Dst] = true
 	case isa.Store:
-		if e.dataReady == never {
-			e.complete = never
+		if s.w.dataReady[i] == never {
+			s.w.complete[i] = never
 		} else {
-			e.complete = max(s.cycle+intLat, e.dataReady)
+			s.w.complete[i] = max(s.cycle+intLat, s.w.dataReady[i])
 		}
 		s.execActiveUntil = max(s.execActiveUntil, s.cycle+intLat)
 	case isa.RX:
 		// Operands arrived (memory at dataReady, register checked at
 		// issue): the compute itself is a one-cycle ALU pass.
-		e.complete = s.cycle + intLat
-		s.regReady[in.Dst] = e.complete
+		complete := s.cycle + intLat
+		s.w.complete[i] = complete
+		s.regReady[in.Dst] = complete
 		s.lastWriter[in.Dst] = seq
 		s.haveWriter[in.Dst] = true
-		s.execActiveUntil = max(s.execActiveUntil, e.complete)
+		s.execActiveUntil = max(s.execActiveUntil, complete)
 	case isa.Branch:
 		// Branches resolve at the end of the E-unit pipe: the
 		// misprediction penalty grows with the pipeline depth.
-		e.complete = s.cycle + s.execLat
-		s.execActiveUntil = max(s.execActiveUntil, e.complete)
+		complete := s.cycle + s.execLat
+		s.w.complete[i] = complete
+		s.execActiveUntil = max(s.execActiveUntil, complete)
 	default: // RR
 		// Simple ALU results forward in one cycle independent of the
 		// E-pipe depth — deep real designs keep the common ALU loop
 		// single-cycle with aggressive bypassing (staggered ALUs);
 		// only branch resolution, FP and memory pay the added stages.
-		e.complete = s.cycle + intLat
-		s.regReady[in.Dst] = e.complete
+		complete := s.cycle + intLat
+		s.w.complete[i] = complete
+		s.regReady[in.Dst] = complete
 		s.lastWriter[in.Dst] = seq
 		s.haveWriter[in.Dst] = true
-		s.execActiveUntil = max(s.execActiveUntil, e.complete)
+		s.execActiveUntil = max(s.execActiveUntil, complete)
 	}
 }
 
@@ -688,31 +699,32 @@ func (s *sim) stepCacheExit() {
 		if s.cycle < s.cacheBusyUntil {
 			break
 		}
-		pe := s.cachePipe.peek()
-		if s.cycle-pe.at < s.cacheT {
+		if s.cycle-s.cachePipe.headAt() < s.cacheT {
 			break
 		}
-		s.cachePipe.pop()
-		e := s.entry(pe.seq)
-		s.cacheAccessed = true
+		seq, _ := s.cachePipe.pop()
+		i := s.w.idx(seq)
+		in := &s.w.in[i]
+		s.active |= 1 << UnitCache
+		s.moved = true
 		s.res.UnitOps[UnitCache]++
 
 		level, latFO4 := cache.L1, 0.0
 		if s.cfg.Hierarchy != nil {
-			level, latFO4 = s.cfg.Hierarchy.Access(e.in.Addr)
+			level, latFO4 = s.cfg.Hierarchy.Access(in.Addr)
 		}
 		extra := uint64(0)
 		if level != cache.L1 {
 			s.res.L1Misses++
 			extra = s.cfg.LatencyCycles(latFO4)
 		}
-		if e.in.Class != isa.Store {
-			if e.in.Class == isa.Load {
+		if in.Class != isa.Store {
+			if in.Class == isa.Load {
 				s.res.LoadCount++
 			} else {
 				s.res.RXCount++
 			}
-			e.dataReady = s.cycle + extra
+			s.w.dataReady[i] = s.cycle + extra
 			if extra > 0 {
 				if level == cache.L2 {
 					s.res.Hazards.LoadL2Hits++
@@ -728,17 +740,17 @@ func (s *sim) stepCacheExit() {
 			}
 		} else {
 			s.res.StoreCount++
-			e.dataReady = s.cycle
+			s.w.dataReady[i] = s.cycle
 		}
 		// Late fix-up for memory ops that issued before their data
 		// arrived: completion and (for loads that are still the
 		// youngest writer of their register) consumer visibility.
-		if e.issuedAt != never {
-			e.complete = max(e.issuedAt+intLat, e.dataReady)
+		if s.w.issuedAt[i] != never {
+			s.w.complete[i] = max(s.w.issuedAt[i]+intLat, s.w.dataReady[i])
 		}
-		if e.in.Class == isa.Load &&
-			s.haveWriter[e.in.Dst] && s.lastWriter[e.in.Dst] == pe.seq {
-			s.regReady[e.in.Dst] = e.dataReady
+		if in.Class == isa.Load &&
+			s.haveWriter[in.Dst] && s.lastWriter[in.Dst] == seq {
+			s.regReady[in.Dst] = s.w.dataReady[i]
 		}
 	}
 }
@@ -749,16 +761,16 @@ func (s *sim) stepCacheExit() {
 //lint:hotpath per-cycle agen advance; must not allocate
 func (s *sim) stepAgenAdvance() {
 	for moved := 0; moved < s.cfg.AgenWidth && !s.agenPipe.empty(); moved++ {
-		pe := s.agenPipe.peek()
-		if s.cycle-pe.at < s.agenTransit {
+		if s.cycle-s.agenPipe.headAt() < s.agenTransit {
 			break
 		}
 		if s.cachePipe.full() {
 			break
 		}
-		s.agenPipe.pop()
-		s.cachePipe.push(pipeEntry{seq: pe.seq, at: s.cycle})
-		s.unitMoved[UnitAgen] = true
+		seq, _ := s.agenPipe.pop()
+		s.cachePipe.push(seq, s.cycle)
+		s.active |= 1 << UnitAgen
+		s.moved = true
 		s.res.UnitOps[UnitAgen]++
 	}
 }
@@ -769,12 +781,12 @@ func (s *sim) stepAgenAdvance() {
 //lint:hotpath per-cycle agen-queue stage; must not allocate
 func (s *sim) stepAgenQ() {
 	for moved := 0; moved < s.cfg.AgenWidth && !s.agenQ.empty(); moved++ {
-		pe := s.agenQ.peek()
-		e := s.entry(pe.seq)
+		seq := s.agenQ.headSeq()
+		i := s.w.idx(seq)
 		// The base producer was captured at decode exit, so the
 		// address path runs fully decoupled from issue in both modes.
-		if e.hasBaseWriter {
-			if t := s.writerReady(e.baseWriterSeq); t == never || t > s.cycle {
+		if s.w.wflags[i]&wHasBase != 0 {
+			if t := s.writerReady(s.w.baseWriter[i]); t == never || t > s.cycle {
 				break
 			}
 		}
@@ -782,8 +794,9 @@ func (s *sim) stepAgenQ() {
 			break
 		}
 		s.agenQ.pop()
-		s.agenPipe.push(pipeEntry{seq: pe.seq, at: s.cycle})
-		s.agenQTouched = true
+		s.agenPipe.push(seq, s.cycle)
+		s.active |= 1 << UnitAgenQ
+		s.moved = true
 		s.res.UnitOps[UnitAgenQ]++
 	}
 }
@@ -794,32 +807,34 @@ func (s *sim) stepAgenQ() {
 //lint:hotpath per-cycle decode-exit stage; must not allocate
 func (s *sim) stepDecodeExit() {
 	for moved := 0; moved < s.cfg.Width && !s.decodePipe.empty(); moved++ {
-		pe := s.decodePipe.peek()
-		if s.cycle-pe.at < s.decTransit {
+		if s.cycle-s.decodePipe.headAt() < s.decTransit {
 			break
 		}
 		if s.inExecQ >= s.cfg.ExecQCap {
 			break
 		}
-		e := s.entry(pe.seq)
-		if e.in.HasMemory() && s.agenQ.full() {
+		seq := s.decodePipe.headSeq()
+		i := s.w.idx(seq)
+		hasMem := s.w.in[i].HasMemory()
+		if hasMem && s.agenQ.full() {
 			break
 		}
 		s.decodePipe.pop()
-		s.rename(pe.seq, e)
-		if e.in.HasMemory() {
-			s.agenQ.push(pipeEntry{seq: pe.seq, at: s.cycle})
-			s.agenQTouched = true
+		s.rename(seq, i)
+		if hasMem {
+			s.agenQ.push(seq, s.cycle)
+			s.active |= 1 << UnitAgenQ
 		}
 		s.decoded++
 		s.inExecQ++
 		if s.cfg.OutOfOrder {
 			//lint:ignore allocfree pending is preallocated to WindowCap in Run and occupancy never exceeds the window, so this append cannot grow
-			s.pending = append(s.pending, pe.seq)
+			s.pending = append(s.pending, seq)
 		}
 		s.res.UnitOps[UnitDecode]++
 		s.res.UnitOps[UnitExecQ]++
-		s.execQTouched = true
+		s.active |= 1 << UnitExecQ
+		s.moved = true
 	}
 }
 
@@ -838,16 +853,29 @@ func (s *sim) stepFetch() {
 		return
 	}
 	for s.fetchedNow < s.cfg.Width {
-		if s.next-s.retired >= uint64(len(s.rob)) {
+		if s.next-s.retired >= s.w.num {
 			break
 		}
 		if s.decodePipe.full() {
 			break
 		}
-		in, ok := s.src.Next()
-		if !ok {
-			s.traceDone = true
-			break
+		// Materialize the next record straight into the window slot it
+		// will occupy: the packed fast path writes the SoA columns into
+		// the slot with no intermediate copy.
+		i := s.w.idx(s.next)
+		in := &s.w.in[i]
+		if s.psrc != nil {
+			if !s.psrc.NextInto(in) {
+				s.traceDone = true
+				break
+			}
+		} else {
+			v, ok := s.src.Next()
+			if !ok {
+				s.traceDone = true
+				break
+			}
+			*in = v
 		}
 		// Instruction-cache model: a new code line must be resident;
 		// a miss stalls fetch for the configured time.
@@ -864,11 +892,15 @@ func (s *sim) stepFetch() {
 		seq := s.next
 		s.next++
 		s.lastProgress = s.cycle
-		*s.entry(seq) = robEntry{in: in, seq: seq, dataReady: never, issuedAt: never, complete: never}
+		s.w.seq[i] = seq
+		s.w.dataReady[i] = never
+		s.w.issuedAt[i] = never
+		s.w.complete[i] = never
+		s.w.wflags[i] = 0
 		if s.traceCycle {
-			s.traceInstr(telemetry.KindFetch, seq, &s.entry(seq).in)
+			s.traceInstr(telemetry.KindFetch, seq, in)
 		}
-		s.decodePipe.push(pipeEntry{seq: seq, at: s.cycle})
+		s.decodePipe.push(seq, s.cycle)
 		s.fetchedNow++
 		s.res.UnitOps[UnitFetch]++
 
@@ -914,7 +946,8 @@ func (s *sim) stepFetch() {
 		}
 	}
 	if s.fetchedNow > 0 {
-		s.unitMoved[UnitFetch] = true
+		s.active |= 1 << UnitFetch
+		s.moved = true
 	}
 }
 
@@ -926,41 +959,34 @@ func (s *sim) stepFetch() {
 //
 //lint:hotpath per-cycle activity accounting; must not allocate
 func (s *sim) recordActivity() {
+	a := s.active
 	if s.cfg.WrongPathActivity && s.havePending {
-		s.unitMoved[UnitFetch] = true
-		s.unitMoved[UnitDecode] = true
+		a |= 1<<UnitFetch | 1<<UnitDecode
 		s.res.UnitOps[UnitFetch] += uint64(s.cfg.Width)
 		s.res.UnitOps[UnitDecode] += uint64(s.cfg.Width)
 		if s.cfg.OutOfOrder {
-			s.unitMoved[UnitRename] = true
+			a |= 1 << UnitRename
 			s.res.UnitOps[UnitRename] += uint64(s.cfg.Width)
 		}
 	}
 	if s.decodePipe.anyMoving(s.cycle, s.decTransit) {
-		s.unitMoved[UnitDecode] = true
+		a |= 1 << UnitDecode
 	}
 	if s.agenTransit > 0 && s.agenPipe.anyMoving(s.cycle, s.agenTransit) {
-		s.unitMoved[UnitAgen] = true
+		a |= 1 << UnitAgen
 	}
-	if s.cacheAccessed || s.cachePipe.anyMoving(s.cycle, s.cacheT) {
-		s.unitMoved[UnitCache] = true
-	}
-	if s.agenQTouched {
-		s.unitMoved[UnitAgenQ] = true
-	}
-	if s.execQTouched {
-		s.unitMoved[UnitExecQ] = true
+	if s.cachePipe.anyMoving(s.cycle, s.cacheT) {
+		a |= 1 << UnitCache
 	}
 	if s.cycle < s.execActiveUntil {
-		s.unitMoved[UnitExec] = true
+		a |= 1 << UnitExec
 	}
 	if s.cycle < s.fpuBusyUntil {
-		s.unitMoved[UnitFPU] = true
+		a |= 1 << UnitFPU
 	}
-	for u := 0; u < NumUnits; u++ {
-		if s.unitMoved[u] {
-			s.res.UnitActive[u]++
-		}
+	s.active = a
+	for m := a; m != 0; m &= m - 1 {
+		s.res.UnitActive[bits.TrailingZeros32(m)]++
 	}
 	if s.traceCycle {
 		s.traceGate()
@@ -976,21 +1002,33 @@ func (s *sim) recordActivity() {
 // register-renaming step proper), eliminating WAW and WAR hazards.
 //
 //lint:hotpath runs at decode exit for every instruction; must not allocate
-func (s *sim) rename(seq uint64, e *robEntry) {
-	in := &e.in
+func (s *sim) rename(seq, i uint64) {
+	in := &s.w.in[i]
 	if in.HasMemory() {
-		e.baseWriterSeq, e.hasBaseWriter = s.captureWriter(in.BaseReg())
+		if w, ok := s.captureWriter(in.BaseReg()); ok {
+			s.w.baseWriter[i] = w
+			s.w.wflags[i] |= wHasBase
+		}
 	}
 	if s.cfg.OutOfOrder {
 		switch in.Class {
 		case isa.Store, isa.RX:
-			e.src1Writer, e.hasSrc1W = s.captureWriter(in.Src1)
+			if w, ok := s.captureWriter(in.Src1); ok {
+				s.w.src1Writer[i] = w
+				s.w.wflags[i] |= wHasSrc1
+			}
 		case isa.RR, isa.FP, isa.Branch:
-			e.src1Writer, e.hasSrc1W = s.captureWriter(in.Src1)
-			e.src2Writer, e.hasSrc2W = s.captureWriter(in.Src2)
+			if w, ok := s.captureWriter(in.Src1); ok {
+				s.w.src1Writer[i] = w
+				s.w.wflags[i] |= wHasSrc1
+			}
+			if w, ok := s.captureWriter(in.Src2); ok {
+				s.w.src2Writer[i] = w
+				s.w.wflags[i] |= wHasSrc2
+			}
 		}
 		s.res.UnitOps[UnitRename]++
-		s.unitMoved[UnitRename] = true
+		s.active |= 1 << UnitRename
 	}
 	if in.WritesReg() {
 		s.renameTable[in.Dst] = seq
@@ -1020,12 +1058,12 @@ func (s *sim) writerReady(seq uint64) uint64 {
 	if seq < s.retired {
 		return 0
 	}
-	e := s.entry(seq)
-	if e.seq != seq {
+	i := s.w.idx(seq)
+	if s.w.seq[i] != seq {
 		return 0
 	}
-	if e.in.Class == isa.Load {
-		return e.dataReady
+	if s.slotClass(i) == isa.Load {
+		return s.w.dataReady[i]
 	}
-	return e.complete
+	return s.w.complete[i]
 }

@@ -13,7 +13,11 @@
 // monitor in package power.
 package pipeline
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
 
 // Unit identifies one microarchitectural unit for depth planning and
 // power accounting.
@@ -69,4 +73,128 @@ func (u Unit) String() string {
 	default:
 		return fmt.Sprintf("Unit(%d)", int(u))
 	}
+}
+
+// pipe is the transit state of one unit: a fixed-capacity ring of
+// in-flight instructions held as parallel sequence/entry-cycle arrays
+// (struct-of-arrays, indexed by slot). The backing arrays are sized to
+// a power of two so ring arithmetic is a mask, with the configured
+// capacity enforced logically.
+type pipe struct {
+	seq  []uint64
+	at   []uint64
+	head int
+	size int
+	mask int
+	cap  int
+	// lastAt is the entry cycle of the newest element. Entries enter
+	// in nondecreasing cycle order, so it bounds every element's age —
+	// which makes anyMoving O(1) instead of a scan.
+	lastAt uint64
+}
+
+func makePipe(capacity int) pipe {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return pipe{seq: make([]uint64, n), at: make([]uint64, n), mask: n - 1, cap: capacity}
+}
+
+//lint:hotpath ring occupancy checks run several times per cycle; must not allocate
+func (f *pipe) full() bool  { return f.size == f.cap }
+func (f *pipe) empty() bool { return f.size == 0 }
+
+//lint:hotpath ring push runs per stage advance; must not allocate
+func (f *pipe) push(seq, at uint64) {
+	i := (f.head + f.size) & f.mask
+	f.seq[i], f.at[i] = seq, at
+	f.size++
+	f.lastAt = at
+}
+
+//lint:hotpath ring head accessors run per stage per cycle; must not allocate
+func (f *pipe) headSeq() uint64 { return f.seq[f.head] }
+func (f *pipe) headAt() uint64  { return f.at[f.head] }
+
+//lint:hotpath ring pop runs per stage advance; must not allocate
+func (f *pipe) pop() (seq, at uint64) {
+	seq, at = f.seq[f.head], f.at[f.head]
+	f.head = (f.head + 1) & f.mask
+	f.size--
+	return seq, at
+}
+
+// anyMoving reports whether any entry is still in transit (younger
+// than the pipe's stage count), i.e. the unit's latches switched this
+// cycle. The newest entry has the largest entry cycle, so one compare
+// answers for the whole ring.
+//
+//lint:hotpath per-cycle activity check; must not allocate
+func (f *pipe) anyMoving(cycle, transit uint64) bool {
+	return f.size > 0 && cycle-f.lastAt < transit
+}
+
+// Writer-capture flag bits of window.wflags.
+const (
+	wHasBase = 1 << 0
+	wHasSrc1 = 1 << 1
+	wHasSrc2 = 1 << 2
+)
+
+// window is the in-flight instruction state from decode entry to
+// retirement, held as flat struct-of-arrays indexed by window slot
+// (seq mod capacity): the per-slot scheduling fields the hot loop
+// touches every cycle live in their own contiguous arrays instead of
+// behind per-entry pointers.
+type window struct {
+	in        []isa.Instruction
+	seq       []uint64 // sequence number (guards window-slot reuse)
+	dataReady []uint64 // mem ops: cycle the cache data is available
+	issuedAt  []uint64 // issue cycle (never until issued)
+	complete  []uint64 // completion cycle (never until known)
+
+	// Memory ops snapshot their base-register producer at decode exit;
+	// out-of-order mode captures the full source producers at rename.
+	baseWriter []uint64
+	src1Writer []uint64
+	src2Writer []uint64
+	wflags     []uint8
+
+	// mask is capacity−1 when the capacity is a power of two (the
+	// default WindowCap is); otherwise 0 and idx falls back to modulo.
+	mask uint64
+	num  uint64
+}
+
+// makeWindow allocates the scheduling arrays. The record-copy column
+// in is allocated by the caller only on the per-cycle path — the fused
+// packed loop (fastsim.go) reads the trace columns directly and leaves
+// it nil.
+func makeWindow(capacity int) window {
+	w := window{
+		seq:        make([]uint64, capacity),
+		dataReady:  make([]uint64, capacity),
+		issuedAt:   make([]uint64, capacity),
+		complete:   make([]uint64, capacity),
+		baseWriter: make([]uint64, capacity),
+		src1Writer: make([]uint64, capacity),
+		src2Writer: make([]uint64, capacity),
+		num:        uint64(capacity),
+	}
+	w.wflags = make([]uint8, capacity)
+	if capacity&(capacity-1) == 0 {
+		w.mask = uint64(capacity - 1)
+	}
+	return w
+}
+
+// idx maps a sequence number to its window slot.
+//
+//lint:hotpath window-slot accessor called many times per cycle; must not allocate
+func (w *window) idx(seq uint64) uint64 {
+	if w.mask != 0 {
+		return seq & w.mask
+	}
+	return seq % w.num
 }

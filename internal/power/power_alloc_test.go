@@ -66,6 +66,27 @@ func runAllocs(t testing.TB, ins []isa.Instruction, depth, n int) (allocs float6
 	return allocs, cycles
 }
 
+// runAllocsFast is runAllocs for the skip-ahead engine: the same
+// differential measurement with the instructions pre-packed and the
+// optimized engine selected, the shape the sweep runner's packed path
+// executes. The per-run PackedStream cursor is a constant that the
+// long-minus-short subtraction cancels.
+func runAllocsFast(t testing.TB, packed *trace.PackedTrace, depth, n int) (allocs float64, cycles uint64) {
+	t.Helper()
+	cfg := allocConfig(depth)
+	cfg.Engine = pipeline.EngineAuto
+	run := func() *pipeline.Result {
+		r, err := pipeline.Run(cfg, packed.Slice(0, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cycles = run().Cycles
+	allocs = testing.AllocsPerRun(5, func() { run() })
+	return allocs, cycles
+}
+
 // runEpilogueSlack bounds the allocations a longer run may add over a
 // shorter one under the identical config: the per-run epilogue
 // (manifest stamping, fingerprint rendering) formats run-sized numbers
@@ -100,6 +121,64 @@ func TestZeroAllocsPerCycle(t *testing.T) {
 			t.Errorf("depth %d: %g extra allocations across %d extra cycles (%g/cycle), want ≤ %d total",
 				depth, big-small, bigCycles-smallCycles, perCycle, runEpilogueSlack)
 		}
+	}
+}
+
+// TestZeroAllocsPerCycleSkipAhead pins the skip-ahead engine's steady
+// state at zero heap allocations the same way: packed pre-decode,
+// span fast-forwarding and the fused per-cycle fallback all run
+// between the two measurements, so any per-cycle or per-span
+// allocation shows up across the extra cycles.
+func TestZeroAllocsPerCycleSkipAhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	packed, err := trace.Pack(materialize(t, 6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{2, 7, 18} {
+		small, smallCycles := runAllocsFast(t, packed, depth, 1000)
+		big, bigCycles := runAllocsFast(t, packed, depth, 6000)
+		if bigCycles <= smallCycles {
+			t.Fatalf("depth %d: degenerate cycle counts %d <= %d", depth, bigCycles, smallCycles)
+		}
+		perCycle := (big - small) / float64(bigCycles-smallCycles)
+		t.Logf("depth %d: %.0f allocs @ %d cycles vs %.0f @ %d → %.6f allocs/cycle",
+			depth, small, smallCycles, big, bigCycles, perCycle)
+		if big-small > runEpilogueSlack {
+			t.Errorf("depth %d: %g extra allocations across %d extra cycles (%g/cycle), want ≤ %d total",
+				depth, big-small, bigCycles-smallCycles, perCycle, runEpilogueSlack)
+		}
+	}
+}
+
+// packedIterationAllocs measures steady-state allocations per record
+// of PackedTrace cursor iteration — the fetch stage's per-cycle feed.
+func packedIterationAllocs(t testing.TB, packed *trace.PackedTrace) float64 {
+	t.Helper()
+	s := packed.Stream()
+	var sink isa.Instruction
+	return testing.AllocsPerRun(1000, func() {
+		if !s.NextInto(&sink) {
+			s.Reset()
+		}
+	})
+}
+
+// TestZeroAllocsPerPackedRecord pins packed-trace iteration at zero
+// allocations per record (the dynamic twin of the //lint:hotpath
+// static guard on the cursor methods).
+func TestZeroAllocsPerPackedRecord(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	packed, err := trace.Pack(materialize(t, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := packedIterationAllocs(t, packed); allocs != 0 {
+		t.Errorf("packed iteration: %g allocs per record, want 0", allocs)
 	}
 }
 
@@ -145,6 +224,15 @@ func TestAllocBenchRecord(t *testing.T) {
 	big, bigCycles := runAllocs(t, ins, 10, 6000)
 	perCycle := (big - small) / float64(bigCycles-smallCycles)
 
+	packed, err := trace.Pack(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSmall, fastSmallCycles := runAllocsFast(t, packed, 10, 1000)
+	fastBig, fastBigCycles := runAllocsFast(t, packed, 10, 6000)
+	perCycleFast := (fastBig - fastSmall) / float64(fastBigCycles-fastSmallCycles)
+	perPacked := packedIterationAllocs(t, packed)
+
 	s := trace.NewSliceStream(ins)
 	r, err := pipeline.Run(allocConfig(10), s)
 	if err != nil {
@@ -159,10 +247,13 @@ func TestAllocBenchRecord(t *testing.T) {
 	rec := bench.NewRecord("allocguard", start)
 	rec.Workload = "representative-modern-6000"
 	rec.AllocsPerCycle = perCycle
+	rec.AllocsPerCycleFast = perCycleFast
 	rec.AllocsPerEval = perEval
+	rec.AllocsPerPackedRecord = perPacked
 	rec.Finish(start)
 	if err := bench.Append(*allocBenchOut, rec); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("recorded allocs_per_cycle=%g allocs_per_eval=%g", perCycle, perEval)
+	t.Logf("recorded allocs_per_cycle=%g allocs_per_cycle_fast=%g allocs_per_eval=%g allocs_per_packed_record=%g",
+		perCycle, perCycleFast, perEval, perPacked)
 }

@@ -147,7 +147,8 @@ var SpanNames = map[string]bool{
 	"workload": true, // one workload's depth sweep
 	"point":    true, // one design point (depth × workload)
 	"cache":    true, // resultcache lookup or store
-	"decode":   true, // workload generator construction
+	"decode":   true, // workload generator construction (per-cycle engine path)
+	"pack":     true, // trace pre-decode into packed form, once per sweep
 	"warmup":   true, // cache/predictor priming
 	"simulate": true, // the cycle-accurate pipeline run
 	"power":    true, // power-model evaluation (both disciplines)
